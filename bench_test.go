@@ -1,0 +1,187 @@
+package gridmon
+
+// Benchmarks, one per table/figure of the paper plus the ablations of
+// DESIGN.md §5. Each benchmark executes the corresponding experiment at a
+// reduced-but-proportional scale per iteration and reports the headline
+// quantity (mean RTT, loss, accepted connections) as a custom metric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation. Use
+// `cmd/gridbench -scale full` for paper-fidelity runs.
+
+import (
+	"testing"
+	"time"
+
+	"gridmon/internal/experiment"
+	"gridmon/internal/message"
+	"gridmon/internal/simbroker"
+	"gridmon/internal/wire"
+)
+
+// benchScale keeps connection counts and rates identical to the paper
+// with a short measurement window.
+func benchScale() experiment.Scale {
+	return experiment.Scale{PublishCount: 6, SpawnFactor: 6.0 / 180.0, Label: "bench"}
+}
+
+func BenchmarkFig3Fig4TransportComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, results := experiment.Fig3And4(benchScale())
+		for _, r := range results {
+			b.ReportMetric(r.RTT.Mean(), "ms_rtt_"+sanitize(r.Label))
+		}
+	}
+}
+
+func BenchmarkFig6to9NaradaScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunNaradaScale(benchScale())
+		b.ReportMetric(r.Single[len(r.Single)-1].RTT.Mean(), "ms_rtt_single3000")
+		b.ReportMetric(r.DBN[len(r.DBN)-1].RTT.Mean(), "ms_rtt_dbn4000")
+		b.ReportMetric(r.Single[len(r.Single)-1].CPUIdlePct, "pct_idle_single3000")
+	}
+}
+
+func BenchmarkFig10SecondaryProducer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.Fig10(benchScale())
+		b.ReportMetric(results[len(results)-1].RTT.Percentile(100)/1000, "s_rtt_p100_200conns")
+	}
+}
+
+func BenchmarkFig11to14RGMAScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunRGMAScale(benchScale())
+		b.ReportMetric(r.Single[len(r.Single)-1].RTT.Mean(), "ms_rtt_single600")
+		b.ReportMetric(r.Distributed[len(r.Distributed)-1].RTT.Mean(), "ms_rtt_dist1000")
+	}
+}
+
+func BenchmarkFig15Decomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, res := experiment.Fig15(benchScale())
+		b.ReportMetric(res.RGMA.PT.Mean(), "ms_rgma_pt")
+		b.ReportMetric(res.Narada.MeanRTT(), "ms_narada_rtt")
+	}
+}
+
+func BenchmarkWarmupLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.WarmupLoss(benchScale())
+		b.ReportMetric(results[1].Loss.RatePercent(), "pct_loss_nowarmup")
+	}
+}
+
+func BenchmarkOOMCliffs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, narada, rgmaRes := experiment.OOMCliffs(benchScale())
+		b.ReportMetric(float64(4000-narada.Refused), "conns_narada_accepted")
+		b.ReportMetric(float64(900-rgmaRes.Refused), "conns_rgma_accepted")
+	}
+}
+
+func BenchmarkTable3Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		narada := experiment.RunNarada(experiment.NaradaConfig{
+			Label: "n", Connections: 500, Transport: simbroker.TCP(), Scale: benchScale(), Seed: 1,
+		})
+		rgmaRes := experiment.RunRGMA(experiment.RGMAConfig{
+			Label: "r", Connections: 200, Scale: benchScale(), Seed: 2,
+		})
+		b.ReportMetric(rgmaRes.RTT.Mean()/narada.RTT.Mean(), "x_rgma_over_narada")
+	}
+}
+
+func BenchmarkAblationRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.AblationRouting(benchScale())
+		b.ReportMetric(results[0].RTT.Mean(), "ms_rtt_broadcast")
+		b.ReportMetric(results[1].RTT.Mean(), "ms_rtt_tree")
+	}
+}
+
+func BenchmarkAblationAckMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.AblationAckMode(benchScale())
+		b.ReportMetric(results[0].RTT.Mean(), "ms_rtt_auto")
+		b.ReportMetric(results[1].RTT.Mean(), "ms_rtt_client")
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.AblationAggregation(benchScale())
+		b.ReportMetric(results[0].CPUIdlePct, "pct_idle_single")
+		b.ReportMetric(results[1].CPUIdlePct, "pct_idle_aggregated")
+	}
+}
+
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiment.AblationPollInterval(benchScale())
+		b.ReportMetric(results[2].RTT.Mean()-results[0].RTT.Mean(), "ms_rtt_poll_spread")
+	}
+}
+
+// BenchmarkEndToEndMessage measures simulator throughput for the full
+// publish -> route -> deliver -> ack pipeline of one message.
+func BenchmarkEndToEndMessage(b *testing.B) {
+	s := NewSimulation(1)
+	host := s.NewBroker("broker")
+	sub, err := host.Connect(s.Node("client"), simbroker.TCP(), "sub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := host.Connect(s.Node("client"), simbroker.TCP(), "pub")
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	sub.OnDeliver = func(wire.Deliver) { delivered++ }
+	sub.Subscribe(1, message.Topic("t"), "id<10000")
+	s.RunUntilIdle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := message.NewMap()
+		m.Dest = message.Topic("t")
+		m.SetProperty("id", message.Int(1))
+		m.MapSet("power", message.Double(1))
+		pub.Publish(m)
+		s.RunUntilIdle()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkSimulatedSecond measures how much wall time one virtual second
+// of the paper's 800-generator workload costs.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	res := experiment.RunNarada(experiment.NaradaConfig{
+		Label: "bench", Connections: 800, Transport: simbroker.TCP(),
+		Scale: benchScale(), Seed: 3,
+	})
+	if res.Loss.Sent == 0 {
+		b.Fatal("no messages")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RunNarada(experiment.NaradaConfig{
+			Label: "bench", Connections: 800, Transport: simbroker.TCP(),
+			Scale: benchScale(), Seed: int64(i + 4),
+		})
+	}
+	_ = time.Now()
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

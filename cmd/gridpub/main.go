@@ -1,0 +1,66 @@
+// Command gridpub simulates power generators against a real naradad
+// broker: each generator publishes the paper's monitoring MapMessage on a
+// topic at a fixed period.
+//
+// Usage:
+//
+//	gridpub [-broker localhost:7672] [-topic power.monitoring]
+//	        [-generators 10] [-period 10s] [-count 0]
+package main
+
+import (
+	"flag"
+	"log"
+	"sync"
+	"time"
+
+	"gridmon/internal/gridgen"
+	"gridmon/internal/jms"
+	"gridmon/internal/message"
+)
+
+func main() {
+	addr := flag.String("broker", "localhost:7672", "broker address")
+	topic := flag.String("topic", "power.monitoring", "topic to publish on")
+	generators := flag.Int("generators", 10, "number of simulated generators")
+	period := flag.Duration("period", 10*time.Second, "publish period per generator")
+	count := flag.Int("count", 0, "messages per generator (0 = run until interrupted)")
+	sync_ := flag.Bool("sync", false, "wait for broker acknowledgement per publish")
+	flag.Parse()
+
+	var wg sync.WaitGroup
+	for g := 0; g < *generators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := jms.Dial(*addr, "gridpub")
+			if err != nil {
+				log.Printf("generator %d: %v", g, err)
+				return
+			}
+			defer conn.Close()
+			seq := int64(0)
+			for {
+				seq++
+				m := gridgen.MonitoringMessage(g, seq)
+				m.Dest = message.Topic(*topic)
+				var err error
+				if *sync_ {
+					err = conn.PublishSync(m)
+				} else {
+					err = conn.Publish(m)
+				}
+				if err != nil {
+					log.Printf("generator %d: publish: %v", g, err)
+					return
+				}
+				if *count > 0 && seq >= int64(*count) {
+					return
+				}
+				time.Sleep(*period)
+			}
+		}(g)
+	}
+	wg.Wait()
+	log.Printf("gridpub: all generators finished")
+}

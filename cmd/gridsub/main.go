@@ -1,0 +1,67 @@
+// Command gridsub is the receiving program of the paper's experiments on
+// real TCP: it subscribes to a topic with a JMS selector and reports
+// round-trip statistics from the publishers' embedded timestamps.
+//
+// Usage:
+//
+//	gridsub [-broker localhost:7672] [-topic power.monitoring]
+//	        [-selector "id<10000"] [-report 10s]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"gridmon/internal/jms"
+	"gridmon/internal/message"
+	"gridmon/internal/metrics"
+)
+
+func main() {
+	addr := flag.String("broker", "localhost:7672", "broker address")
+	topic := flag.String("topic", "power.monitoring", "topic to subscribe to")
+	selector := flag.String("selector", "id<10000", "JMS message selector")
+	report := flag.Duration("report", 10*time.Second, "statistics reporting interval")
+	flag.Parse()
+
+	conn, err := jms.Dial(*addr, "gridsub")
+	if err != nil {
+		log.Fatalf("gridsub: %v", err)
+	}
+	defer conn.Close()
+
+	var mu sync.Mutex
+	var rtt metrics.RTT
+	if _, err := conn.Subscribe(message.Topic(*topic), *selector, func(m *message.Message) {
+		ms := float64(time.Now().UnixNano()-m.Timestamp) / 1e6
+		mu.Lock()
+		rtt.Add(ms)
+		mu.Unlock()
+	}); err != nil {
+		log.Fatalf("gridsub: subscribe: %v", err)
+	}
+	log.Printf("gridsub: subscribed to %s with selector %q on %s", *topic, *selector, conn.BrokerID())
+
+	tick := time.Tick(*report)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case <-tick:
+			mu.Lock()
+			if rtt.Count() > 0 {
+				log.Printf("received=%d mean=%.2fms stddev=%.2fms p99=%.2fms max=%.2fms",
+					rtt.Count(), rtt.Mean(), rtt.Stddev(), rtt.Percentile(99), rtt.Max())
+			} else {
+				log.Printf("received=0")
+			}
+			mu.Unlock()
+		case <-sig:
+			return
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command rgmad serves the R-GMA virtual database over HTTP, the
+// transport the original gLite implementation used. Producers publish
+// tuples with SQL INSERT statements and consumers poll continuous,
+// latest or history SELECT queries.
+//
+// Usage:
+//
+//	rgmad [-listen :8088]
+//
+// Try it:
+//
+//	curl -X POST localhost:8088/schema/createTable \
+//	  -d '{"sql":"CREATE TABLE generator (genid INTEGER PRIMARY KEY, power DOUBLE PRECISION)"}'
+//	curl -X POST localhost:8088/producer/create -d '{"table":"generator"}'
+//	curl -X POST localhost:8088/producer/insert \
+//	  -d '{"producer":1,"sql":"INSERT INTO generator (genid, power) VALUES (1, 480.5)"}'
+//	curl -X POST localhost:8088/consumer/create \
+//	  -d '{"query":"SELECT * FROM generator","type":"latest"}'
+//	curl 'localhost:8088/consumer/pop?id=2'
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"gridmon/internal/rgmahttp"
+)
+
+func main() {
+	listen := flag.String("listen", ":8088", "HTTP listen address")
+	flag.Parse()
+
+	srv := rgmahttp.NewServer()
+	addr, err := srv.ListenAndServe(*listen)
+	if err != nil {
+		log.Fatalf("rgmad: %v", err)
+	}
+	log.Printf("rgmad listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("rgmad: shutting down")
+	_ = srv.Close()
+}

@@ -1,0 +1,74 @@
+// Realtcp: the same broker core that the simulator validates, served
+// over real TCP sockets — an in-process naradad server, a subscriber
+// with a selector, and a publisher, all on loopback. Run with:
+//
+//	go run ./examples/realtcp
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridmon/internal/gridgen"
+	"gridmon/internal/jms"
+	"gridmon/internal/message"
+	"gridmon/internal/metrics"
+)
+
+func main() {
+	srv, err := jms.ListenAndServe("127.0.0.1:0", jms.ServerConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("broker listening on %s\n", srv.Addr())
+
+	sub, err := jms.Dial(srv.Addr(), "monitor")
+	if err != nil {
+		panic(err)
+	}
+	defer sub.Close()
+
+	var mu sync.Mutex
+	var rtt metrics.RTT
+	done := make(chan struct{})
+	const want = 20
+	if _, err := sub.Subscribe(message.Topic("power.monitoring"), gridgen.PaperSelector, func(m *message.Message) {
+		ms := float64(time.Now().UnixNano()-m.Timestamp) / 1e6
+		mu.Lock()
+		rtt.Add(ms)
+		n := rtt.Count()
+		mu.Unlock()
+		if n == want {
+			close(done)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	pub, err := jms.Dial(srv.Addr(), "generator")
+	if err != nil {
+		panic(err)
+	}
+	defer pub.Close()
+	for i := 1; i <= want; i++ {
+		m := gridgen.MonitoringMessage(7, int64(i))
+		m.Dest = message.Topic("power.monitoring")
+		if err := pub.PublishSync(m); err != nil {
+			panic(err)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		panic("timed out waiting for deliveries")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("received %d messages over real TCP\n", rtt.Count())
+	fmt.Printf("mean RTT %.3f ms, max %.3f ms\n", rtt.Mean(), rtt.Max())
+	st := srv.Stats()
+	fmt.Printf("broker stats: published=%d delivered=%d acked=%d\n", st.Published, st.Delivered, st.Acked)
+}

@@ -1,0 +1,79 @@
+// Selectorfilter: content-based filtering with JMS message selectors —
+// one operations console subscribes only to alarms from high-power
+// generators in a named region, while an archiver takes everything.
+// Run with:
+//
+//	go run ./examples/selectorfilter
+package main
+
+import (
+	"fmt"
+
+	"gridmon"
+	"gridmon/internal/message"
+	"gridmon/internal/sim"
+	"gridmon/internal/simbroker"
+	"gridmon/internal/wire"
+)
+
+func main() {
+	s := gridmon.NewSimulation(7)
+	broker := s.NewBroker("broker")
+	node := s.Node("ops")
+
+	console, err := broker.Connect(node, simbroker.TCP(), "console")
+	if err != nil {
+		panic(err)
+	}
+	archiver, err := broker.Connect(node, simbroker.TCP(), "archiver")
+	if err != nil {
+		panic(err)
+	}
+	feed, err := broker.Connect(node, simbroker.TCP(), "feed")
+	if err != nil {
+		panic(err)
+	}
+
+	console.OnDeliver = func(d wire.Deliver) {
+		site, _ := d.Msg.Property("site")
+		power, _ := d.Msg.Property("power")
+		fmt.Printf("console ALARM: site=%s power=%s\n", site.AsString(), power.AsString())
+	}
+	archived := 0
+	archiver.OnDeliver = func(wire.Deliver) { archived++ }
+
+	// The console wants only serious events from the Scottish region;
+	// the archiver records everything.
+	console.Subscribe(1, message.Topic("telemetry"),
+		"status = 'ALARM' AND power > 400 AND site LIKE 'scotland-%'")
+	archiver.Subscribe(1, message.Topic("telemetry"), "")
+
+	samples := []struct {
+		site   string
+		status string
+		power  float64
+	}{
+		{"scotland-01", "RUNNING", 480},
+		{"scotland-02", "ALARM", 520}, // matches
+		{"wales-07", "ALARM", 610},    // wrong region
+		{"scotland-03", "ALARM", 120}, // too little power
+		{"scotland-04", "ALARM", 455}, // matches
+	}
+	for i, sm := range samples {
+		sm := sm
+		s.Kernel().At(sim.Time(i+1)*sim.Second, func() {
+			m := message.NewMap()
+			m.Dest = message.Topic("telemetry")
+			m.SetProperty("site", message.String(sm.site))
+			m.SetProperty("status", message.String(sm.status))
+			m.SetProperty("power", message.Double(sm.power))
+			m.MapSet("power", message.Double(sm.power))
+			feed.Publish(m)
+		})
+	}
+
+	s.RunUntilIdle()
+	st := broker.Broker().Stats()
+	fmt.Printf("archiver stored %d messages; selector rejected %d console deliveries\n",
+		archived, st.SelectorRejected)
+}

@@ -1,0 +1,141 @@
+package gridmon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridmon/internal/brokernet"
+	"gridmon/internal/message"
+	"gridmon/internal/rgma"
+	"gridmon/internal/sim"
+	"gridmon/internal/simbroker"
+	"gridmon/internal/wire"
+)
+
+func TestSimulationNodesAndClock(t *testing.T) {
+	s := NewSimulation(1)
+	a := s.Node("hydra1")
+	if s.Node("hydra1") != a {
+		t.Fatal("Node not idempotent")
+	}
+	s.Run(5 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if !strings.Contains(s.String(), "nodes=1") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestFacadePubSub(t *testing.T) {
+	s := NewSimulation(2)
+	host := s.NewBroker("broker")
+	sub, err := host.Connect(s.Node("client"), simbroker.TCP(), "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := host.Connect(s.Node("client"), simbroker.TCP(), "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	sub.OnDeliver = func(wire.Deliver) { got++ }
+	sub.Subscribe(1, message.Topic("power"), "id < 10000")
+	s.Kernel().After(sim.Second, func() {
+		m := message.NewMap()
+		m.Dest = message.Topic("power")
+		m.SetProperty("id", message.Int(7))
+		m.MapSet("power", message.Double(1.5))
+		pub.Publish(m)
+	})
+	s.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("deliveries = %d", got)
+	}
+}
+
+func TestFacadeBrokerNetwork(t *testing.T) {
+	s := NewSimulation(3)
+	hosts := s.NewBrokerNetwork(brokernet.RoutingTree, "b1", "b2", "b3")
+	if len(hosts) != 3 {
+		t.Fatal("wrong host count")
+	}
+	sub, err := hosts[2].Connect(s.Node("client"), simbroker.TCP(), "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := hosts[0].Connect(s.Node("client"), simbroker.TCP(), "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	sub.OnDeliver = func(wire.Deliver) { got++ }
+	sub.Subscribe(1, message.Topic("t"), "")
+	s.Kernel().After(sim.Second, func() {
+		m := message.NewText("x")
+		m.Dest = message.Topic("t")
+		pub.Publish(m)
+	})
+	s.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("cross-network deliveries = %d", got)
+	}
+}
+
+func TestFacadeBrokerNetworkTooSmallPanics(t *testing.T) {
+	s := NewSimulation(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-node network did not panic")
+		}
+	}()
+	s.NewBrokerNetwork(brokernet.RoutingTree, "only")
+}
+
+func TestFacadeRGMA(t *testing.T) {
+	s := NewSimulation(5)
+	dep := s.NewRGMA("server")
+	dep.CreateTable(rgma.MonitoringTable())
+	psvc := dep.AddProducerService(s.Node("server"))
+	csvc := dep.AddConsumerService(s.Node("server"))
+	cons, err := dep.CreateConsumer(s.Node("client"), csvc, "SELECT * FROM generator", rgma.ContinuousQuery, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsc := rgma.StartSubscriber(cons)
+	pp, err := dep.CreatePrimaryProducer(s.Node("client"), psvc, "generator", 30*sim.Second, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kernel().At(15*sim.Second, func() { pp.Insert(rgma.MonitoringRow(1, 1)) })
+	s.Run(2 * time.Minute)
+	subsc.Stop()
+	if subsc.Received() != 1 {
+		t.Fatalf("received = %d", subsc.Received())
+	}
+}
+
+func TestDeterminismAcrossFacade(t *testing.T) {
+	run := func() string {
+		s := NewSimulation(42)
+		host := s.NewBroker("b")
+		sub, _ := host.Connect(s.Node("c"), simbroker.TCP(), "sub")
+		pub, _ := host.Connect(s.Node("c"), simbroker.TCP(), "pub")
+		var last sim.Time
+		sub.OnDeliver = func(wire.Deliver) { last = s.Kernel().Now() }
+		sub.Subscribe(1, message.Topic("t"), "")
+		for i := 0; i < 20; i++ {
+			s.Kernel().After(sim.Time(i)*sim.Second, func() {
+				m := message.NewText("x")
+				m.Dest = message.Topic("t")
+				pub.Publish(m)
+			})
+		}
+		s.RunUntilIdle()
+		return last.String()
+	}
+	if run() != run() {
+		t.Fatal("facade runs nondeterministic")
+	}
+}

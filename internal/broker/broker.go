@@ -1,0 +1,592 @@
+// Package broker implements the NaradaBrokering-style message broker at
+// the heart of the reproduction: topic and queue destinations, per-
+// subscription JMS selectors, AUTO/CLIENT acknowledgement bookkeeping,
+// durable subscriptions, message expiration, and per-connection /
+// per-pending-message memory accounting.
+//
+// The broker core is written sans-I/O: it consumes protocol frames via
+// OnFrame and emits frames through an Env interface. The same core runs
+// under the discrete-event simulator (package simbroker), where Env
+// charges virtual CPU time and JVM heap, and behind a real TCP listener
+// (cmd/naradad), where Env writes to sockets. Memory accounting is what
+// produces the paper's scalability cliff: each connection costs a thread
+// stack, so a 1 GB heap refuses new connections near 4000 of them, exactly
+// as the paper's broker "ran out of memory to create new threads to serve
+// more incoming connections".
+package broker
+
+import (
+	"errors"
+	"fmt"
+
+	"gridmon/internal/message"
+	"gridmon/internal/selector"
+	"gridmon/internal/wire"
+)
+
+// ConnID identifies a client connection within one broker.
+type ConnID int64
+
+// Env abstracts the resources a broker consumes. Implementations must be
+// single-threaded with respect to the broker (the sim kernel and the TCP
+// binding's event loop both guarantee this).
+type Env interface {
+	// Now returns the current time in nanoseconds (virtual or wall).
+	Now() int64
+	// Send emits a frame to a client connection.
+	Send(conn ConnID, f wire.Frame)
+	// CloseConn asks the binding to drop a client connection.
+	CloseConn(conn ConnID)
+	// AllocConn reserves the per-connection resources (on the paper's
+	// JVM 1.4 testbed, a native thread stack outside the Java heap),
+	// failing when the budget is exhausted.
+	AllocConn() error
+	// FreeConn releases per-connection resources.
+	FreeConn()
+	// Alloc reserves message-heap bytes, failing when the limit is
+	// reached.
+	Alloc(n int64) error
+	// Free releases message-heap bytes.
+	Free(n int64)
+}
+
+// Config tunes broker resource behaviour.
+type Config struct {
+	// ID names the broker (used in CONNECTED and broker-network frames).
+	ID string
+	// MemPerPendingOverhead is the per-pending-delivery bookkeeping cost
+	// added to the message's encoded size.
+	MemPerPendingOverhead int64
+	// MaxPendingPerSub bounds unacknowledged deliveries per subscription;
+	// 0 means unbounded (memory still applies).
+	MaxPendingPerSub int
+	// MaxQueueBacklog bounds messages stored on a queue with no
+	// consumers; 0 means unbounded (memory still applies).
+	MaxQueueBacklog int
+	// MaxDurableBacklog bounds messages stored for a disconnected
+	// durable subscriber; 0 means unbounded (memory still applies).
+	MaxDurableBacklog int
+}
+
+// DefaultConfig returns the configuration used in the paper reproduction.
+func DefaultConfig(id string) Config {
+	return Config{
+		ID:                    id,
+		MemPerPendingOverhead: 200,
+		MaxPendingPerSub:      0,
+		MaxQueueBacklog:       100000,
+		MaxDurableBacklog:     100000,
+	}
+}
+
+// ErrConnRefused is returned by OnConnOpen when the per-connection
+// resource budget (thread stacks, on the paper's testbed) is exhausted.
+var ErrConnRefused = errors.New("broker: connection refused (out of memory)")
+
+// Stats counts broker activity.
+type Stats struct {
+	Connections      int
+	PeakConnections  int
+	Published        uint64
+	Delivered        uint64
+	Acked            uint64
+	SelectorRejected uint64 // deliveries suppressed by selectors
+	Expired          uint64
+	DroppedOOM       uint64 // deliveries dropped because memory ran out
+	DroppedBacklog   uint64 // stored messages dropped at backlog caps
+	ForwardedOut     uint64 // messages forwarded to peer brokers
+	ForwardedIn      uint64 // messages received from peer brokers
+	RefusedConns     uint64
+}
+
+type pendingDelivery struct {
+	tag  int64
+	cost int64 // heap bytes charged
+}
+
+type subscription struct {
+	conn        *conn
+	id          int64
+	dest        message.Destination
+	sel         *selector.Selector
+	ackMode     message.AckMode
+	durableName string
+	nextTag     int64
+	pending     map[int64]pendingDelivery
+}
+
+type conn struct {
+	id       ConnID
+	clientID string
+	subs     map[int64]*subscription
+}
+
+type storedMsg struct {
+	msg  *message.Message
+	cost int64
+}
+
+type topicState struct {
+	name string
+	subs map[*subscription]struct{}
+}
+
+type queueState struct {
+	name    string
+	subs    []*subscription // round-robin order
+	rrNext  int
+	backlog []storedMsg
+}
+
+type durableState struct {
+	name    string
+	topic   string
+	sel     *selector.Selector
+	active  *subscription // nil while disconnected
+	backlog []storedMsg
+}
+
+// Forwarder lets a broker-network layer observe local publishes and inject
+// remote ones; see package brokernet.
+type Forwarder interface {
+	// OnLocalPublish is invoked for every message accepted from a local
+	// client, before local delivery.
+	OnLocalPublish(m *message.Message)
+}
+
+// Broker is the sans-I/O broker core.
+type Broker struct {
+	env   Env
+	cfg   Config
+	conns map[ConnID]*conn
+
+	topics   map[string]*topicState
+	queues   map[string]*queueState
+	durables map[string]*durableState
+
+	forwarder Forwarder
+
+	// TopicInterest observers (brokernet uses these to propagate
+	// subscription info for TREE routing).
+	onInterest func(topic string, add bool)
+
+	stats Stats
+}
+
+// New returns a broker core using env for I/O and resources.
+func New(env Env, cfg Config) *Broker {
+	if cfg.ID == "" {
+		cfg.ID = "broker"
+	}
+	return &Broker{
+		env:      env,
+		cfg:      cfg,
+		conns:    make(map[ConnID]*conn),
+		topics:   make(map[string]*topicState),
+		queues:   make(map[string]*queueState),
+		durables: make(map[string]*durableState),
+	}
+}
+
+// ID returns the broker's identifier.
+func (b *Broker) ID() string { return b.cfg.ID }
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	s := b.stats
+	s.Connections = len(b.conns)
+	return s
+}
+
+// SetForwarder installs the broker-network hook.
+func (b *Broker) SetForwarder(f Forwarder) { b.forwarder = f }
+
+// SetInterestFunc installs a callback fired when the broker gains or
+// loses its last local subscription on a topic.
+func (b *Broker) SetInterestFunc(fn func(topic string, add bool)) { b.onInterest = fn }
+
+// TopicSubscribers reports how many local subscriptions a topic has
+// (bindings use it to charge selector-matching CPU time).
+func (b *Broker) TopicSubscribers(name string) int {
+	if t := b.topics[name]; t != nil {
+		return len(t.subs)
+	}
+	return 0
+}
+
+// Topics returns the names of topics with at least one local subscriber.
+func (b *Broker) Topics() []string {
+	var out []string
+	for name, t := range b.topics {
+		if len(t.subs) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// OnConnOpen admits a new client connection, charging its memory cost.
+// The binding must call this before delivering any frames for the
+// connection and must close the transport if an error is returned.
+func (b *Broker) OnConnOpen(id ConnID) error {
+	if _, dup := b.conns[id]; dup {
+		panic(fmt.Sprintf("broker: duplicate conn id %d", id))
+	}
+	if err := b.env.AllocConn(); err != nil {
+		b.stats.RefusedConns++
+		return fmt.Errorf("%w: %v", ErrConnRefused, err)
+	}
+	b.conns[id] = &conn{id: id, subs: make(map[int64]*subscription)}
+	if n := len(b.conns); n > b.stats.PeakConnections {
+		b.stats.PeakConnections = n
+	}
+	return nil
+}
+
+// OnConnClose releases a connection and all its subscriptions. Durable
+// subscriptions revert to the disconnected state and begin buffering.
+func (b *Broker) OnConnClose(id ConnID) {
+	c, ok := b.conns[id]
+	if !ok {
+		return
+	}
+	for _, sub := range c.subs {
+		b.dropSubscription(sub, false)
+	}
+	delete(b.conns, id)
+	b.env.FreeConn()
+}
+
+// OnFrame processes one protocol frame from a client connection. Unknown
+// connections are ignored (the binding may race a close).
+func (b *Broker) OnFrame(id ConnID, f wire.Frame) {
+	c, ok := b.conns[id]
+	if !ok {
+		return
+	}
+	switch v := f.(type) {
+	case wire.Connect:
+		c.clientID = v.ClientID
+		b.env.Send(id, wire.Connected{BrokerID: b.cfg.ID})
+	case wire.Subscribe:
+		b.handleSubscribe(c, v)
+	case wire.Unsubscribe:
+		if sub, ok := c.subs[v.SubID]; ok {
+			b.dropSubscription(sub, true)
+		}
+	case wire.Publish:
+		b.handlePublish(c, v)
+	case wire.Ack:
+		b.handleAck(c, v)
+	case wire.Ping:
+		b.env.Send(id, wire.Pong{Token: v.Token})
+	case wire.Close:
+		b.OnConnClose(id)
+		b.env.CloseConn(id)
+	}
+}
+
+func (b *Broker) handleSubscribe(c *conn, v wire.Subscribe) {
+	if _, dup := c.subs[v.SubID]; dup {
+		// Protocol violation; drop the connection.
+		b.OnConnClose(c.id)
+		b.env.CloseConn(c.id)
+		return
+	}
+	sel, err := selector.Parse(v.Selector)
+	if err != nil {
+		// JMS raises InvalidSelectorException at subscribe time; the
+		// protocol surfaces it by closing the subscription attempt. We
+		// signal with SubOK carrying a negative id.
+		b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
+		return
+	}
+	ackMode := v.AckMode
+	if ackMode == 0 {
+		ackMode = message.AutoAck
+	}
+	sub := &subscription{
+		conn:        c,
+		id:          v.SubID,
+		dest:        v.Dest,
+		sel:         sel,
+		ackMode:     ackMode,
+		durableName: v.DurableName,
+		pending:     make(map[int64]pendingDelivery),
+	}
+	switch v.Dest.Kind {
+	case message.TopicKind:
+		if v.Durable && v.DurableName != "" {
+			if !b.attachDurable(sub) {
+				b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
+				return
+			}
+		}
+		t := b.topics[v.Dest.Name]
+		if t == nil {
+			t = &topicState{name: v.Dest.Name, subs: make(map[*subscription]struct{})}
+			b.topics[v.Dest.Name] = t
+		}
+		wasEmpty := len(t.subs) == 0
+		t.subs[sub] = struct{}{}
+		if wasEmpty && b.onInterest != nil {
+			b.onInterest(t.name, true)
+		}
+	case message.QueueKind:
+		q := b.queues[v.Dest.Name]
+		if q == nil {
+			q = &queueState{name: v.Dest.Name}
+			b.queues[v.Dest.Name] = q
+		}
+		q.subs = append(q.subs, sub)
+	default:
+		b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
+		return
+	}
+	c.subs[v.SubID] = sub
+	b.env.Send(c.id, wire.SubOK{SubID: v.SubID})
+	// Deliver any backlog the subscription is entitled to.
+	if v.Dest.Kind == message.QueueKind {
+		b.drainQueue(b.queues[v.Dest.Name])
+	} else if v.Durable && v.DurableName != "" {
+		b.drainDurable(b.durables[v.DurableName], sub)
+	}
+}
+
+// attachDurable binds a subscription to its durable state, creating it on
+// first use. It fails when the durable name is already active on another
+// subscription (JMS allows one active consumer per durable subscription).
+func (b *Broker) attachDurable(sub *subscription) bool {
+	d := b.durables[sub.durableName]
+	if d == nil {
+		d = &durableState{name: sub.durableName, topic: sub.dest.Name, sel: sub.sel}
+		b.durables[sub.durableName] = d
+	}
+	if d.active != nil {
+		return false
+	}
+	// JMS: changing topic or selector on a durable name recreates it.
+	if d.topic != sub.dest.Name || d.sel.String() != sub.sel.String() {
+		for _, sm := range d.backlog {
+			b.env.Free(sm.cost)
+		}
+		d.backlog = nil
+		d.topic = sub.dest.Name
+		d.sel = sub.sel
+	}
+	d.active = sub
+	return true
+}
+
+func (b *Broker) drainDurable(d *durableState, sub *subscription) {
+	if d == nil {
+		return
+	}
+	backlog := d.backlog
+	d.backlog = nil
+	for _, sm := range backlog {
+		b.env.Free(sm.cost)
+		b.deliverTo(sub, sm.msg)
+	}
+}
+
+// dropSubscription removes a subscription from its destination.
+// unsubscribe distinguishes a client Unsubscribe (which also destroys
+// durable state) from a connection close (which keeps it buffering).
+func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
+	for _, pd := range sub.pending {
+		b.env.Free(pd.cost)
+	}
+	sub.pending = make(map[int64]pendingDelivery)
+	delete(sub.conn.subs, sub.id)
+	switch sub.dest.Kind {
+	case message.TopicKind:
+		if t := b.topics[sub.dest.Name]; t != nil {
+			delete(t.subs, sub)
+			if len(t.subs) == 0 {
+				if b.onInterest != nil {
+					b.onInterest(t.name, false)
+				}
+				delete(b.topics, sub.dest.Name)
+			}
+		}
+		if sub.durableName != "" {
+			if d := b.durables[sub.durableName]; d != nil && d.active == sub {
+				d.active = nil
+				if unsubscribe {
+					for _, sm := range d.backlog {
+						b.env.Free(sm.cost)
+					}
+					delete(b.durables, sub.durableName)
+				}
+			}
+		}
+	case message.QueueKind:
+		if q := b.queues[sub.dest.Name]; q != nil {
+			for i, s := range q.subs {
+				if s == sub {
+					q.subs = append(q.subs[:i], q.subs[i+1:]...)
+					if q.rrNext > i {
+						q.rrNext--
+					}
+					break
+				}
+			}
+			if len(q.subs) == 0 && len(q.backlog) == 0 {
+				delete(b.queues, sub.dest.Name)
+			}
+		}
+	}
+}
+
+func (b *Broker) handlePublish(c *conn, v wire.Publish) {
+	m := v.Msg
+	b.stats.Published++
+	if b.forwarder != nil {
+		b.forwarder.OnLocalPublish(m)
+	}
+	b.routeLocal(m)
+	b.env.Send(c.id, wire.PubAck{Seq: v.Seq})
+}
+
+// InjectForwarded delivers a message that arrived from a peer broker to
+// local subscribers only (no re-forwarding).
+func (b *Broker) InjectForwarded(m *message.Message) {
+	b.stats.ForwardedIn++
+	b.routeLocal(m)
+}
+
+// CountForwardOut records that the network layer forwarded a message to a
+// peer (for stats parity between routing modes).
+func (b *Broker) CountForwardOut() { b.stats.ForwardedOut++ }
+
+func (b *Broker) routeLocal(m *message.Message) {
+	if m.Expiration > 0 && b.env.Now() > m.Expiration {
+		b.stats.Expired++
+		return
+	}
+	switch m.Dest.Kind {
+	case message.TopicKind:
+		if t := b.topics[m.Dest.Name]; t != nil {
+			for sub := range t.subs {
+				if sub.sel.Matches(m) {
+					b.deliverTo(sub, m)
+				} else {
+					b.stats.SelectorRejected++
+				}
+			}
+		}
+		// Durable subscribers currently offline buffer the message.
+		for _, d := range b.durables {
+			if d.active == nil && d.topic == m.Dest.Name && d.sel.Matches(m) {
+				b.storeDurable(d, m)
+			}
+		}
+	case message.QueueKind:
+		q := b.queues[m.Dest.Name]
+		if q == nil {
+			q = &queueState{name: m.Dest.Name}
+			b.queues[m.Dest.Name] = q
+		}
+		b.enqueue(q, m)
+		b.drainQueue(q)
+	}
+}
+
+func (b *Broker) storeDurable(d *durableState, m *message.Message) {
+	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
+		b.stats.DroppedBacklog++
+		return
+	}
+	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+	if err := b.env.Alloc(cost); err != nil {
+		b.stats.DroppedOOM++
+		return
+	}
+	d.backlog = append(d.backlog, storedMsg{msg: m.Clone(), cost: cost})
+}
+
+func (b *Broker) enqueue(q *queueState, m *message.Message) {
+	if b.cfg.MaxQueueBacklog > 0 && len(q.backlog) >= b.cfg.MaxQueueBacklog {
+		b.stats.DroppedBacklog++
+		return
+	}
+	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+	if err := b.env.Alloc(cost); err != nil {
+		b.stats.DroppedOOM++
+		return
+	}
+	q.backlog = append(q.backlog, storedMsg{msg: m.Clone(), cost: cost})
+}
+
+// drainQueue hands queued messages to consumers round-robin, honouring
+// selectors: a message goes to the next consumer whose selector accepts
+// it; messages no consumer accepts stay queued.
+func (b *Broker) drainQueue(q *queueState) {
+	if len(q.subs) == 0 {
+		return
+	}
+	var remaining []storedMsg
+	for _, sm := range q.backlog {
+		delivered := false
+		for i := 0; i < len(q.subs); i++ {
+			sub := q.subs[(q.rrNext+i)%len(q.subs)]
+			if sub.sel.Matches(sm.msg) {
+				q.rrNext = (q.rrNext + i + 1) % len(q.subs)
+				b.env.Free(sm.cost)
+				b.deliverTo(sub, sm.msg)
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			remaining = append(remaining, sm)
+		}
+	}
+	q.backlog = remaining
+}
+
+// deliverTo sends a message to one subscription, tracking it as pending
+// until acknowledged.
+func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
+	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
+		b.stats.DroppedBacklog++
+		return
+	}
+	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+	if err := b.env.Alloc(cost); err != nil {
+		b.stats.DroppedOOM++
+		return
+	}
+	sub.nextTag++
+	tag := sub.nextTag
+	sub.pending[tag] = pendingDelivery{tag: tag, cost: cost}
+	b.stats.Delivered++
+	b.env.Send(sub.conn.id, wire.Deliver{SubID: sub.id, Tag: tag, Msg: m.Clone()})
+}
+
+func (b *Broker) handleAck(c *conn, v wire.Ack) {
+	sub, ok := c.subs[v.SubID]
+	if !ok {
+		return
+	}
+	for _, tag := range v.Tags {
+		if pd, ok := sub.pending[tag]; ok {
+			b.env.Free(pd.cost)
+			delete(sub.pending, tag)
+			b.stats.Acked++
+		}
+	}
+}
+
+// PendingCount reports unacknowledged deliveries across all subscriptions
+// (for tests and monitoring).
+func (b *Broker) PendingCount() int {
+	n := 0
+	for _, c := range b.conns {
+		for _, sub := range c.subs {
+			n += len(sub.pending)
+		}
+	}
+	return n
+}

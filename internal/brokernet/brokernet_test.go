@@ -1,0 +1,319 @@
+package brokernet
+
+import (
+	"testing"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/simproc"
+	"gridmon/internal/wire"
+)
+
+// memEnv is a minimal broker.Env for tests: unlimited heap, frame capture.
+type memEnv struct {
+	sent map[broker.ConnID][]wire.Frame
+	heap *simproc.Heap
+}
+
+func newMemEnv() *memEnv {
+	return &memEnv{sent: make(map[broker.ConnID][]wire.Frame), heap: simproc.NewHeap("t", 0, 0)}
+}
+
+func (e *memEnv) Now() int64                         { return 0 }
+func (e *memEnv) Send(c broker.ConnID, f wire.Frame) { e.sent[c] = append(e.sent[c], f) }
+func (e *memEnv) CloseConn(broker.ConnID)            {}
+func (e *memEnv) AllocConn() error                   { return nil }
+func (e *memEnv) FreeConn()                          {}
+func (e *memEnv) Alloc(n int64) error                { return e.heap.Alloc(n) }
+func (e *memEnv) Free(n int64)                       { e.heap.Free(n) }
+
+func (e *memEnv) deliveries(c broker.ConnID) int {
+	n := 0
+	for _, f := range e.sent[c] {
+		if _, ok := f.(wire.Deliver); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// testNet wires members together with synchronous in-memory links.
+type testNet struct {
+	members map[string]*Member
+	envs    map[string]*memEnv
+}
+
+// build creates n brokers in the given mode and links them per the
+// controller's link list (synchronous delivery).
+func build(t *testing.T, mode RoutingMode, links [][2]string, ids ...string) *testNet {
+	t.Helper()
+	tn := &testNet{members: make(map[string]*Member), envs: make(map[string]*memEnv)}
+	for _, id := range ids {
+		env := newMemEnv()
+		tn.envs[id] = env
+		tn.members[id] = NewMember(broker.New(env, broker.DefaultConfig(id)), mode)
+	}
+	for _, l := range links {
+		a, b := tn.members[l[0]], tn.members[l[1]]
+		la, lb := l[0], l[1]
+		a.AddPeer(lb, func(f wire.Frame) { tn.members[lb].OnPeerFrame(la, f) })
+		b.AddPeer(la, func(f wire.Frame) { tn.members[la].OnPeerFrame(lb, f) })
+	}
+	return tn
+}
+
+func openAndSubscribe(t *testing.T, tn *testNet, brokerID string, conn broker.ConnID, topic string) {
+	t.Helper()
+	b := tn.members[brokerID].Broker()
+	if err := b.OnConnOpen(conn); err != nil {
+		t.Fatal(err)
+	}
+	b.OnFrame(conn, wire.Subscribe{SubID: 1, Dest: message.Topic(topic)})
+}
+
+func publish(t *testing.T, tn *testNet, brokerID string, conn broker.ConnID, topic string) {
+	t.Helper()
+	b := tn.members[brokerID].Broker()
+	if err := b.OnConnOpen(conn); err != nil {
+		t.Fatal(err)
+	}
+	m := message.NewText("x")
+	m.Dest = message.Topic(topic)
+	b.OnFrame(conn, wire.Publish{Seq: 1, Msg: m})
+}
+
+func TestBroadcastReachesRemoteSubscriber(t *testing.T) {
+	tn := build(t, RoutingBroadcast, [][2]string{{"b1", "b2"}}, "b1", "b2")
+	openAndSubscribe(t, tn, "b2", 10, "power")
+	publish(t, tn, "b1", 20, "power")
+	if tn.envs["b2"].deliveries(10) != 1 {
+		t.Fatal("remote subscriber did not receive message")
+	}
+}
+
+func TestBroadcastFloodsUninterestedPeers(t *testing.T) {
+	// Star: b1 hub; only b2 subscribes. Broadcast must still push the
+	// message to b3 and b4 (the paper's "unnecessary data flow").
+	links := [][2]string{{"b1", "b2"}, {"b1", "b3"}, {"b1", "b4"}}
+	tn := build(t, RoutingBroadcast, links, "b1", "b2", "b3", "b4")
+	openAndSubscribe(t, tn, "b2", 10, "power")
+	publish(t, tn, "b1", 20, "power")
+	for _, id := range []string{"b2", "b3", "b4"} {
+		_, received, _ := tn.members[id].Stats()
+		if received != 1 {
+			t.Fatalf("broker %s received %d forwards, want 1 (broadcast)", id, received)
+		}
+	}
+	if tn.envs["b2"].deliveries(10) != 1 {
+		t.Fatal("subscriber missed message")
+	}
+}
+
+func TestTreeRoutingPrunes(t *testing.T) {
+	links := [][2]string{{"b1", "b2"}, {"b1", "b3"}, {"b1", "b4"}}
+	tn := build(t, RoutingTree, links, "b1", "b2", "b3", "b4")
+	openAndSubscribe(t, tn, "b2", 10, "power")
+	publish(t, tn, "b1", 20, "power")
+	if tn.envs["b2"].deliveries(10) != 1 {
+		t.Fatal("tree routing lost the message")
+	}
+	for _, id := range []string{"b3", "b4"} {
+		_, received, _ := tn.members[id].Stats()
+		if received != 0 {
+			t.Fatalf("broker %s received %d forwards, want 0 (pruned)", id, received)
+		}
+	}
+	_, _, pruned := tn.members["b1"].Stats()
+	if pruned != 2 {
+		t.Fatalf("hub pruned %d forwards, want 2", pruned)
+	}
+}
+
+func TestTreeRoutingMultiHop(t *testing.T) {
+	// Chain b1-b2-b3: subscriber at b3, publisher at b1. Interest must
+	// propagate through b2 and the message must transit b2.
+	links := [][2]string{{"b1", "b2"}, {"b2", "b3"}}
+	tn := build(t, RoutingTree, links, "b1", "b2", "b3")
+	openAndSubscribe(t, tn, "b3", 10, "power")
+	publish(t, tn, "b1", 20, "power")
+	if tn.envs["b3"].deliveries(10) != 1 {
+		t.Fatal("multi-hop delivery failed")
+	}
+	_, rcvd2, _ := tn.members["b2"].Stats()
+	if rcvd2 != 1 {
+		t.Fatalf("middle broker forwards = %d", rcvd2)
+	}
+}
+
+func TestBroadcastMultiHopNoDuplicates(t *testing.T) {
+	links := [][2]string{{"b1", "b2"}, {"b2", "b3"}}
+	tn := build(t, RoutingBroadcast, links, "b1", "b2", "b3")
+	openAndSubscribe(t, tn, "b3", 10, "power")
+	openAndSubscribe(t, tn, "b1", 11, "power")
+	publish(t, tn, "b2", 20, "power")
+	if tn.envs["b3"].deliveries(10) != 1 || tn.envs["b1"].deliveries(11) != 1 {
+		t.Fatal("flood delivery wrong")
+	}
+	publish(t, tn, "b1", 21, "power")
+	if tn.envs["b3"].deliveries(10) != 2 {
+		t.Fatalf("end-to-end flood count = %d", tn.envs["b3"].deliveries(10))
+	}
+}
+
+func TestInterestWithdrawal(t *testing.T) {
+	links := [][2]string{{"b1", "b2"}}
+	tn := build(t, RoutingTree, links, "b1", "b2")
+	openAndSubscribe(t, tn, "b2", 10, "power")
+	publish(t, tn, "b1", 20, "power")
+	sent1, _, _ := tn.members["b1"].Stats()
+	if sent1 != 1 {
+		t.Fatalf("initial forward count = %d", sent1)
+	}
+	// Drop the subscriber: interest withdraws, next publish is pruned.
+	tn.members["b2"].Broker().OnConnClose(10)
+	m := message.NewText("x")
+	m.Dest = message.Topic("power")
+	tn.members["b1"].Broker().OnFrame(20, wire.Publish{Seq: 2, Msg: m})
+	sent2, _, pruned := tn.members["b1"].Stats()
+	if sent2 != 1 || pruned != 1 {
+		t.Fatalf("after withdrawal: sent=%d pruned=%d", sent2, pruned)
+	}
+}
+
+func TestLateJoinerLearnsInterest(t *testing.T) {
+	// Subscribe first, then add the link: AddPeer must advertise existing
+	// interest so the publisher-side broker forwards.
+	tn := &testNet{members: make(map[string]*Member), envs: make(map[string]*memEnv)}
+	for _, id := range []string{"b1", "b2"} {
+		env := newMemEnv()
+		tn.envs[id] = env
+		tn.members[id] = NewMember(broker.New(env, broker.DefaultConfig(id)), RoutingTree)
+	}
+	openAndSubscribe(t, tn, "b2", 10, "power")
+	a, b := tn.members["b1"], tn.members["b2"]
+	a.AddPeer("b2", func(f wire.Frame) { b.OnPeerFrame("b1", f) })
+	b.AddPeer("b1", func(f wire.Frame) { a.OnPeerFrame("b2", f) })
+	publish(t, tn, "b1", 20, "power")
+	if tn.envs["b2"].deliveries(10) != 1 {
+		t.Fatal("late link did not carry interest")
+	}
+}
+
+func TestQueueForwarding(t *testing.T) {
+	// Tree mode forwards queue messages unpruned (interest tracking is
+	// topic-only), so a remote queue consumer still receives them.
+	links := [][2]string{{"b1", "b2"}}
+	tn := build(t, RoutingTree, links, "b1", "b2")
+	b2 := tn.members["b2"].Broker()
+	if err := b2.OnConnOpen(10); err != nil {
+		t.Fatal(err)
+	}
+	b2.OnFrame(10, wire.Subscribe{SubID: 1, Dest: message.Queue("work")})
+	b1 := tn.members["b1"].Broker()
+	if err := b1.OnConnOpen(20); err != nil {
+		t.Fatal(err)
+	}
+	m := message.NewText("job")
+	m.Dest = message.Queue("work")
+	b1.OnFrame(20, wire.Publish{Seq: 1, Msg: m})
+	if tn.envs["b2"].deliveries(10) != 1 {
+		t.Fatal("queue message not forwarded")
+	}
+}
+
+func TestDuplicatePeerPanics(t *testing.T) {
+	env := newMemEnv()
+	m := NewMember(broker.New(env, broker.DefaultConfig("b1")), RoutingTree)
+	m.AddPeer("x", func(wire.Frame) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate peer did not panic")
+		}
+	}()
+	m.AddPeer("x", func(wire.Frame) {})
+}
+
+func TestModeString(t *testing.T) {
+	if RoutingBroadcast.String() != "broadcast" || RoutingTree.String() != "tree" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestControllerAddressing(t *testing.T) {
+	c := NewController()
+	a1 := c.Register("b1")
+	a2 := c.Register("b2")
+	if a1 == a2 || c.Register("b1") != a1 {
+		t.Fatalf("addresses: %d %d", a1, a2)
+	}
+	if c.Address("b2") != a2 || c.Address("nope") != 0 {
+		t.Fatal("address lookup")
+	}
+	if c.Brokers() != 2 {
+		t.Fatalf("brokers = %d", c.Brokers())
+	}
+}
+
+func TestControllerStarAndRoutes(t *testing.T) {
+	c := NewController()
+	c.StarLinks([]string{"hub", "b2", "b3", "b4"})
+	if err := c.ValidateTree(); err != nil {
+		t.Fatalf("star not a tree: %v", err)
+	}
+	routes := c.Routes()
+	if routes["b2"]["b3"] != 2 || routes["hub"]["b4"] != 1 {
+		t.Fatalf("routes = %v", routes)
+	}
+}
+
+func TestControllerChain(t *testing.T) {
+	c := NewController()
+	c.ChainLinks([]string{"a", "b", "c", "d"})
+	if err := c.ValidateTree(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Routes()["a"]["d"] != 3 {
+		t.Fatalf("chain distance = %d", c.Routes()["a"]["d"])
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	c := NewController()
+	c.Register("a")
+	c.Register("b")
+	c.Register("c")
+	c.AddLink("a", "b")
+	if err := c.ValidateTree(); err == nil {
+		t.Fatal("disconnected graph validated as tree")
+	}
+	c.AddLink("b", "c")
+	if err := c.ValidateTree(); err != nil {
+		t.Fatal(err)
+	}
+	c.AddLink("a", "c")
+	if err := c.ValidateTree(); err == nil {
+		t.Fatal("cycle validated as tree")
+	}
+}
+
+func TestControllerBadLinksPanic(t *testing.T) {
+	c := NewController()
+	c.Register("a")
+	c.Register("b")
+	c.AddLink("a", "b")
+	for _, fn := range []func(){
+		func() { c.AddLink("a", "a") },
+		func() { c.AddLink("a", "b") },
+		func() { c.AddLink("b", "a") },
+		func() { c.AddLink("a", "zz") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad link did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

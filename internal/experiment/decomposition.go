@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/gridgen"
+	"gridmon/internal/message"
+	"gridmon/internal/metrics"
+	"gridmon/internal/rgma"
+	"gridmon/internal/sim"
+	"gridmon/internal/simbroker"
+	"gridmon/internal/simnet"
+	"gridmon/internal/wire"
+)
+
+// DecompResults carries the fig. 15 phase measurements for both systems.
+type DecompResults struct {
+	Narada metrics.Decomposition
+	RGMA   metrics.Decomposition
+}
+
+// Fig15 reproduces the RTT decomposition: RTT = PRT + PT + SRT, measured
+// for NaradaBrokering and R-GMA at 400 connections. The defining result
+// is that R-GMA's publishing and subscribing response times are short but
+// its middleware process time is seconds long, while all three Narada
+// phases are milliseconds.
+func Fig15(scale Scale) (Table, DecompResults) {
+	var res DecompResults
+	res.Narada = naradaDecomposition(scale)
+	res.RGMA = rgmaDecomposition(scale)
+
+	t := Table{
+		Title:  "Fig. 15 — RTT decomposition: cumulative time at each phase boundary (ms)",
+		Header: []string{"system", "before_sending", "after_sending", "before_receiving", "after_receiving"},
+		Notes: []string{
+			"PRT = before_sending..after_sending, PT = after_sending..before_receiving, SRT = before_receiving..after_receiving",
+		},
+	}
+	for _, row := range []struct {
+		name string
+		d    *metrics.Decomposition
+	}{{"RGMA", &res.RGMA}, {"Narada", &res.Narada}} {
+		tl := row.d.Timeline()
+		t.Rows = append(t.Rows, []string{row.name, f2(tl[0]), f2(tl[1]), f2(tl[2]), f2(tl[3])})
+	}
+	return t, res
+}
+
+// naradaDecomposition runs 400 TCP generators with per-message publish
+// acknowledgement tracking.
+func naradaDecomposition(scale Scale) metrics.Decomposition {
+	k := sim.New(901)
+	net := simnet.New(k)
+	host := simbroker.NewHost(net, net.AddNode("broker", simnet.HydraNode()), broker.DefaultConfig("broker"), simbroker.DefaultCosts())
+	clientNode := net.AddNode("client1", simnet.HydraNode())
+
+	sentAt := make(map[string]sim.Time)
+	ackAt := make(map[string]sim.Time)
+	var decomp metrics.Decomposition
+	costs := simbroker.DefaultCosts()
+
+	mon, err := gridgen.StartMonitor(k, gridgen.MonitorConfig{
+		Host: host, Node: clientNode, Transport: simbroker.TCP(), Topics: []string{"power"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	mon.OnMessage = func(d wire.Deliver, at sim.Time) {
+		sent, okS := sentAt[d.Msg.ID]
+		ack, okA := ackAt[d.Msg.ID]
+		if !okS || !okA {
+			return
+		}
+		// The client's deserialization/dispatch cost approximates the
+		// subscribing response time; the remainder after PRT is
+		// middleware process time.
+		srt := float64(costs.DeliverRecvCost(d.Msg, simbroker.TCP())) / float64(sim.Millisecond)
+		prt := float64(ack-sent) / float64(sim.Millisecond)
+		rtt := float64(at-sent) / float64(sim.Millisecond)
+		pt := rtt - prt - srt
+		if pt < 0 {
+			pt = 0
+		}
+		decomp.AddPhases(prt, pt, srt)
+		delete(sentAt, d.Msg.ID)
+		delete(ackAt, d.Msg.ID)
+	}
+
+	const gens = 400
+	for g := 0; g < gens; g++ {
+		g := g
+		k.At(sim.Time(g)*500*sim.Millisecond, func() {
+			client, err := host.Connect(clientNode, simbroker.TCP(), fmt.Sprintf("gen-%d", g))
+			if err != nil {
+				return
+			}
+			pending := make(map[int64]string)
+			client.OnPubAck = func(seq int64) {
+				if id, ok := pending[seq]; ok {
+					ackAt[id] = k.Now()
+					delete(pending, seq)
+				}
+			}
+			warm := 10*sim.Second + sim.Time(k.Rand().Int63n(int64(10*sim.Second)))
+			count := 0
+			var tick *sim.Ticker
+			tick = k.Every(k.Now()+warm, 10*sim.Second, func() {
+				if count >= scale.PublishCount {
+					tick.Stop()
+					return
+				}
+				count++
+				m := gridgen.MonitoringMessage(g, int64(count))
+				m.Dest = message.Topic("power")
+				seq := client.Publish(m)
+				sentAt[m.ID] = sim.Time(m.Timestamp)
+				pending[seq] = m.ID
+			})
+		})
+	}
+	k.RunUntil(sim.Time(gens)*500*sim.Millisecond + 20*sim.Second + sim.Time(scale.PublishCount+2)*10*sim.Second)
+	return decomp
+}
+
+// rgmaDecomposition runs 400 producers on a single R-GMA server with
+// insert-acknowledgement and stream-arrival tracking.
+func rgmaDecomposition(scale Scale) metrics.Decomposition {
+	k := sim.New(902)
+	net := simnet.New(k)
+	server := net.AddNode("server", simnet.HydraNode())
+	clientNode := net.AddNode("client1", simnet.HydraNode())
+	dep := rgma.NewDeployment(net, server, rgma.DefaultCosts())
+	dep.CreateTable(rgma.MonitoringTable())
+	psvc := dep.AddProducerService(server)
+	csvc := dep.AddConsumerService(server)
+
+	type key struct {
+		gen int64
+		seq int64
+	}
+	sentAt := make(map[key]sim.Time)
+	ackAt := make(map[key]sim.Time)
+	var decomp metrics.Decomposition
+
+	cons, err := dep.CreateConsumer(clientNode, csvc, "SELECT * FROM generator", rgma.ContinuousQuery, rgma.PrimaryKind)
+	if err != nil {
+		panic(err)
+	}
+	sub := rgma.StartSubscriber(cons)
+	sub.OnTuple = func(t rgma.StreamedTuple, at sim.Time) {
+		g, _ := t.Row[0].Int, error(nil)
+		s := t.Row[1].Int
+		kk := key{gen: g, seq: s}
+		sent, okS := sentAt[kk]
+		ack, okA := ackAt[kk]
+		if !okS || !okA {
+			return
+		}
+		prt := float64(ack-sent) / float64(sim.Millisecond)
+		pt := float64(t.StreamedAt-ack) / float64(sim.Millisecond)
+		if pt < 0 {
+			pt = 0
+		}
+		srt := float64(at-t.StreamedAt) / float64(sim.Millisecond)
+		decomp.AddPhases(prt, pt, srt)
+		delete(sentAt, kk)
+		delete(ackAt, kk)
+	}
+
+	const gens = 400
+	for g := 0; g < gens; g++ {
+		g := g
+		k.At(sim.Time(g)*sim.Second, func() {
+			pp, err := dep.CreatePrimaryProducer(clientNode, psvc, "generator", 30*sim.Second, sim.Minute)
+			if err != nil {
+				return
+			}
+			seqToKey := make(map[int64]key)
+			pp.OnInsertAck = func(seq int64, at sim.Time) {
+				if kk, ok := seqToKey[seq]; ok {
+					ackAt[kk] = at
+					delete(seqToKey, seq)
+				}
+			}
+			warm := 10*sim.Second + sim.Time(k.Rand().Int63n(int64(10*sim.Second)))
+			count := 0
+			var tick *sim.Ticker
+			tick = k.Every(k.Now()+warm, 10*sim.Second, func() {
+				if count >= scale.PublishCount {
+					tick.Stop()
+					return
+				}
+				count++
+				kk := key{gen: int64(g), seq: int64(count)}
+				sentAt[kk] = k.Now()
+				seq := pp.Insert(rgma.MonitoringRow(g, int64(count)))
+				seqToKey[seq] = kk
+			})
+		})
+	}
+	k.RunUntil(sim.Time(gens)*sim.Second + 20*sim.Second + sim.Time(scale.PublishCount+2)*10*sim.Second + 2*sim.Minute)
+	return decomp
+}

@@ -1,0 +1,356 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gridmon/internal/simbroker"
+)
+
+func tcpT() simbroker.Transport { return simbroker.TCP() }
+
+// The experiment tests assert the paper's qualitative findings — who
+// wins, by roughly what factor, where the cliffs fall — at Quick scale.
+// Absolute numbers are asserted only as broad bands.
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"T\n", "a", "bb", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}},
+	}
+	csvOut := tab.CSV()
+	if !strings.Contains(csvOut, "a,b\n") || !strings.Contains(csvOut, `"x,y"`) {
+		t.Fatalf("CSV = %q", csvOut)
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	cfg := NaradaConfig{Label: "d", Connections: 300, Transport: tcpT(), Scale: Quick(), Seed: 77}
+	a, b := RunNarada(cfg), RunNarada(cfg)
+	if a.RTT.Mean() != b.RTT.Mean() || a.RTT.Stddev() != b.RTT.Stddev() || a.Loss != b.Loss {
+		t.Fatalf("Narada runs differ: %v vs %v", a.RTT.Mean(), b.RTT.Mean())
+	}
+	rcfg := RGMAConfig{Label: "d", Connections: 80, Scale: Quick(), Seed: 78}
+	ra, rb := RunRGMA(rcfg), RunRGMA(rcfg)
+	if ra.RTT.Mean() != rb.RTT.Mean() || ra.Loss != rb.Loss {
+		t.Fatalf("RGMA runs differ: %v vs %v", ra.RTT.Mean(), rb.RTT.Mean())
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1, t2 := Table1(), Table2()
+	if len(t1.Rows) < 5 || len(t2.Rows) != 6 {
+		t.Fatalf("static tables wrong: %d, %d", len(t1.Rows), len(t2.Rows))
+	}
+	if !strings.Contains(t2.Render(), "Triple") {
+		t.Fatal("table II missing Triple test")
+	}
+}
+
+func TestScaleSpawnInterval(t *testing.T) {
+	if Full().spawnInterval(simMillis(500)) != simMillis(500) {
+		t.Fatal("full scale must keep the paper's spawn interval")
+	}
+	q := Quick().spawnInterval(simMillis(500))
+	if q >= simMillis(500) || q <= 0 {
+		t.Fatalf("quick spawn interval = %v", q)
+	}
+	if (Scale{PublishCount: 1}).spawnInterval(simMillis(500)) != simMillis(500) {
+		t.Fatal("zero SpawnFactor should default to 1.0")
+	}
+}
+
+func TestFig3And4Shapes(t *testing.T) {
+	_, _, results := Fig3And4(Quick())
+	byLabel := map[string]NaradaResult{}
+	for _, r := range results {
+		byLabel[r.Label] = r
+	}
+	tcp, nio, udp, udpCli := byLabel["TCP"], byLabel["NIO"], byLabel["UDP"], byLabel["UDP CLI"]
+	triple, eighty := byLabel["Triple"], byLabel["80"]
+
+	// Paper finding 1: TCP is fastest among the 800-connection tests;
+	// UDP is paradoxically slow.
+	if !(tcp.RTT.Mean() < nio.RTT.Mean() && nio.RTT.Mean() < udp.RTT.Mean()) {
+		t.Fatalf("transport ordering: tcp=%.2f nio=%.2f udp=%.2f", tcp.RTT.Mean(), nio.RTT.Mean(), udp.RTT.Mean())
+	}
+	// Triple payload slows TCP down ("Narada is good at small sized
+	// messages").
+	if triple.RTT.Mean() < 1.5*tcp.RTT.Mean() {
+		t.Fatalf("triple %.2f not clearly above tcp %.2f", triple.RTT.Mean(), tcp.RTT.Mean())
+	}
+	// Fewer connections at higher rate is at least as fast as 800.
+	if eighty.RTT.Mean() > tcp.RTT.Mean() {
+		t.Fatalf("80-connection test %.2f above TCP %.2f", eighty.RTT.Mean(), tcp.RTT.Mean())
+	}
+	// Loss: only the UDP tests lose messages, fractions of a percent.
+	for _, r := range []NaradaResult{tcp, nio, triple, eighty} {
+		if r.Loss.Rate() != 0 {
+			t.Fatalf("%s lost messages: %v", r.Label, r.Loss)
+		}
+	}
+	for _, r := range []NaradaResult{udp, udpCli} {
+		lp := r.Loss.RatePercent()
+		if lp <= 0 || lp > 0.5 {
+			t.Fatalf("%s loss%% = %.3f, want (0, 0.5]", r.Label, lp)
+		}
+	}
+	// UDP CLI loses less than UDP (paper: 0.03% vs 0.06%).
+	if udpCli.Loss.Rate() >= udp.Loss.Rate() {
+		t.Fatalf("UDP CLI loss %.4f not below UDP %.4f", udpCli.Loss.RatePercent(), udp.Loss.RatePercent())
+	}
+	// Percentile tails: UDP's retransmissions push its high percentiles
+	// far above TCP's.
+	if udp.RTT.Percentile(99) < 5*tcp.RTT.Percentile(99) {
+		t.Fatalf("UDP P99 %.1f not >> TCP P99 %.1f", udp.RTT.Percentile(99), tcp.RTT.Percentile(99))
+	}
+}
+
+func TestNaradaScaleShapes(t *testing.T) {
+	r := RunNaradaScale(Quick())
+	// RTT grows smoothly with connections (fig. 7).
+	for i := 1; i < len(r.Single); i++ {
+		if r.Single[i].RTT.Mean() <= r.Single[i-1].RTT.Mean() {
+			t.Fatalf("single RTT not increasing: %v -> %v at %d conns",
+				r.Single[i-1].RTT.Mean(), r.Single[i].RTT.Mean(), r.Single[i].Connections)
+		}
+	}
+	// CPU idle falls and memory grows with connections (fig. 6).
+	for i := 1; i < len(r.Single); i++ {
+		if r.Single[i].CPUIdlePct >= r.Single[i-1].CPUIdlePct {
+			t.Fatal("single CPU idle not decreasing")
+		}
+		if r.Single[i].MemMB <= r.Single[i-1].MemMB {
+			t.Fatal("single memory not increasing")
+		}
+	}
+	// Paper: 99.8% of messages arrived within 100 ms.
+	for _, s := range r.Single {
+		if p99 := s.RTT.Percentile(99); p99 > 100 {
+			t.Fatalf("P99 at %d conns = %.1f ms, paper says within 100 ms", s.Connections, p99)
+		}
+	}
+	// The DBN is slower than the single broker at equal load (fig. 7's
+	// "disappointing" RTT2 > RTT) but accepts 4000 connections.
+	single2000 := r.Single[2]
+	var dbn2000, dbn4000 NaradaResult
+	for _, d := range r.DBN {
+		if d.Connections == 2000 {
+			dbn2000 = d
+		}
+		if d.Connections == 4000 {
+			dbn4000 = d
+		}
+	}
+	if dbn2000.RTT.Mean() <= single2000.RTT.Mean() {
+		t.Fatalf("DBN RTT %.2f not above single %.2f at 2000 conns", dbn2000.RTT.Mean(), single2000.RTT.Mean())
+	}
+	if dbn4000.Refused != 0 {
+		t.Fatalf("DBN refused %d connections at 4000", dbn4000.Refused)
+	}
+	if dbn4000.Loss.Rate() != 0 {
+		t.Fatalf("DBN lost messages: %+v", dbn4000.Loss)
+	}
+}
+
+func TestRGMAScaleShapes(t *testing.T) {
+	r := RunRGMAScale(Quick())
+	// R-GMA RTT is orders of magnitude above Narada's (seconds, not
+	// milliseconds) and grows with connections.
+	for i, s := range r.Single {
+		if s.RTT.Mean() < 200 {
+			t.Fatalf("single RTT at %d conns = %.0f ms, implausibly fast for R-GMA", s.Connections, s.RTT.Mean())
+		}
+		if i > 0 && s.RTT.Mean() <= r.Single[i-1].RTT.Mean() {
+			t.Fatal("single R-GMA RTT not increasing")
+		}
+		if s.Loss.Rate() != 0 {
+			t.Fatalf("warmed-up R-GMA run lost data: %+v", s.Loss)
+		}
+	}
+	// Distributed beats single at the same load and scales to 1000.
+	var single400, dist400, dist1000 RGMAResult
+	for _, s := range r.Single {
+		if s.Connections == 400 {
+			single400 = s
+		}
+	}
+	for _, d := range r.Distributed {
+		if d.Connections == 400 {
+			dist400 = d
+		}
+		if d.Connections == 1000 {
+			dist1000 = d
+		}
+	}
+	if dist400.RTT.Mean() >= single400.RTT.Mean() {
+		t.Fatalf("distributed %.0f ms not below single %.0f ms at 400 conns", dist400.RTT.Mean(), single400.RTT.Mean())
+	}
+	if dist1000.Refused != 0 {
+		t.Fatalf("distributed refused %d at 1000 conns", dist1000.Refused)
+	}
+	// CPU: distributed idles more per node than the single server
+	// (fig. 13); memory per node is lower.
+	if dist400.CPUIdlePct <= single400.CPUIdlePct {
+		t.Fatal("distributed CPU idle not above single")
+	}
+	if dist400.MemMB >= single400.MemMB {
+		t.Fatal("distributed per-node memory not below single")
+	}
+}
+
+func TestFig10SecondaryDelays(t *testing.T) {
+	_, results := Fig10(Quick())
+	for _, r := range results {
+		// All percentiles sit near the deliberate 30 s delay, up to the
+		// paper's ~35 s.
+		p95 := r.RTT.Percentile(95) / 1000
+		p100 := r.RTT.Percentile(100) / 1000
+		if p95 < 30 || p100 > 45 {
+			t.Fatalf("%d conns: secondary percentiles [%.1f, %.1f] s outside 30-45 s band", r.Connections, p95, p100)
+		}
+		if r.Loss.Rate() != 0 {
+			t.Fatalf("secondary chain lost data: %+v", r.Loss)
+		}
+	}
+}
+
+func TestFig15Decomposition(t *testing.T) {
+	_, res := Fig15(Quick())
+	// R-GMA: publishing and subscribing response times short, process
+	// time very long.
+	if res.RGMA.PT.Mean() < 10*res.RGMA.PRT.Mean() || res.RGMA.PT.Mean() < 10*res.RGMA.SRT.Mean() {
+		t.Fatalf("R-GMA PT %.0f not dominating PRT %.1f / SRT %.1f",
+			res.RGMA.PT.Mean(), res.RGMA.PRT.Mean(), res.RGMA.SRT.Mean())
+	}
+	if res.RGMA.PT.Mean() < 300 {
+		t.Fatalf("R-GMA PT %.0f ms too small", res.RGMA.PT.Mean())
+	}
+	// Narada: all three phases are very short (milliseconds).
+	if total := res.Narada.MeanRTT(); total > 50 {
+		t.Fatalf("Narada total %.1f ms, want milliseconds", total)
+	}
+	// R-GMA's middleware time exceeds Narada's whole round trip by
+	// orders of magnitude.
+	if res.RGMA.PT.Mean() < 20*res.Narada.MeanRTT() {
+		t.Fatal("R-GMA PT does not dwarf Narada RTT")
+	}
+}
+
+func TestWarmupLossShape(t *testing.T) {
+	_, results := WarmupLoss(Quick())
+	with, without := results[0], results[1]
+	if with.Loss.Rate() != 0 {
+		t.Fatalf("warm-up run lost data: %+v", with.Loss)
+	}
+	if without.Loss.Rate() == 0 {
+		t.Fatal("no-warm-up run lost nothing")
+	}
+	if without.Loss.RatePercent() > 5 {
+		t.Fatalf("no-warm-up loss %.2f%% implausibly high", without.Loss.RatePercent())
+	}
+}
+
+func TestOOMCliffShapes(t *testing.T) {
+	_, narada, rgmaRes := OOMCliffs(Quick())
+	if narada.Refused == 0 {
+		t.Fatal("single Narada broker accepted 4000 connections")
+	}
+	if accepted := 4000 - narada.Refused; accepted < 3000 || accepted > 3950 {
+		t.Fatalf("Narada accepted %d, want a cliff between 3000 and 4000", accepted)
+	}
+	if rgmaRes.Refused == 0 {
+		t.Fatal("single R-GMA server accepted 900 producers")
+	}
+	if accepted := 900 - rgmaRes.Refused; accepted < 700 || accepted > 850 {
+		t.Fatalf("R-GMA accepted %d, want a cliff near 800", accepted)
+	}
+}
+
+func TestAblationRoutingShape(t *testing.T) {
+	_, results := AblationRouting(Quick())
+	broadcast, tree := results[0], results[1]
+	// Tree routing fixes the broadcast deficiency: lower RTT and more
+	// idle CPU at the same load.
+	if tree.RTT.Mean() >= broadcast.RTT.Mean() {
+		t.Fatalf("tree RTT %.2f not below broadcast %.2f", tree.RTT.Mean(), broadcast.RTT.Mean())
+	}
+	if tree.CPUIdlePct <= broadcast.CPUIdlePct {
+		t.Fatalf("tree idle %.1f not above broadcast %.1f", tree.CPUIdlePct, broadcast.CPUIdlePct)
+	}
+	if tree.Loss.Rate() != 0 || broadcast.Loss.Rate() != 0 {
+		t.Fatal("routing ablation lost messages")
+	}
+}
+
+func TestAblationAggregationShape(t *testing.T) {
+	_, results := AblationAggregation(Quick())
+	single, agg := results[0], results[1]
+	// Message quantity dominates (RMM): five-fold aggregation leaves the
+	// broker more idle even though the data volume is the same.
+	if agg.CPUIdlePct <= single.CPUIdlePct {
+		t.Fatalf("aggregated idle %.1f not above per-sample idle %.1f", agg.CPUIdlePct, single.CPUIdlePct)
+	}
+	if agg.Loss.Sent >= single.Loss.Sent {
+		t.Fatal("aggregation did not reduce message count")
+	}
+}
+
+func TestAblationAckModeRuns(t *testing.T) {
+	_, results := AblationAckMode(Quick())
+	for _, r := range results {
+		if r.Loss.Rate() != 0 {
+			t.Fatalf("%s lost messages over TCP", r.Label)
+		}
+		if r.RTT.Count() == 0 {
+			t.Fatalf("%s produced no samples", r.Label)
+		}
+	}
+}
+
+func TestAblationPollIntervalShape(t *testing.T) {
+	_, results := AblationPollInterval(Quick())
+	// Longer poll intervals add latency: 10 ms < 100 ms < 1000 ms.
+	if !(results[0].RTT.Mean() < results[1].RTT.Mean() && results[1].RTT.Mean() < results[2].RTT.Mean()) {
+		t.Fatalf("poll ordering violated: %.0f, %.0f, %.0f",
+			results[0].RTT.Mean(), results[1].RTT.Mean(), results[2].RTT.Mean())
+	}
+}
+
+func TestTable3Derivation(t *testing.T) {
+	narada := RunNarada(NaradaConfig{Label: "n", Connections: 200, Transport: tcpT(), Scale: Quick(), Seed: 1})
+	dbn := RunNarada(NaradaConfig{Label: "d", Connections: 200, Transport: tcpT(), Scale: Quick(), DBN: true, Seed: 2})
+	rs := RunRGMA(RGMAConfig{Label: "r", Connections: 100, Scale: Quick(), Seed: 3})
+	rd := RunRGMA(RGMAConfig{Label: "rd", Connections: 100, Distributed: true, Scale: Quick(), Seed: 4})
+	tab := Table3(narada, dbn, rs, rd)
+	out := tab.Render()
+	// Narada: very good real-time; R-GMA: average real-time but very
+	// good scalability (TABLE III).
+	if !strings.Contains(out, "Narada") || !strings.Contains(out, "R-GMA") {
+		t.Fatalf("table 3 missing rows:\n%s", out)
+	}
+	if tab.Rows[1][1] != "Very good" {
+		t.Fatalf("Narada real-time rating = %q", tab.Rows[1][1])
+	}
+	if tab.Rows[0][1] != "Average" {
+		t.Fatalf("R-GMA real-time rating = %q", tab.Rows[0][1])
+	}
+	if tab.Rows[0][3] != "Very good" {
+		t.Fatalf("R-GMA scalability rating = %q", tab.Rows[0][3])
+	}
+}

@@ -1,0 +1,466 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gridmon/internal/brokernet"
+	"gridmon/internal/message"
+	"gridmon/internal/metrics"
+	"gridmon/internal/simbroker"
+)
+
+// Table1 reproduces TABLE I: hardware specifications and software
+// versions — here, the simulation model standing in for each component.
+func Table1() Table {
+	return Table{
+		Title:  "TABLE I — testbed model (paper hardware -> simulation substitute)",
+		Header: []string{"component", "paper", "this reproduction"},
+		Rows: [][]string{
+			{"CPU", "Pentium III 866 MHz", "serial CPU model, calibrated service costs"},
+			{"memory", "2 GB RAM, 1 GB JVM heap", "1 GiB heap + 960 MiB native thread budget"},
+			{"network", "100 Mbps switched LAN, 7-8 MB/s", "100 Mbps per-NIC serialization + 100-150 us latency"},
+			{"OS/JVM", "Sci Linux 2.4.21, Hotspot 1.4.2", "discrete-event kernel, GC-pressure cost model"},
+			{"middleware", "NaradaBrokering v1.1.3", "internal/broker + internal/brokernet"},
+			{"middleware", "R-GMA gLite 3.0, Tomcat 5.0.28", "internal/rgma + internal/sqlmini"},
+		},
+	}
+}
+
+// Table2 reproduces TABLE II: the comparison test settings.
+func Table2() Table {
+	return Table{
+		Title:  "TABLE II — comparison test settings",
+		Header: []string{"test", "transport", "ack mode", "comment"},
+		Rows: [][]string{
+			{"Test1 (UDP)", "UDP", "AUTO", ""},
+			{"Test2 (UDP CLI)", "UDP", "CLIENT", ""},
+			{"Test3 (NIO)", "NIO", "AUTO", ""},
+			{"Test4 (TCP)", "TCP", "AUTO", ""},
+			{"Test5 (Triple)", "TCP", "AUTO", "triple payload, 1/3 rate"},
+			{"Test6 (80)", "TCP", "AUTO", "80 connections, 10x rate"},
+		},
+	}
+}
+
+// comparisonConfigs builds the six runs of TABLE II at 800 generators.
+func comparisonConfigs(scale Scale) []NaradaConfig {
+	return []NaradaConfig{
+		{Label: "UDP", Connections: 800, Transport: simbroker.UDP(), Scale: scale, Seed: 11},
+		{Label: "UDP CLI", Connections: 800, Transport: simbroker.UDPClientAck(), AckMode: message.ClientAck, Scale: scale, Seed: 12},
+		{Label: "NIO", Connections: 800, Transport: simbroker.NIO(), Scale: scale, Seed: 13},
+		{Label: "TCP", Connections: 800, Transport: simbroker.TCP(), Scale: scale, Seed: 14},
+		{Label: "Triple", Connections: 800, Transport: simbroker.TCP(), PayloadTriple: true, Scale: scale, Seed: 15},
+		{Label: "80", Connections: 80, Transport: simbroker.TCP(), RateFactor: 10, Scale: scale, Seed: 16},
+	}
+}
+
+// Fig3And4 reproduces fig. 3 (RTT + STDDEV per transport) and fig. 4
+// (percentile of RTT), including the §III.E.1 loss rates.
+func Fig3And4(scale Scale) (fig3, fig4 Table, results []NaradaResult) {
+	for _, cfg := range comparisonConfigs(scale) {
+		results = append(results, RunNarada(cfg))
+	}
+	fig3 = Table{
+		Title:  "Fig. 3 — Narada comparison tests: RTT and standard deviation (ms)",
+		Header: []string{"test", "RTT", "STDDEV", "loss%", "sent", "received"},
+	}
+	for _, r := range results {
+		fig3.Rows = append(fig3.Rows, []string{
+			r.Label, f2(r.RTT.Mean()), f2(r.RTT.Stddev()), f3(r.Loss.RatePercent()),
+			fmt.Sprintf("%d", r.Loss.Sent), fmt.Sprintf("%d", r.Loss.Received),
+		})
+	}
+	fig4 = Table{
+		Title:  "Fig. 4 — Narada comparison tests: percentile of RTT (ms)",
+		Header: []string{"test", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, r := range results {
+		fig4.Rows = append(fig4.Rows, pctRow(r.Label, r.RTT))
+	}
+	return fig3, fig4, results
+}
+
+// NaradaScaleResults runs the fig. 6/7/8/9 sweep: single broker at
+// 500-3000 connections and the 3-broker DBN at 2000-4000.
+type NaradaScaleResults struct {
+	Single []NaradaResult
+	DBN    []NaradaResult
+}
+
+// RunNaradaScale executes the scalability sweep once; fig. 6, 7, 8 and 9
+// are different views of the same runs.
+func RunNaradaScale(scale Scale) NaradaScaleResults {
+	var out NaradaScaleResults
+	for _, n := range []int{500, 1000, 2000, 3000} {
+		out.Single = append(out.Single, RunNarada(NaradaConfig{
+			Label: "single", Connections: n, Transport: simbroker.TCP(), Scale: scale, Seed: int64(100 + n),
+		}))
+	}
+	for _, n := range []int{2000, 3000, 4000} {
+		out.DBN = append(out.DBN, RunNarada(NaradaConfig{
+			Label: "DBN", Connections: n, Transport: simbroker.TCP(), Scale: scale,
+			DBN: true, Routing: brokernet.RoutingBroadcast, Seed: int64(200 + n),
+		}))
+	}
+	return out
+}
+
+// Fig6 renders CPU idle and memory consumption vs connections.
+func Fig6(r NaradaScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 6 — Narada tests: CPU idle (%) and memory consumption (MB)",
+		Header: []string{"connections", "CPU idle (single)", "MEM MB (single)", "CPU idle (DBN)", "MEM MB (DBN)"},
+		Notes:  []string{"DBN values are per-broker means across the 3-broker chain"},
+	}
+	byConn := map[int][]string{}
+	order := []int{}
+	for _, s := range r.Single {
+		byConn[s.Connections] = []string{d0(s.Connections), f1(s.CPUIdlePct), f1(s.MemMB), "-", "-"}
+		order = append(order, s.Connections)
+	}
+	for _, d := range r.DBN {
+		row, ok := byConn[d.Connections]
+		if !ok {
+			row = []string{d0(d.Connections), "-", "-", "-", "-"}
+			order = append(order, d.Connections)
+		}
+		row[3] = f1(d.CPUIdlePct)
+		row[4] = f1(d.MemMB)
+		byConn[d.Connections] = row
+	}
+	for _, c := range order {
+		t.Rows = append(t.Rows, byConn[c])
+	}
+	return t
+}
+
+// Fig7 renders RTT and STDDEV vs connections, single vs DBN.
+func Fig7(r NaradaScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 7 — Narada tests: round-trip time and standard deviation (ms)",
+		Header: []string{"connections", "RTT (single)", "STDDEV (single)", "RTT2 (DBN)", "STDDEV2 (DBN)"},
+	}
+	byConn := map[int][]string{}
+	order := []int{}
+	for _, s := range r.Single {
+		byConn[s.Connections] = []string{d0(s.Connections), f2(s.RTT.Mean()), f2(s.RTT.Stddev()), "-", "-"}
+		order = append(order, s.Connections)
+	}
+	for _, d := range r.DBN {
+		row, ok := byConn[d.Connections]
+		if !ok {
+			row = []string{d0(d.Connections), "-", "-", "-", "-"}
+			order = append(order, d.Connections)
+		}
+		row[3] = f2(d.RTT.Mean())
+		row[4] = f2(d.RTT.Stddev())
+		byConn[d.Connections] = row
+	}
+	for _, c := range order {
+		t.Rows = append(t.Rows, byConn[c])
+	}
+	return t
+}
+
+// Fig8 renders single-broker RTT percentiles.
+func Fig8(r NaradaScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 8 — Narada single server tests: percentile of RTT (ms)",
+		Header: []string{"connections", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, s := range r.Single {
+		t.Rows = append(t.Rows, pctRow(d0(s.Connections), s.RTT))
+	}
+	return t
+}
+
+// Fig9 renders DBN RTT percentiles.
+func Fig9(r NaradaScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 9 — Narada DBN tests: percentile of RTT (ms)",
+		Header: []string{"connections", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, d := range r.DBN {
+		t.Rows = append(t.Rows, pctRow(d0(d.Connections), d.RTT))
+	}
+	return t
+}
+
+// Fig10 reproduces the Primary + Secondary Producer tests: percentiles of
+// RTT through the deliberate ~30 s secondary delay, in seconds.
+func Fig10(scale Scale) (Table, []RGMAResult) {
+	var results []RGMAResult
+	for _, n := range []int{50, 100, 200} {
+		results = append(results, RunRGMA(RGMAConfig{
+			Label: "PP+SP", Connections: n, Secondary: true, Scale: scale, Seed: int64(300 + n),
+		}))
+	}
+	t := Table{
+		Title:  "Fig. 10 — R-GMA Primary and Secondary Producer tests: percentile of RTT (s)",
+		Header: []string{"connections", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, r := range results {
+		row := []string{d0(r.Connections)}
+		for _, p := range r.RTT.Percentiles(metrics.PaperPercentiles...) {
+			row = append(row, f1(p/1000)) // ms -> s, the paper's fig 10 axis
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, results
+}
+
+// RGMAScaleResults is the fig. 11-14 sweep.
+type RGMAScaleResults struct {
+	Single      []RGMAResult
+	Distributed []RGMAResult
+}
+
+// RunRGMAScale executes the R-GMA scalability sweep: single server at
+// 100-600 connections, distributed deployment at 400-1000.
+func RunRGMAScale(scale Scale) RGMAScaleResults {
+	var out RGMAScaleResults
+	for _, n := range []int{100, 200, 400, 600} {
+		out.Single = append(out.Single, RunRGMA(RGMAConfig{
+			Label: "single", Connections: n, Scale: scale, Seed: int64(400 + n),
+		}))
+	}
+	for _, n := range []int{400, 600, 800, 1000} {
+		out.Distributed = append(out.Distributed, RunRGMA(RGMAConfig{
+			Label: "distributed", Connections: n, Distributed: true, Scale: scale, Seed: int64(500 + n),
+		}))
+	}
+	return out
+}
+
+// Fig11 renders R-GMA RTT and STDDEV vs connections, single vs
+// distributed.
+func Fig11(r RGMAScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 11 — R-GMA Primary Producer and Consumer tests: RTT and STDDEV (ms)",
+		Header: []string{"connections", "RTT (single)", "STDDEV (single)", "RTT2 (dist)", "STDDEV2 (dist)"},
+	}
+	byConn := map[int][]string{}
+	order := []int{}
+	for _, s := range r.Single {
+		byConn[s.Connections] = []string{d0(s.Connections), f1(s.RTT.Mean()), f1(s.RTT.Stddev()), "-", "-"}
+		order = append(order, s.Connections)
+	}
+	for _, d := range r.Distributed {
+		row, ok := byConn[d.Connections]
+		if !ok {
+			row = []string{d0(d.Connections), "-", "-", "-", "-"}
+			order = append(order, d.Connections)
+		}
+		row[3] = f1(d.RTT.Mean())
+		row[4] = f1(d.RTT.Stddev())
+		byConn[d.Connections] = row
+	}
+	for _, c := range order {
+		t.Rows = append(t.Rows, byConn[c])
+	}
+	return t
+}
+
+// Fig12 renders single-server R-GMA percentiles.
+func Fig12(r RGMAScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 12 — R-GMA single server tests: percentile of RTT (ms)",
+		Header: []string{"connections", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, s := range r.Single {
+		t.Rows = append(t.Rows, pctRow(d0(s.Connections), s.RTT))
+	}
+	return t
+}
+
+// Fig13 renders R-GMA CPU idle and memory.
+func Fig13(r RGMAScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 13 — R-GMA Consumer tests: CPU idle (%) and memory consumption (MB)",
+		Header: []string{"connections", "CPU idle (single)", "MEM MB (single)", "CPU idle (dist)", "MEM MB (dist)"},
+		Notes:  []string{"distributed values are per-node means across the 4 service nodes"},
+	}
+	byConn := map[int][]string{}
+	order := []int{}
+	for _, s := range r.Single {
+		byConn[s.Connections] = []string{d0(s.Connections), f1(s.CPUIdlePct), f1(s.MemMB), "-", "-"}
+		order = append(order, s.Connections)
+	}
+	for _, d := range r.Distributed {
+		row, ok := byConn[d.Connections]
+		if !ok {
+			row = []string{d0(d.Connections), "-", "-", "-", "-"}
+			order = append(order, d.Connections)
+		}
+		row[3] = f1(d.CPUIdlePct)
+		row[4] = f1(d.MemMB)
+		byConn[d.Connections] = row
+	}
+	for _, c := range order {
+		t.Rows = append(t.Rows, byConn[c])
+	}
+	return t
+}
+
+// Fig14 renders distributed R-GMA percentiles.
+func Fig14(r RGMAScaleResults) Table {
+	t := Table{
+		Title:  "Fig. 14 — R-GMA distributed network tests: percentile of RTT (ms)",
+		Header: []string{"connections", "95%", "96%", "97%", "98%", "99%", "100%"},
+	}
+	for _, d := range r.Distributed {
+		t.Rows = append(t.Rows, pctRow(d0(d.Connections), d.RTT))
+	}
+	return t
+}
+
+// Table3 reproduces TABLE III, deriving the qualitative ratings from
+// measured data: an order-of-magnitude RTT gap separates "very good"
+// from "average" real-time performance, and the single-vs-distributed
+// trend determines the scalability rating.
+func Table3(narada NaradaResult, naradaDBN NaradaResult, rgmaSingle RGMAResult, rgmaDist RGMAResult) Table {
+	rate := func(cond bool, yes, no string) string {
+		if cond {
+			return yes
+		}
+		return no
+	}
+	naradaRT := rate(narada.RTT.Mean() < 100, "Very good", "Average")
+	rgmaRT := rate(rgmaSingle.RTT.Mean() < 100, "Very good", "Average")
+	// Scalability: does the distributed deployment beat its own single
+	// configuration?
+	naradaScale := rate(naradaDBN.RTT.Mean() < narada.RTT.Mean(), "Very good", "Average")
+	rgmaScale := rate(rgmaDist.RTT.Mean() < rgmaSingle.RTT.Mean(), "Very good", "Average")
+	return Table{
+		Title:  "TABLE III — R-GMA and NaradaBrokering comparison (derived from measurements)",
+		Header: []string{"middleware", "real-time performance", "connections & throughput", "scalability"},
+		Rows: [][]string{
+			{"R-GMA", rgmaRT, "Average", rgmaScale},
+			{"Narada", naradaRT, "Very good", naradaScale},
+		},
+		Notes: []string{
+			fmt.Sprintf("Narada single RTT %.1f ms vs DBN %.1f ms; R-GMA single %.0f ms vs distributed %.0f ms",
+				narada.RTT.Mean(), naradaDBN.RTT.Mean(), rgmaSingle.RTT.Mean(), rgmaDist.RTT.Mean()),
+		},
+	}
+}
+
+// WarmupLoss reproduces §III.F's warm-up experiment: 400 generators
+// publishing with and without the 10-20 s warm-up wait.
+func WarmupLoss(scale Scale) (Table, []RGMAResult) {
+	with := RunRGMA(RGMAConfig{Label: "with warm-up", Connections: 400, Scale: scale, Seed: 601})
+	without := RunRGMA(RGMAConfig{Label: "no warm-up", Connections: 400, NoWarmup: true, Scale: scale, Seed: 602})
+	t := Table{
+		Title:  "§III.F — R-GMA warm-up experiment: 400 generators",
+		Header: []string{"variant", "sent", "received", "loss%"},
+		Notes:  []string{"paper: 72000 sent, 71876 received, 0.17% loss without warm-up"},
+	}
+	for _, r := range []RGMAResult{with, without} {
+		t.Rows = append(t.Rows, []string{r.Label, fmt.Sprintf("%d", r.Loss.Sent), fmt.Sprintf("%d", r.Loss.Received), f3(r.Loss.RatePercent())})
+	}
+	return t, []RGMAResult{with, without}
+}
+
+// OOMCliffs reproduces the out-of-memory limits: a single Narada broker
+// refusing connections near 4000 and a single R-GMA server near 800.
+func OOMCliffs(scale Scale) (Table, NaradaResult, RGMAResult) {
+	narada := RunNarada(NaradaConfig{
+		Label: "narada-4000", Connections: 4000, Transport: simbroker.TCP(), Scale: Scale{PublishCount: 3, Label: "oom"}, Seed: 701,
+	})
+	rgmaRes := RunRGMA(RGMAConfig{
+		Label: "rgma-900", Connections: 900, Scale: Scale{PublishCount: 2, Label: "oom"}, Seed: 702,
+	})
+	t := Table{
+		Title:  "OOM cliffs — connection admission limits (single servers)",
+		Header: []string{"system", "attempted", "accepted", "refused"},
+		Notes: []string{
+			"paper: a single Narada broker cannot accept 4000 connections; one R-GMA server cannot accept 800",
+		},
+	}
+	t.Rows = append(t.Rows, []string{"Narada single", "4000", d0(4000 - narada.Refused), d0(narada.Refused)})
+	t.Rows = append(t.Rows, []string{"R-GMA single", "900", d0(900 - rgmaRes.Refused), d0(rgmaRes.Refused)})
+	return t, narada, rgmaRes
+}
+
+// AblationRouting compares the v1.1.3 broadcast DBN against tree routing
+// at the same load — the fix the paper anticipated from "the newest
+// release".
+func AblationRouting(scale Scale) (Table, []NaradaResult) {
+	broadcast := RunNarada(NaradaConfig{
+		Label: "broadcast", Connections: 2000, Transport: simbroker.TCP(), Scale: scale,
+		DBN: true, Routing: brokernet.RoutingBroadcast, Seed: 801,
+	})
+	tree := RunNarada(NaradaConfig{
+		Label: "tree", Connections: 2000, Transport: simbroker.TCP(), Scale: scale,
+		DBN: true, Routing: brokernet.RoutingTree, Seed: 802,
+	})
+	t := Table{
+		Title:  "Ablation — DBN routing mode at 2000 connections",
+		Header: []string{"routing", "RTT ms", "STDDEV ms", "CPU idle %", "MEM MB"},
+		Notes:  []string{"broadcast reproduces the paper's v1.1.3 deficiency (unnecessary data flow)"},
+	}
+	for _, r := range []NaradaResult{broadcast, tree} {
+		t.Rows = append(t.Rows, []string{r.Label, f2(r.RTT.Mean()), f2(r.RTT.Stddev()), f1(r.CPUIdlePct), f1(r.MemMB)})
+	}
+	return t, []NaradaResult{broadcast, tree}
+}
+
+// AblationAckMode compares AUTO vs CLIENT acknowledge over TCP.
+func AblationAckMode(scale Scale) (Table, []NaradaResult) {
+	auto := RunNarada(NaradaConfig{Label: "AUTO", Connections: 800, Transport: simbroker.TCP(), Scale: scale, Seed: 811})
+	client := RunNarada(NaradaConfig{Label: "CLIENT", Connections: 800, Transport: simbroker.TCP(), AckMode: message.ClientAck, Scale: scale, Seed: 812})
+	t := Table{
+		Title:  "Ablation — acknowledgement mode over TCP, 800 connections",
+		Header: []string{"ack mode", "RTT ms", "STDDEV ms", "loss%"},
+	}
+	for _, r := range []NaradaResult{auto, client} {
+		t.Rows = append(t.Rows, []string{r.Label, f2(r.RTT.Mean()), f2(r.RTT.Stddev()), f3(r.Loss.RatePercent())})
+	}
+	return t, []NaradaResult{auto, client}
+}
+
+// AblationAggregation tests the related-work (IBM RMM, §IV) claim that
+// message quantity, not size, dominates MOM overhead: the same data
+// volume sent as 1x-rate single samples vs aggregated batches of 5 at
+// 1/5 rate.
+func AblationAggregation(scale Scale) (Table, []NaradaResult) {
+	single := RunNarada(NaradaConfig{Label: "no aggregation", Connections: 800, Transport: simbroker.TCP(), Scale: scale, Seed: 821})
+	aggregated := RunNarada(NaradaConfig{
+		Label: "aggregate x5", Connections: 800, Transport: simbroker.TCP(),
+		Scale: Scale{PublishCount: (scale.PublishCount + 4) / 5, Label: scale.Label}, Seed: 822,
+		PayloadTriple: false, RateFactor: 1, AggregateFactor: 5,
+	})
+	t := Table{
+		Title:  "Ablation — sender-side message aggregation (same data volume)",
+		Header: []string{"variant", "messages", "broker CPU idle %", "RTT ms"},
+		Notes:  []string{"aggregation cuts per-message overhead; RMM's mechanism (related work §IV)"},
+	}
+	for _, r := range []NaradaResult{single, aggregated} {
+		t.Rows = append(t.Rows, []string{r.Label, fmt.Sprintf("%d", r.Loss.Sent), f1(r.CPUIdlePct), f2(r.RTT.Mean())})
+	}
+	return t, []NaradaResult{single, aggregated}
+}
+
+// AblationPollInterval varies the R-GMA subscriber poll period around the
+// paper's 100 ms choice.
+func AblationPollInterval(scale Scale) (Table, []RGMAResult) {
+	var results []RGMAResult
+	for _, p := range []int{10, 100, 1000} {
+		results = append(results, RunRGMA(RGMAConfig{
+			Label:        fmt.Sprintf("poll %dms", p),
+			Connections:  200,
+			Scale:        scale,
+			PollInterval: simMillis(p),
+			Seed:         int64(830 + p),
+		}))
+	}
+	t := Table{
+		Title:  "Ablation — R-GMA subscriber poll interval, 200 connections",
+		Header: []string{"poll", "RTT ms", "STDDEV ms"},
+		Notes:  []string{"the paper's 100 ms poll adds its acknowledged '100 millisecond error'"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{r.Label, f1(r.RTT.Mean()), f1(r.RTT.Stddev())})
+	}
+	return t, results
+}

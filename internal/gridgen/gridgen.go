@@ -1,0 +1,255 @@
+// Package gridgen reproduces the paper's power-grid workload (§III.B and
+// §III.E): a fleet of simulated power generators, created at a fixed
+// spawn interval, each sleeping a random 10–20 s so publishes spread
+// evenly, then publishing one monitoring MapMessage — two int, five
+// float, two long, three double and four string values — every 10 s; and
+// the receiving program, which subscribes with the paper's selector
+// "id<10000" and logs per-message timings.
+package gridgen
+
+import (
+	"fmt"
+
+	"gridmon/internal/message"
+	"gridmon/internal/metrics"
+	"gridmon/internal/sim"
+	"gridmon/internal/simbroker"
+	"gridmon/internal/simnet"
+	"gridmon/internal/wire"
+)
+
+// PaperSelector is the selector the paper's subscriber attaches: it does
+// not filter anything but charges evaluation cost, "to simulate real
+// uses".
+const PaperSelector = "id<10000"
+
+// MonitoringMessage builds the paper's exact payload mix for one sample.
+func MonitoringMessage(genID int, seq int64) *message.Message {
+	m := message.NewMap()
+	m.SetProperty("id", message.Int(int32(genID)))
+	// Two integers.
+	m.MapSet("id", message.Int(int32(genID)))
+	m.MapSet("seq", message.Int(int32(seq)))
+	// Five floats.
+	m.MapSet("power_kw", message.Float(float32(480+genID%40)))
+	m.MapSet("voltage", message.Float(239.5))
+	m.MapSet("current", message.Float(13.2))
+	m.MapSet("frequency", message.Float(50.01))
+	m.MapSet("phase", message.Float(0.42))
+	// Two longs.
+	m.MapSet("uptime_s", message.Long(86400+seq*10))
+	m.MapSet("energy_wh", message.Long(123456789+seq))
+	// Three doubles.
+	m.MapSet("temp_k", message.Double(341.25))
+	m.MapSet("pressure", message.Double(101.325))
+	m.MapSet("efficiency", message.Double(0.9312))
+	// Four strings.
+	m.MapSet("site", message.String(fmt.Sprintf("site-%04d", genID%500)))
+	m.MapSet("model", message.String("wind-v90"))
+	m.MapSet("status", message.String("RUNNING"))
+	m.MapSet("operator", message.String("grid-ops"))
+	return m
+}
+
+// FleetConfig describes a generator fleet.
+type FleetConfig struct {
+	// Generators is the number of simulated power generators (each holds
+	// one broker connection).
+	Generators int
+	// SpawnInterval is the pause between generator creations (0.5 s in
+	// the Narada tests, 1 s in the R-GMA tests).
+	SpawnInterval sim.Time
+	// WarmupMin/WarmupMax bound the random initial sleep (10–20 s in the
+	// paper) that spreads publishes evenly.
+	WarmupMin, WarmupMax sim.Time
+	// Period is the publish interval (10 s in the paper).
+	Period sim.Time
+	// PublishCount is how many messages each generator sends before
+	// stopping (180 for the paper's 30-minute runs).
+	PublishCount int
+	// Transport selects the broker transport profile.
+	Transport simbroker.Transport
+	// AckMode applies to the generator's session (publishers do not ack,
+	// but the mode is carried for completeness).
+	AckMode message.AckMode
+	// TopicFor maps a generator to its publish topic.
+	TopicFor func(genID int) string
+	// HostFor maps a generator to its publishing broker.
+	HostFor func(genID int) *simbroker.Host
+	// NodeFor maps a generator to the client machine it runs on.
+	NodeFor func(genID int) *simnet.Node
+	// Payload builds the message for one publish; nil means
+	// MonitoringMessage. The paper's "Triple" test wraps it.
+	Payload func(genID int, seq int64) *message.Message
+}
+
+// Fleet is a running generator fleet.
+type Fleet struct {
+	k   *sim.Kernel
+	cfg FleetConfig
+
+	clients []*simbroker.Client
+	tickers []*sim.Ticker
+
+	published uint64
+	refused   int
+	lost      uint64
+	stopped   bool
+}
+
+// StartFleet schedules generator creation on the kernel. Generators are
+// created every SpawnInterval starting now, sleep their random warmup,
+// then publish PublishCount messages at Period intervals.
+func StartFleet(k *sim.Kernel, cfg FleetConfig) *Fleet {
+	if cfg.Payload == nil {
+		cfg.Payload = MonitoringMessage
+	}
+	if cfg.PublishCount <= 0 {
+		panic("gridgen: PublishCount must be positive")
+	}
+	if cfg.Generators <= 0 {
+		panic("gridgen: Generators must be positive")
+	}
+	f := &Fleet{k: k, cfg: cfg}
+	for i := 0; i < cfg.Generators; i++ {
+		genID := i
+		k.At(k.Now()+sim.Time(i)*cfg.SpawnInterval, func() { f.spawn(genID) })
+	}
+	return f
+}
+
+func (f *Fleet) spawn(genID int) {
+	if f.stopped {
+		return
+	}
+	cfg := f.cfg
+	host := cfg.HostFor(genID)
+	node := cfg.NodeFor(genID)
+	client, err := host.Connect(node, cfg.Transport, fmt.Sprintf("gen-%d", genID))
+	if err != nil {
+		f.refused++
+		return
+	}
+	if cfg.AckMode != 0 {
+		client.SetAckMode(cfg.AckMode)
+	}
+	client.OnSendLost = func(wire.Frame) { f.lost++ }
+	f.clients = append(f.clients, client)
+
+	warmup := cfg.WarmupMin
+	if span := int64(cfg.WarmupMax - cfg.WarmupMin); span > 0 {
+		warmup += sim.Time(f.k.Rand().Int63n(span))
+	}
+	seq := int64(0)
+	var ticker *sim.Ticker
+	ticker = f.k.Every(f.k.Now()+warmup, cfg.Period, func() {
+		if f.stopped || seq >= int64(cfg.PublishCount) {
+			ticker.Stop()
+			return
+		}
+		seq++
+		m := cfg.Payload(genID, seq)
+		m.Dest = message.Topic(cfg.TopicFor(genID))
+		client.Publish(m)
+		f.published++
+		if seq >= int64(cfg.PublishCount) {
+			ticker.Stop()
+		}
+	})
+	f.tickers = append(f.tickers, ticker)
+}
+
+// Stop halts all publishing immediately.
+func (f *Fleet) Stop() {
+	f.stopped = true
+	for _, t := range f.tickers {
+		t.Stop()
+	}
+}
+
+// Published reports the number of messages handed to the middleware —
+// the paper's "sent" count.
+func (f *Fleet) Published() uint64 { return f.published }
+
+// Refused reports generators whose connection the broker refused (the
+// OOM cliff experiments count these).
+func (f *Fleet) Refused() int { return f.refused }
+
+// TransportLost reports messages abandoned by an unreliable transport on
+// the publish path.
+func (f *Fleet) TransportLost() uint64 { return f.lost }
+
+// Connected reports how many generators hold live connections.
+func (f *Fleet) Connected() int { return len(f.clients) }
+
+// EndTime estimates when the last generator finishes publishing: spawn
+// ramp + max warmup + PublishCount periods, plus one period of slack.
+func (f *Fleet) EndTime() sim.Time {
+	cfg := f.cfg
+	ramp := sim.Time(cfg.Generators-1) * cfg.SpawnInterval
+	return ramp + cfg.WarmupMax + sim.Time(cfg.PublishCount+1)*cfg.Period
+}
+
+// MonitorConfig describes the receiving program.
+type MonitorConfig struct {
+	// Host is the broker the monitor subscribes at.
+	Host *simbroker.Host
+	// Node is the machine the monitor runs on.
+	Node *simnet.Node
+	// Transport must match the generators' profile for the comparison
+	// tests.
+	Transport simbroker.Transport
+	// AckMode is the monitor session's acknowledgement mode (the "UDP
+	// CLI" test uses CLIENT_ACKNOWLEDGE).
+	AckMode message.AckMode
+	// Topics lists the topics to subscribe to, each with PaperSelector.
+	Topics []string
+}
+
+// Monitor is the receiving program: it subscribes and accumulates
+// per-message round-trip times.
+type Monitor struct {
+	k      *sim.Kernel
+	client *simbroker.Client
+
+	rtt      metrics.RTT
+	received uint64
+
+	// OnMessage, when set, observes every delivery after metrics are
+	// recorded (used by the RTT-decomposition experiment).
+	OnMessage func(d wire.Deliver, receivedAt sim.Time)
+}
+
+// StartMonitor connects and subscribes the receiving program. It returns
+// an error when the broker refuses the connection.
+func StartMonitor(k *sim.Kernel, cfg MonitorConfig) (*Monitor, error) {
+	client, err := cfg.Host.Connect(cfg.Node, cfg.Transport, "monitor")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AckMode != 0 {
+		client.SetAckMode(cfg.AckMode)
+	}
+	m := &Monitor{k: k, client: client}
+	client.OnDeliver = func(d wire.Deliver) {
+		now := k.Now()
+		m.received++
+		m.rtt.Add(float64(now-sim.Time(d.Msg.Timestamp)) / float64(sim.Millisecond))
+		if m.OnMessage != nil {
+			m.OnMessage(d, now)
+		}
+	}
+	for i, topic := range cfg.Topics {
+		client.Subscribe(int64(i+1), message.Topic(topic), PaperSelector)
+	}
+	return m, nil
+}
+
+// RTT exposes the accumulated round-trip statistics.
+func (m *Monitor) RTT() *metrics.RTT { return &m.rtt }
+
+// Received reports delivered message count.
+func (m *Monitor) Received() uint64 { return m.received }
+
+// Client exposes the underlying client (tests use it).
+func (m *Monitor) Client() *simbroker.Client { return m.client }

@@ -1,0 +1,265 @@
+// Package jms binds the sans-I/O broker core to real TCP, providing the
+// server used by cmd/naradad and a JMS-flavoured client API (Connection /
+// Subscribe with listener callbacks / synchronous Publish). The same
+// broker core that runs under the simulator for the paper's experiments
+// serves real sockets here, so everything validated by the simulation —
+// selectors, acknowledgement bookkeeping, durable subscriptions — holds
+// on the wire.
+package jms
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/simproc"
+	"gridmon/internal/wire"
+)
+
+// ServerConfig tunes the TCP broker server.
+type ServerConfig struct {
+	// Broker configures the wrapped core; zero value gets defaults.
+	Broker broker.Config
+	// MaxConnMemory bounds simulated per-connection memory, reproducing
+	// the paper's admission cliff on real sockets too (0 = unlimited).
+	MaxConnMemory int64
+	// MemPerConn is the per-connection charge against MaxConnMemory.
+	MemPerConn int64
+	// WriteBuffer is the per-connection outbound frame queue length.
+	WriteBuffer int
+}
+
+// Server runs a broker core behind a TCP listener. All core access is
+// serialized through one event-loop goroutine; per-connection reader and
+// writer goroutines shuttle frames in and out.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+	b   *broker.Broker
+
+	events chan func()
+	done   chan struct{}
+
+	mu      sync.Mutex
+	writers map[broker.ConnID]*connWriter
+	nextID  broker.ConnID
+	closed  bool
+
+	native *simproc.Heap
+	heap   *simproc.Heap
+}
+
+type connWriter struct {
+	conn net.Conn
+	out  chan wire.Frame
+	done chan struct{}
+}
+
+// NewServer starts a broker server on the given listener. Close releases
+// it.
+func NewServer(ln net.Listener, cfg ServerConfig) *Server {
+	if cfg.Broker.ID == "" {
+		cfg.Broker = broker.DefaultConfig("naradad")
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = 256
+	}
+	if cfg.MemPerConn <= 0 {
+		cfg.MemPerConn = 256 << 10
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		events:  make(chan func(), 1024),
+		done:    make(chan struct{}),
+		writers: make(map[broker.ConnID]*connWriter),
+		native:  simproc.NewHeap("server-native", cfg.MaxConnMemory, 0),
+		heap:    simproc.NewHeap("server-heap", 0, 0),
+	}
+	s.b = broker.New((*serverEnv)(s), cfg.Broker)
+	go s.loop()
+	go s.accept()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and drops all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	writers := make([]*connWriter, 0, len(s.writers))
+	for _, w := range s.writers {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, w := range writers {
+		_ = w.conn.Close()
+	}
+	close(s.done)
+}
+
+// Stats proxies the broker core's counters (evaluated on the event loop).
+func (s *Server) Stats() broker.Stats {
+	ch := make(chan broker.Stats, 1)
+	select {
+	case s.events <- func() { ch <- s.b.Stats() }:
+		return <-ch
+	case <-s.done:
+		return broker.Stats{}
+	}
+}
+
+// loop is the single goroutine that owns the broker core.
+func (s *Server) loop() {
+	for {
+		select {
+		case fn := <-s.events:
+			fn()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// post runs fn on the event loop (dropped after Close).
+func (s *Server) post(fn func()) {
+	select {
+	case s.events <- fn:
+	case <-s.done:
+	}
+}
+
+func (s *Server) accept() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.nextID++
+		id := s.nextID
+		w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.WriteBuffer), done: make(chan struct{})}
+		s.writers[id] = w
+		s.mu.Unlock()
+
+		admitted := make(chan bool, 1)
+		s.post(func() { admitted <- s.b.OnConnOpen(id) == nil })
+		go func() {
+			ok := false
+			select {
+			case ok = <-admitted:
+			case <-s.done:
+			}
+			if !ok {
+				s.dropConn(id, w, false)
+				return
+			}
+			go w.run()
+			s.read(id, w)
+		}()
+	}
+}
+
+func (w *connWriter) run() {
+	for {
+		select {
+		case f := <-w.out:
+			if err := wire.WriteFrame(w.conn, f); err != nil {
+				_ = w.conn.Close()
+				return
+			}
+		case <-w.done:
+			return
+		}
+	}
+}
+
+func (s *Server) read(id broker.ConnID, w *connWriter) {
+	for {
+		f, err := wire.ReadFrame(w.conn)
+		if err != nil {
+			s.dropConn(id, w, true)
+			return
+		}
+		s.post(func() { s.b.OnFrame(id, f) })
+	}
+}
+
+// dropConn tears down one connection; notify releases core state.
+func (s *Server) dropConn(id broker.ConnID, w *connWriter, notify bool) {
+	s.mu.Lock()
+	if _, ok := s.writers[id]; ok {
+		delete(s.writers, id)
+		close(w.done)
+	}
+	s.mu.Unlock()
+	_ = w.conn.Close()
+	if notify {
+		s.post(func() { s.b.OnConnClose(id) })
+	}
+}
+
+// serverEnv implements broker.Env on the event loop.
+type serverEnv Server
+
+func (e *serverEnv) Now() int64 { return time.Now().UnixNano() }
+
+func (e *serverEnv) Send(id broker.ConnID, f wire.Frame) {
+	s := (*Server)(e)
+	s.mu.Lock()
+	w, ok := s.writers[id]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case w.out <- f:
+	default:
+		// Slow consumer: drop the connection rather than block the
+		// broker loop (NaradaBrokering-era brokers did the same).
+		s.dropConn(id, w, true)
+	}
+}
+
+func (e *serverEnv) CloseConn(id broker.ConnID) {
+	s := (*Server)(e)
+	s.mu.Lock()
+	w, ok := s.writers[id]
+	s.mu.Unlock()
+	if ok {
+		s.dropConn(id, w, false)
+	}
+}
+
+func (e *serverEnv) AllocConn() error {
+	return (*Server)(e).native.Alloc((*Server)(e).cfg.MemPerConn)
+}
+
+func (e *serverEnv) FreeConn() { (*Server)(e).native.Free((*Server)(e).cfg.MemPerConn) }
+
+func (e *serverEnv) Alloc(n int64) error { return (*Server)(e).heap.Alloc(n) }
+
+func (e *serverEnv) Free(n int64) { (*Server)(e).heap.Free(n) }
+
+// ListenAndServe starts a server on addr and returns it.
+func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("jms: listen %s: %w", addr, err)
+	}
+	return NewServer(ln, cfg), nil
+}

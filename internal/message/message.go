@@ -1,0 +1,407 @@
+package message
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DestKind distinguishes the two JMS destination flavours.
+type DestKind uint8
+
+// JMS destination kinds.
+const (
+	TopicKind DestKind = iota + 1
+	QueueKind
+)
+
+func (d DestKind) String() string {
+	switch d {
+	case TopicKind:
+		return "topic"
+	case QueueKind:
+		return "queue"
+	}
+	return "dest(?)"
+}
+
+// Destination names a topic or queue.
+type Destination struct {
+	Kind DestKind
+	Name string
+}
+
+// Topic returns a topic destination.
+func Topic(name string) Destination { return Destination{Kind: TopicKind, Name: name} }
+
+// Queue returns a queue destination.
+func Queue(name string) Destination { return Destination{Kind: QueueKind, Name: name} }
+
+// IsZero reports whether the destination is unset.
+func (d Destination) IsZero() bool { return d.Kind == 0 && d.Name == "" }
+
+func (d Destination) String() string { return fmt.Sprintf("%s:%s", d.Kind, d.Name) }
+
+// DeliveryMode is the JMS persistence flag.
+type DeliveryMode uint8
+
+// JMS delivery modes.
+const (
+	NonPersistent DeliveryMode = 1
+	Persistent    DeliveryMode = 2
+)
+
+func (m DeliveryMode) String() string {
+	switch m {
+	case NonPersistent:
+		return "NON_PERSISTENT"
+	case Persistent:
+		return "PERSISTENT"
+	}
+	return "deliverymode(?)"
+}
+
+// AckMode is the JMS session acknowledgement mode. The paper's tests use
+// AUTO_ACKNOWLEDGE everywhere except its "UDP CLI" test, which uses
+// CLIENT_ACKNOWLEDGE.
+type AckMode uint8
+
+// JMS acknowledgement modes.
+const (
+	AutoAck AckMode = iota + 1
+	ClientAck
+	DupsOKAck
+)
+
+func (m AckMode) String() string {
+	switch m {
+	case AutoAck:
+		return "AUTO_ACKNOWLEDGE"
+	case ClientAck:
+		return "CLIENT_ACKNOWLEDGE"
+	case DupsOKAck:
+		return "DUPS_OK_ACKNOWLEDGE"
+	}
+	return "ackmode(?)"
+}
+
+// BodyKind enumerates the five JMS message body types.
+type BodyKind uint8
+
+// JMS body kinds. EmptyBody corresponds to a javax.jms.Message with no
+// payload.
+const (
+	EmptyBody BodyKind = iota
+	TextBody
+	MapBody
+	BytesBody
+	StreamBody
+	ObjectBody
+)
+
+func (b BodyKind) String() string {
+	switch b {
+	case EmptyBody:
+		return "Message"
+	case TextBody:
+		return "TextMessage"
+	case MapBody:
+		return "MapMessage"
+	case BytesBody:
+		return "BytesMessage"
+	case StreamBody:
+		return "StreamMessage"
+	case ObjectBody:
+		return "ObjectMessage"
+	}
+	return "body(?)"
+}
+
+// Message is a JMS message: headers, user properties, and a typed body.
+// It is a value-semantics struct; Clone produces an independent copy for
+// fan-out to multiple subscribers.
+type Message struct {
+	// Standard JMS headers.
+	ID            string // JMSMessageID
+	Dest          Destination
+	Timestamp     int64 // JMSTimestamp, nanoseconds on the producing clock
+	Expiration    int64 // JMSExpiration, 0 = never
+	Priority      int   // 0..9, JMS default 4
+	CorrelationID string
+	ReplyTo       Destination
+	Type          string // JMSType
+	Redelivered   bool
+	Mode          DeliveryMode
+
+	propNames []string // insertion order, for deterministic encoding
+	props     map[string]Value
+
+	bodyKind BodyKind
+	text     string
+	bytes    []byte
+	stream   []Value
+	mapNames []string
+	mapVals  map[string]Value
+}
+
+// New returns an empty Message with JMS defaults (priority 4,
+// non-persistent).
+func New() *Message {
+	return &Message{Priority: 4, Mode: NonPersistent}
+}
+
+// NewText returns a TextMessage.
+func NewText(text string) *Message {
+	m := New()
+	m.SetText(text)
+	return m
+}
+
+// NewMap returns an empty MapMessage.
+func NewMap() *Message {
+	m := New()
+	m.bodyKind = MapBody
+	m.mapVals = make(map[string]Value)
+	return m
+}
+
+// NewBytes returns a BytesMessage wrapping b (not copied).
+func NewBytes(b []byte) *Message {
+	m := New()
+	m.bodyKind = BytesBody
+	m.bytes = b
+	return m
+}
+
+// BodyKind reports which JMS message type this is.
+func (m *Message) BodyKind() BodyKind { return m.bodyKind }
+
+// SetText makes the message a TextMessage with the given payload.
+func (m *Message) SetText(s string) {
+	m.bodyKind = TextBody
+	m.text = s
+}
+
+// Text returns the TextMessage payload ("" for other kinds).
+func (m *Message) Text() string { return m.text }
+
+// BytesPayload returns the BytesMessage (or ObjectMessage) payload.
+func (m *Message) BytesPayload() []byte { return m.bytes }
+
+// SetBytes makes the message a BytesMessage with payload b (not copied).
+func (m *Message) SetBytes(b []byte) {
+	m.bodyKind = BytesBody
+	m.bytes = b
+}
+
+// SetObject makes the message an ObjectMessage whose serialized form is b.
+// The broker treats the payload as opaque, as JMS providers do.
+func (m *Message) SetObject(b []byte) {
+	m.bodyKind = ObjectBody
+	m.bytes = b
+}
+
+// StreamAppend appends a value to a StreamMessage body.
+func (m *Message) StreamAppend(v Value) {
+	m.bodyKind = StreamBody
+	m.stream = append(m.stream, v)
+}
+
+// Stream returns the StreamMessage values.
+func (m *Message) Stream() []Value { return m.stream }
+
+// SetProperty sets a user property. Setting a property that already exists
+// overwrites it in place.
+func (m *Message) SetProperty(name string, v Value) {
+	if m.props == nil {
+		m.props = make(map[string]Value)
+	}
+	if _, ok := m.props[name]; !ok {
+		m.propNames = append(m.propNames, name)
+	}
+	m.props[name] = v
+}
+
+// Property returns a user property and whether it exists.
+func (m *Message) Property(name string) (Value, bool) {
+	v, ok := m.props[name]
+	return v, ok
+}
+
+// PropertyNames returns property names in insertion order.
+func (m *Message) PropertyNames() []string { return m.propNames }
+
+// HeaderField resolves the JMS header pseudo-properties that message
+// selectors may reference (JMSPriority, JMSTimestamp, JMSMessageID,
+// JMSCorrelationID, JMSType, JMSDeliveryMode). Unknown names report false.
+func (m *Message) HeaderField(name string) (Value, bool) {
+	switch name {
+	case "JMSPriority":
+		return Int(int32(m.Priority)), true
+	case "JMSTimestamp":
+		return Long(m.Timestamp), true
+	case "JMSMessageID":
+		return String(m.ID), true
+	case "JMSCorrelationID":
+		return String(m.CorrelationID), true
+	case "JMSType":
+		return String(m.Type), true
+	case "JMSDeliveryMode":
+		if m.Mode == Persistent {
+			return String("PERSISTENT"), true
+		}
+		return String("NON_PERSISTENT"), true
+	case "JMSRedelivered":
+		return Bool(m.Redelivered), true
+	}
+	return Value{}, false
+}
+
+// SelectorField implements the lookup used by selector evaluation: JMS
+// headers take precedence, then user properties; missing identifiers are
+// null per the selector spec.
+func (m *Message) SelectorField(name string) (Value, bool) {
+	if v, ok := m.HeaderField(name); ok {
+		return v, ok
+	}
+	return m.Property(name)
+}
+
+// MapSet sets a named value in a MapMessage body. It panics when the
+// message is not a MapMessage: mixing body kinds is a programming error.
+func (m *Message) MapSet(name string, v Value) {
+	if m.bodyKind != MapBody {
+		panic(fmt.Sprintf("message: MapSet on %v", m.bodyKind))
+	}
+	if _, ok := m.mapVals[name]; !ok {
+		m.mapNames = append(m.mapNames, name)
+	}
+	m.mapVals[name] = v
+}
+
+// MapGet returns a named value from a MapMessage body.
+func (m *Message) MapGet(name string) (Value, bool) {
+	v, ok := m.mapVals[name]
+	return v, ok
+}
+
+// MapNames returns MapMessage entry names in insertion order.
+func (m *Message) MapNames() []string { return m.mapNames }
+
+// MapLen reports the number of entries in a MapMessage body.
+func (m *Message) MapLen() int { return len(m.mapVals) }
+
+// Clone returns a deep copy. The broker clones a published message per
+// matching subscriber so consumer-side mutation cannot alias.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.props != nil {
+		c.props = make(map[string]Value, len(m.props))
+		for k, v := range m.props {
+			c.props[k] = v
+		}
+		c.propNames = append([]string(nil), m.propNames...)
+	}
+	if m.mapVals != nil {
+		c.mapVals = make(map[string]Value, len(m.mapVals))
+		for k, v := range m.mapVals {
+			c.mapVals[k] = v
+		}
+		c.mapNames = append([]string(nil), m.mapNames...)
+	}
+	if m.bytes != nil {
+		c.bytes = append([]byte(nil), m.bytes...)
+	}
+	if m.stream != nil {
+		c.stream = append([]Value(nil), m.stream...)
+	}
+	return &c
+}
+
+// EncodedSize estimates the wire size of the message in bytes: fixed
+// header fields, property table and body. It matches the wire codec's
+// actual output size.
+func (m *Message) EncodedSize() int {
+	n := 1 + // body kind
+		4 + len(m.ID) +
+		1 + 4 + len(m.Dest.Name) +
+		8 + 8 + 1 + // timestamp, expiration, priority
+		4 + len(m.CorrelationID) +
+		1 + 4 + len(m.ReplyTo.Name) +
+		4 + len(m.Type) +
+		1 + 1 // redelivered, mode
+	n += 4 // property count
+	for _, name := range m.propNames {
+		n += 4 + len(name) + m.props[name].EncodedSize()
+	}
+	switch m.bodyKind {
+	case TextBody:
+		n += 4 + len(m.text)
+	case BytesBody, ObjectBody:
+		n += 4 + len(m.bytes)
+	case MapBody:
+		n += 4
+		for _, name := range m.mapNames {
+			n += 4 + len(name) + m.mapVals[name].EncodedSize()
+		}
+	case StreamBody:
+		n += 4
+		for _, v := range m.stream {
+			n += v.EncodedSize()
+		}
+	}
+	return n
+}
+
+// Equal reports whether two messages have identical headers, properties
+// and bodies. Property and map ordering is ignored.
+func (m *Message) Equal(o *Message) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.ID != o.ID || m.Dest != o.Dest || m.Timestamp != o.Timestamp ||
+		m.Expiration != o.Expiration || m.Priority != o.Priority ||
+		m.CorrelationID != o.CorrelationID || m.ReplyTo != o.ReplyTo ||
+		m.Type != o.Type || m.Redelivered != o.Redelivered || m.Mode != o.Mode ||
+		m.bodyKind != o.bodyKind || m.text != o.text {
+		return false
+	}
+	if len(m.props) != len(o.props) || len(m.mapVals) != len(o.mapVals) {
+		return false
+	}
+	for k, v := range m.props {
+		ov, ok := o.props[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	for k, v := range m.mapVals {
+		ov, ok := o.mapVals[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	if len(m.bytes) != len(o.bytes) {
+		return false
+	}
+	for i := range m.bytes {
+		if m.bytes[i] != o.bytes[i] {
+			return false
+		}
+	}
+	if len(m.stream) != len(o.stream) {
+		return false
+	}
+	for i := range m.stream {
+		if !m.stream[i].Equal(o.stream[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact debug form.
+func (m *Message) String() string {
+	keys := append([]string(nil), m.propNames...)
+	sort.Strings(keys)
+	return fmt.Sprintf("%v{id=%s dest=%v props=%d body=%dB}", m.bodyKind, m.ID, m.Dest, len(keys), m.EncodedSize())
+}

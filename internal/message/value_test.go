@@ -1,0 +1,218 @@
+package message
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Byte(-3), KindByte},
+		{Short(-300), KindShort},
+		{Int(-70000), KindInt},
+		{Long(1 << 40), KindLong},
+		{Float(1.5), KindFloat},
+		{Double(2.5), KindDouble},
+		{String("x"), KindString},
+		{Bytes([]byte{1, 2}), KindBytes},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Bool(false).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestNumericPredicates(t *testing.T) {
+	for _, v := range []Value{Byte(1), Short(1), Int(1), Long(1)} {
+		if !v.IsNumeric() || !v.IsIntegral() {
+			t.Errorf("%v should be integral numeric", v)
+		}
+	}
+	for _, v := range []Value{Float(1), Double(1)} {
+		if !v.IsNumeric() || v.IsIntegral() {
+			t.Errorf("%v should be non-integral numeric", v)
+		}
+	}
+	for _, v := range []Value{Null(), Bool(true), String("1"), Bytes(nil)} {
+		if v.IsNumeric() {
+			t.Errorf("%v should not be numeric", v)
+		}
+	}
+}
+
+func TestAsBool(t *testing.T) {
+	if b, err := Bool(true).AsBool(); err != nil || !b {
+		t.Fatalf("Bool->bool: %v %v", b, err)
+	}
+	if b, err := String("true").AsBool(); err != nil || !b {
+		t.Fatalf("String->bool: %v %v", b, err)
+	}
+	if _, err := String("maybe").AsBool(); !errors.Is(err, ErrConversion) {
+		t.Fatalf("bad string->bool err = %v", err)
+	}
+	if _, err := Int(1).AsBool(); !errors.Is(err, ErrConversion) {
+		t.Fatalf("int->bool should fail, got %v", err)
+	}
+}
+
+func TestAsLong(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want int64
+	}{
+		{Byte(-5), -5}, {Short(-1000), -1000}, {Int(-100000), -100000},
+		{Long(1 << 40), 1 << 40}, {String("42"), 42},
+	} {
+		got, err := c.v.AsLong()
+		if err != nil || got != c.want {
+			t.Errorf("%v AsLong = %d, %v; want %d", c.v, got, err, c.want)
+		}
+	}
+	// JMS forbids float->long and bool->long.
+	for _, v := range []Value{Float(1), Double(1), Bool(true), Null(), Bytes(nil), String("x")} {
+		if _, err := v.AsLong(); !errors.Is(err, ErrConversion) {
+			t.Errorf("%v AsLong should fail, got %v", v, err)
+		}
+	}
+}
+
+func TestAsDouble(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want float64
+	}{
+		{Byte(3), 3}, {Int(-7), -7}, {Long(9), 9},
+		{Float(1.5), 1.5}, {Double(2.25), 2.25}, {String("0.5"), 0.5},
+	} {
+		got, err := c.v.AsDouble()
+		if err != nil || got != c.want {
+			t.Errorf("%v AsDouble = %v, %v; want %v", c.v, got, err, c.want)
+		}
+	}
+	for _, v := range []Value{Bool(true), Null(), Bytes(nil), String("z")} {
+		if _, err := v.AsDouble(); !errors.Is(err, ErrConversion) {
+			t.Errorf("%v AsDouble should fail", v)
+		}
+	}
+}
+
+func TestAsString(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""}, {Bool(true), "true"}, {Byte(-2), "-2"},
+		{Int(12), "12"}, {Long(-9), "-9"}, {Float(1.5), "1.5"},
+		{Double(2.5), "2.5"}, {String("hi"), "hi"}, {Bytes([]byte{0xab}), "ab"},
+	} {
+		if got := c.v.AsString(); got != c.want {
+			t.Errorf("%v AsString = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestAsBytes(t *testing.T) {
+	b, err := Bytes([]byte{1, 2, 3}).AsBytes()
+	if err != nil || len(b) != 3 {
+		t.Fatalf("AsBytes: %v %v", b, err)
+	}
+	if _, err := Int(1).AsBytes(); !errors.Is(err, ErrConversion) {
+		t.Fatal("int->bytes should fail")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Fatal("int equal wrong")
+	}
+	if Int(5).Equal(Long(5)) {
+		t.Fatal("different kinds must not be Equal")
+	}
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Fatal("string equal wrong")
+	}
+	if !Bytes([]byte{1}).Equal(Bytes([]byte{1})) || Bytes([]byte{1}).Equal(Bytes([]byte{2})) {
+		t.Fatal("bytes equal wrong")
+	}
+	if Bytes([]byte{1}).Equal(Bytes([]byte{1, 2})) {
+		t.Fatal("bytes length mismatch")
+	}
+	if !Null().Equal(Null()) {
+		t.Fatal("null equal wrong")
+	}
+}
+
+func TestValueStringer(t *testing.T) {
+	if s := Int(5).String(); !strings.Contains(s, "int") || !strings.Contains(s, "5") {
+		t.Fatalf("String() = %q", s)
+	}
+	if Null().String() != "null" {
+		t.Fatal("null String()")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind String empty")
+	}
+}
+
+func TestFloatRoundTripPrecision(t *testing.T) {
+	f := float32(math.Pi)
+	got, err := Float(f).AsDouble()
+	if err != nil || float32(got) != f {
+		t.Fatalf("float round trip: %v %v", got, err)
+	}
+	d := math.Pi
+	got, err = Double(d).AsDouble()
+	if err != nil || got != d {
+		t.Fatalf("double round trip: %v %v", got, err)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	for _, c := range []struct {
+		v    Value
+		want int
+	}{
+		{Null(), 1}, {Bool(true), 2}, {Byte(1), 2}, {Short(1), 3},
+		{Int(1), 5}, {Float(1), 5}, {Long(1), 9}, {Double(1), 9},
+		{String("abc"), 8}, {Bytes([]byte{1, 2}), 7},
+	} {
+		if got := c.v.EncodedSize(); got != c.want {
+			t.Errorf("%v EncodedSize = %d, want %d", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+// Property: integer round trips through Long are lossless.
+func TestPropertyLongRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		got, err := Long(n).AsLong()
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AsString of an int parses back to the same value.
+func TestPropertyStringNumericRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		s := String(Int(n).AsString())
+		got, err := s.AsLong()
+		return err == nil && got == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

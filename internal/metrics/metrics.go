@@ -1,0 +1,192 @@
+// Package metrics implements the performance metrics of the paper's
+// §III.C: mean round-trip time, RTT variation (standard deviation),
+// percentile of RTT, loss rate, and the RTT decomposition of §III.F.2
+// (RTT = PRT + PT + SRT). Welford's algorithm provides numerically stable
+// streaming mean/variance; percentiles are exact nearest-rank over the
+// retained sample set, as the paper computed them from dumped logs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RTT accumulates round-trip time samples in milliseconds.
+type RTT struct {
+	samples []float64
+	sorted  bool
+
+	// Welford state.
+	n    uint64
+	mean float64
+	m2   float64
+
+	min, max float64
+}
+
+// Add records one sample (milliseconds).
+func (r *RTT) Add(ms float64) {
+	if len(r.samples) == 0 {
+		r.min, r.max = ms, ms
+	} else {
+		if ms < r.min {
+			r.min = ms
+		}
+		if ms > r.max {
+			r.max = ms
+		}
+	}
+	r.samples = append(r.samples, ms)
+	r.sorted = false
+	r.n++
+	d := ms - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (ms - r.mean)
+}
+
+// Count reports the number of samples.
+func (r *RTT) Count() uint64 { return r.n }
+
+// Mean reports the sample mean (0 when empty).
+func (r *RTT) Mean() float64 { return r.mean }
+
+// Stddev reports the population standard deviation, matching the paper's
+// "RTT variation was calculated as the standard deviation (STDDEV) of all
+// the round-trip times" (0 for fewer than 2 samples).
+func (r *RTT) Stddev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Min and Max report sample extremes (0 when empty).
+func (r *RTT) Min() float64 { return r.min }
+
+// Max reports the largest sample.
+func (r *RTT) Max() float64 { return r.max }
+
+// Percentile returns the nearest-rank p-th percentile, p in (0, 100].
+// Percentile(100) is the maximum. It returns 0 when no samples exist.
+func (r *RTT) Percentile(p float64) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of (0,100]", p))
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.samples[rank-1]
+}
+
+// Percentiles evaluates several percentiles at once.
+func (r *RTT) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = r.Percentile(p)
+	}
+	return out
+}
+
+// PaperPercentiles are the x-axis points of the paper's percentile
+// figures (fig. 4, 8, 9, 10, 12, 14): 95% through 100%.
+var PaperPercentiles = []float64{95, 96, 97, 98, 99, 100}
+
+// Merge folds another RTT accumulator into this one.
+func (r *RTT) Merge(o *RTT) {
+	for _, s := range o.samples {
+		r.Add(s)
+	}
+}
+
+// Loss tracks message accounting. The paper reports loss rate as
+// (sent-received)/sent, e.g. "a total of 144,000 messages were sent and
+// 143,914 messages were received. The loss rate was 0.06%".
+type Loss struct {
+	Sent     uint64
+	Received uint64
+}
+
+// Rate reports the loss fraction in [0,1]; 0 when nothing was sent.
+func (l Loss) Rate() float64 {
+	if l.Sent == 0 {
+		return 0
+	}
+	if l.Received >= l.Sent {
+		return 0
+	}
+	return float64(l.Sent-l.Received) / float64(l.Sent)
+}
+
+// RatePercent reports the loss rate in percent.
+func (l Loss) RatePercent() float64 { return l.Rate() * 100 }
+
+// Decomposition splits RTT into the paper's three phases:
+//
+//	PRT (publishing response time)  = before_sending .. after_sending
+//	PT  (process time)              = after_sending .. before_receiving
+//	SRT (subscribing response time) = before_receiving .. after_receiving
+type Decomposition struct {
+	PRT RTT
+	PT  RTT
+	SRT RTT
+}
+
+// AddPhases records one message's phase times (milliseconds).
+func (d *Decomposition) AddPhases(prt, pt, srt float64) {
+	d.PRT.Add(prt)
+	d.PT.Add(pt)
+	d.SRT.Add(srt)
+}
+
+// MeanRTT reports the mean of the reconstructed RTT (sum of phase means).
+func (d *Decomposition) MeanRTT() float64 {
+	return d.PRT.Mean() + d.PT.Mean() + d.SRT.Mean()
+}
+
+// Timeline converts cumulative phase means into the paper's fig. 15
+// x-axis: elapsed time at before_sending, after_sending, before_receiving
+// and after_receiving.
+func (d *Decomposition) Timeline() [4]float64 {
+	t0 := 0.0
+	t1 := t0 + d.PRT.Mean()
+	t2 := t1 + d.PT.Mean()
+	t3 := t2 + d.SRT.Mean()
+	return [4]float64{t0, t1, t2, t3}
+}
+
+// Summary is a compact result record used by experiment tables.
+type Summary struct {
+	Label       string
+	Connections int
+	RTTMean     float64 // ms
+	RTTStddev   float64 // ms
+	Pcts        []float64
+	LossPercent float64
+	CPUIdle     float64 // percent
+	MemoryMB    float64
+	Sent        uint64
+	Received    uint64
+}
+
+// Summarize builds a Summary from an RTT accumulator and loss record.
+func Summarize(label string, conns int, r *RTT, l Loss) Summary {
+	return Summary{
+		Label:       label,
+		Connections: conns,
+		RTTMean:     r.Mean(),
+		RTTStddev:   r.Stddev(),
+		Pcts:        r.Percentiles(PaperPercentiles...),
+		LossPercent: l.RatePercent(),
+		Sent:        l.Sent,
+		Received:    l.Received,
+	}
+}

@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRTT(t *testing.T) {
+	var r RTT
+	if r.Count() != 0 || r.Mean() != 0 || r.Stddev() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Fatal("empty RTT not all zero")
+	}
+	if r.Percentile(99) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+}
+
+func TestMeanStddevKnown(t *testing.T) {
+	var r RTT
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if math.Abs(r.Stddev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", r.Stddev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Count() != 8 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var r RTT
+	r.Add(3.5)
+	if r.Mean() != 3.5 || r.Stddev() != 0 || r.Percentile(50) != 3.5 || r.Percentile(100) != 3.5 {
+		t.Fatal("single sample stats wrong")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var r RTT
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	for _, c := range []struct{ p, want float64 }{
+		{95, 95}, {99, 99}, {100, 100}, {50, 50}, {1, 1},
+	} {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileAfterLaterAdd(t *testing.T) {
+	var r RTT
+	r.Add(10)
+	r.Add(20)
+	_ = r.Percentile(100)
+	r.Add(5) // must re-sort
+	if r.Percentile(100) != 20 || r.Percentile(1) != 5 {
+		t.Fatal("percentile stale after Add")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	var r RTT
+	r.Add(1)
+	for _, p := range []float64{0, -1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Percentile(%v) did not panic", p)
+				}
+			}()
+			r.Percentile(p)
+		}()
+	}
+}
+
+func TestPercentilesAndPaperPoints(t *testing.T) {
+	var r RTT
+	for i := 1; i <= 1000; i++ {
+		r.Add(float64(i))
+	}
+	ps := r.Percentiles(PaperPercentiles...)
+	want := []float64{950, 960, 970, 980, 990, 1000}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("paper percentiles = %v", ps)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b RTT
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i + 50))
+	}
+	a.Merge(&b)
+	if a.Count() != 100 || a.Mean() != 49.5 || a.Max() != 99 {
+		t.Fatalf("merged: n=%d mean=%v max=%v", a.Count(), a.Mean(), a.Max())
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	// The paper's UDP test: 144000 sent, 143914 received -> 0.06%.
+	l := Loss{Sent: 144000, Received: 143914}
+	if got := l.RatePercent(); math.Abs(got-0.0597) > 0.001 {
+		t.Fatalf("loss = %v%%, want ~0.06%%", got)
+	}
+	if (Loss{}).Rate() != 0 {
+		t.Fatal("empty loss not zero")
+	}
+	if (Loss{Sent: 5, Received: 5}).Rate() != 0 {
+		t.Fatal("lossless not zero")
+	}
+	if (Loss{Sent: 5, Received: 7}).Rate() != 0 {
+		t.Fatal("over-receive (duplicates) should clamp to zero")
+	}
+}
+
+func TestDecomposition(t *testing.T) {
+	var d Decomposition
+	for i := 0; i < 10; i++ {
+		d.AddPhases(1, 100, 2)
+	}
+	if d.PRT.Mean() != 1 || d.PT.Mean() != 100 || d.SRT.Mean() != 2 {
+		t.Fatal("phase means wrong")
+	}
+	if d.MeanRTT() != 103 {
+		t.Fatalf("mean RTT = %v", d.MeanRTT())
+	}
+	tl := d.Timeline()
+	want := [4]float64{0, 1, 101, 103}
+	if tl != want {
+		t.Fatalf("timeline = %v", tl)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var r RTT
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	s := Summarize("tcp", 800, &r, Loss{Sent: 100, Received: 99})
+	if s.Label != "tcp" || s.Connections != 800 || s.RTTMean != 50.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Pcts) != 6 || s.Pcts[5] != 100 {
+		t.Fatalf("pcts = %v", s.Pcts)
+	}
+	if math.Abs(s.LossPercent-1.0) > 1e-9 {
+		t.Fatalf("loss%% = %v", s.LossPercent)
+	}
+}
+
+func TestWelfordAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var r RTT
+	var vals []float64
+	for i := 0; i < 10000; i++ {
+		v := rng.Float64()*1000 + 5
+		vals = append(vals, v)
+		r.Add(v)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(vals)))
+	if math.Abs(r.Mean()-mean) > 1e-9 || math.Abs(r.Stddev()-sd) > 1e-9 {
+		t.Fatalf("welford drifted: mean %v vs %v, sd %v vs %v", r.Mean(), mean, r.Stddev(), sd)
+	}
+}
+
+// Property: Percentile(100) == Max and percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r RTT
+		for _, v := range raw {
+			r.Add(float64(v))
+		}
+		if r.Percentile(100) != r.Max() {
+			return false
+		}
+		prev := 0.0
+		for p := 5.0; p <= 100; p += 5 {
+			cur := r.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nearest-rank percentile equals the sorted-slice definition.
+func TestPropertyPercentileDefinition(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%100) + 1 // 1..100
+		var r RTT
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			r.Add(float64(v))
+		}
+		sort.Float64s(vals)
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		return r.Percentile(p) == vals[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRTTAdd(b *testing.B) {
+	var r RTT
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i % 1000))
+	}
+}

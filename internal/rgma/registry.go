@@ -1,0 +1,132 @@
+package rgma
+
+import (
+	"fmt"
+	"strings"
+
+	"gridmon/internal/sqlmini"
+)
+
+// ProducerKind distinguishes primary from secondary producers in the
+// registry, so queries can be mediated to the right kind (the paper's
+// fig. 10 chain reads from Secondary Producers).
+type ProducerKind uint8
+
+// Producer kinds.
+const (
+	PrimaryKind ProducerKind = iota + 1
+	SecondaryKind
+)
+
+func (k ProducerKind) String() string {
+	if k == PrimaryKind {
+		return "PrimaryProducer"
+	}
+	return "SecondaryProducer"
+}
+
+// ProducerEntry is a registry record for one producer resource.
+type ProducerEntry struct {
+	ID      int64
+	Kind    ProducerKind
+	Table   string
+	Service int // producer-service index hosting the resource
+}
+
+// ConsumerEntry is a registry record for one consumer resource.
+type ConsumerEntry struct {
+	ID      int64
+	Table   string
+	Service int // consumer-service index hosting the resource
+}
+
+// Registry is the R-GMA registry's core logic: producer/consumer records
+// and table-based mediation. It is pure state; the deployment layer
+// charges CPU and network costs around calls.
+type Registry struct {
+	nextID    int64
+	producers map[int64]ProducerEntry
+	consumers map[int64]ConsumerEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		producers: make(map[int64]ProducerEntry),
+		consumers: make(map[int64]ConsumerEntry),
+	}
+}
+
+// RegisterProducer records a producer and returns its assigned ID.
+func (r *Registry) RegisterProducer(e ProducerEntry) int64 {
+	r.nextID++
+	e.ID = r.nextID
+	r.producers[e.ID] = e
+	return e.ID
+}
+
+// RegisterConsumer records a consumer and returns its assigned ID.
+func (r *Registry) RegisterConsumer(e ConsumerEntry) int64 {
+	r.nextID++
+	e.ID = r.nextID
+	r.consumers[e.ID] = e
+	return e.ID
+}
+
+// UnregisterProducer removes a producer record.
+func (r *Registry) UnregisterProducer(id int64) { delete(r.producers, id) }
+
+// UnregisterConsumer removes a consumer record.
+func (r *Registry) UnregisterConsumer(id int64) { delete(r.consumers, id) }
+
+// ProducersFor mediates a consumer query: all producers of the named
+// table, restricted to the given kind (0 means any).
+func (r *Registry) ProducersFor(table string, kind ProducerKind) []ProducerEntry {
+	var out []ProducerEntry
+	for _, e := range r.producers {
+		if strings.EqualFold(e.Table, table) && (kind == 0 || e.Kind == kind) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Counts reports registered producer and consumer record counts.
+func (r *Registry) Counts() (producers, consumers int) {
+	return len(r.producers), len(r.consumers)
+}
+
+// QueryType is the R-GMA consumer query flavour.
+type QueryType uint8
+
+// Query types.
+const (
+	ContinuousQuery QueryType = iota + 1
+	LatestQuery
+	HistoryQuery
+)
+
+func (q QueryType) String() string {
+	switch q {
+	case ContinuousQuery:
+		return "CONTINUOUS"
+	case LatestQuery:
+		return "LATEST"
+	case HistoryQuery:
+		return "HISTORY"
+	}
+	return "query(?)"
+}
+
+// ParseQuery parses and validates a consumer's SELECT statement.
+func ParseQuery(src string) (sqlmini.Select, error) {
+	st, err := sqlmini.Parse(src)
+	if err != nil {
+		return sqlmini.Select{}, err
+	}
+	sel, ok := st.(sqlmini.Select)
+	if !ok {
+		return sqlmini.Select{}, fmt.Errorf("rgma: consumer query must be SELECT, got %T", st)
+	}
+	return sel, nil
+}

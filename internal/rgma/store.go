@@ -1,0 +1,177 @@
+// Package rgma reproduces the Relational Grid Monitoring Architecture
+// (R-GMA, gLite 3.0) as evaluated by the paper: a virtual database in
+// which Primary Producers publish tuples via SQL INSERT into memory
+// storage with latest/history retention, Secondary Producers re-publish
+// with their deliberate ~30 s delay, Consumers run continuous, latest or
+// history SELECT queries mediated through a Registry, and subscribers
+// poll their consumer every 100 ms.
+//
+// The performance-relevant mechanisms the paper observed are modelled
+// explicitly: servlet/HTTP request costs, the producer→consumer streaming
+// period, registry mediation sweeps (whose latency causes the "warm-up"
+// data loss of §III.F), JVM heap pressure that inflates service times as
+// the heap fills (the growth in fig. 11), and per-producer heap costs
+// that out-of-memory a single server near 800 connections.
+package rgma
+
+import (
+	"fmt"
+	"strings"
+
+	"gridmon/internal/sim"
+	"gridmon/internal/sqlmini"
+)
+
+// Tuple is a stored row with its timing metadata.
+type Tuple struct {
+	Row sqlmini.Row
+	// SentAt is the generator-side creation instant (before_sending).
+	SentAt sim.Time
+	// InsertedAt is when the producer service stored the row.
+	InsertedAt sim.Time
+}
+
+// TupleStore is a Primary/Secondary Producer's memory storage: history
+// rows retained for the history retention period and a latest row per
+// primary key retained for the latest retention period, as configured by
+// the paper's tests (30 s latest, 1 min history).
+type TupleStore struct {
+	table            *sqlmini.Table
+	latestRetention  sim.Time
+	historyRetention sim.Time
+
+	history []Tuple
+	latest  map[string]Tuple
+}
+
+// NewTupleStore creates memory storage for one table.
+func NewTupleStore(table *sqlmini.Table, latestRetention, historyRetention sim.Time) *TupleStore {
+	if latestRetention <= 0 || historyRetention <= 0 {
+		panic("rgma: non-positive retention period")
+	}
+	return &TupleStore{
+		table:            table,
+		latestRetention:  latestRetention,
+		historyRetention: historyRetention,
+		latest:           make(map[string]Tuple),
+	}
+}
+
+// Table returns the store's schema.
+func (s *TupleStore) Table() *sqlmini.Table { return s.table }
+
+// keyOf renders the primary-key value(s) of a row. Tables without a
+// primary key treat the whole row as identity.
+func (s *TupleStore) keyOf(row sqlmini.Row) string {
+	pk := s.table.PrimaryKey()
+	if len(pk) == 0 {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		return strings.Join(parts, "|")
+	}
+	parts := make([]string, len(pk))
+	for i, idx := range pk {
+		parts[i] = row[idx].String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Insert stores a tuple, updating the latest view.
+func (s *TupleStore) Insert(t Tuple) {
+	s.history = append(s.history, t)
+	s.latest[s.keyOf(t.Row)] = t
+}
+
+// Purge drops rows past their retention periods.
+func (s *TupleStore) Purge(now sim.Time) {
+	cut := 0
+	for cut < len(s.history) && now-s.history[cut].InsertedAt > s.historyRetention {
+		cut++
+	}
+	if cut > 0 {
+		s.history = append([]Tuple(nil), s.history[cut:]...)
+	}
+	for k, t := range s.latest {
+		if now-t.InsertedAt > s.latestRetention {
+			delete(s.latest, k)
+		}
+	}
+}
+
+// History returns retained history tuples matching the query.
+func (s *TupleStore) History(now sim.Time, sel sqlmini.Select) []Tuple {
+	s.Purge(now)
+	var out []Tuple
+	for _, t := range s.history {
+		if sqlmini.Matches(s.table, sel, t.Row) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Latest returns the retained latest tuple per primary key matching the
+// query.
+func (s *TupleStore) Latest(now sim.Time, sel sqlmini.Select) []Tuple {
+	s.Purge(now)
+	var out []Tuple
+	for _, t := range s.latest {
+		if sqlmini.Matches(s.table, sel, t.Row) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len reports retained history size (after no purge; tests use it).
+func (s *TupleStore) Len() int { return len(s.history) }
+
+// MonitoringTable returns the paper's R-GMA workload schema: "four
+// integer, eight double and four char (length 20) values".
+func MonitoringTable() *sqlmini.Table {
+	return &sqlmini.Table{
+		Name: "generator",
+		Columns: []sqlmini.Column{
+			{Name: "genid", Type: sqlmini.TInteger, Primary: true},
+			{Name: "seq", Type: sqlmini.TInteger},
+			{Name: "status_code", Type: sqlmini.TInteger},
+			{Name: "alarms", Type: sqlmini.TInteger},
+			{Name: "power", Type: sqlmini.TDouble},
+			{Name: "voltage", Type: sqlmini.TDouble},
+			{Name: "current", Type: sqlmini.TDouble},
+			{Name: "frequency", Type: sqlmini.TDouble},
+			{Name: "phase", Type: sqlmini.TDouble},
+			{Name: "temp", Type: sqlmini.TDouble},
+			{Name: "pressure", Type: sqlmini.TDouble},
+			{Name: "efficiency", Type: sqlmini.TDouble},
+			{Name: "site", Type: sqlmini.TChar, Len: 20},
+			{Name: "model", Type: sqlmini.TChar, Len: 20},
+			{Name: "status", Type: sqlmini.TChar, Len: 20},
+			{Name: "operator", Type: sqlmini.TChar, Len: 20},
+		},
+	}
+}
+
+// MonitoringRow builds one sample row for the paper's schema.
+func MonitoringRow(genID int, seq int64) sqlmini.Row {
+	return sqlmini.Row{
+		sqlmini.IntV(int64(genID)),
+		sqlmini.IntV(seq),
+		sqlmini.IntV(0),
+		sqlmini.IntV(0),
+		sqlmini.FloatV(480.5),
+		sqlmini.FloatV(239.9),
+		sqlmini.FloatV(13.2),
+		sqlmini.FloatV(50.01),
+		sqlmini.FloatV(0.42),
+		sqlmini.FloatV(341.25),
+		sqlmini.FloatV(101.325),
+		sqlmini.FloatV(0.9312),
+		sqlmini.StringV(fmt.Sprintf("site-%04d", genID%500)),
+		sqlmini.StringV("wind-v90"),
+		sqlmini.StringV("RUNNING"),
+		sqlmini.StringV("grid-ops"),
+	}
+}

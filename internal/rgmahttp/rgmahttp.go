@@ -1,0 +1,367 @@
+// Package rgmahttp serves the R-GMA virtual database over real HTTP, the
+// transport the original gLite implementation used (Java servlets on
+// Tomcat). It reuses the same registry, tuple-store and SQL components
+// the simulator validates: producers POST SQL INSERT statements,
+// consumers create continuous/latest/history queries and poll with GET,
+// exactly like the paper's subscriber polling its consumer every 100 ms.
+//
+// Endpoints (all JSON):
+//
+//	POST /schema/createTable   {"sql": "CREATE TABLE ..."}
+//	POST /producer/create      {"table": "...", "latestRetentionSec": 30, "historyRetentionSec": 60}
+//	POST /producer/insert      {"producer": 1, "sql": "INSERT INTO ..."}
+//	POST /producer/close       {"producer": 1}
+//	POST /consumer/create      {"query": "SELECT ...", "type": "continuous|latest|history"}
+//	GET  /consumer/pop?id=1
+//	POST /consumer/close       {"consumer": 1}
+//	GET  /registry
+package rgmahttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/sim"
+	"gridmon/internal/sqlmini"
+)
+
+// Server is an R-GMA service over HTTP. All state is guarded by one
+// mutex — the workload is monitoring-rate, not OLTP.
+type Server struct {
+	mu sync.Mutex
+
+	schema    map[string]*sqlmini.Table
+	registry  *rgma.Registry
+	producers map[int64]*httpProducer
+	consumers map[int64]*httpConsumer
+	nextID    int64
+
+	start time.Time
+	http  *http.Server
+	ln    net.Listener
+}
+
+type httpProducer struct {
+	id    int64
+	regID int64
+	table *sqlmini.Table
+	store *rgma.TupleStore
+}
+
+type httpConsumer struct {
+	id     int64
+	query  sqlmini.Select
+	table  *sqlmini.Table
+	qtype  rgma.QueryType
+	buffer []popTuple
+}
+
+type popTuple struct {
+	Row        []string `json:"row"`
+	InsertedAt int64    `json:"insertedAtNs"`
+}
+
+// NewServer constructs an unstarted server.
+func NewServer() *Server {
+	return &Server{
+		schema:    make(map[string]*sqlmini.Table),
+		registry:  rgma.NewRegistry(),
+		producers: make(map[int64]*httpProducer),
+		consumers: make(map[int64]*httpConsumer),
+		start:     time.Now(),
+	}
+}
+
+// now returns virtual-ish time: nanoseconds since server start, the
+// domain the TupleStore retention logic works in.
+func (s *Server) now() sim.Time { return sim.Time(time.Since(s.start).Nanoseconds()) }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /schema/createTable", s.handleCreateTable)
+	mux.HandleFunc("POST /producer/create", s.handleProducerCreate)
+	mux.HandleFunc("POST /producer/insert", s.handleInsert)
+	mux.HandleFunc("POST /producer/close", s.handleProducerClose)
+	mux.HandleFunc("POST /consumer/create", s.handleConsumerCreate)
+	mux.HandleFunc("GET /consumer/pop", s.handlePop)
+	mux.HandleFunc("POST /consumer/close", s.handleConsumerClose)
+	mux.HandleFunc("GET /registry", s.handleRegistry)
+	return mux
+}
+
+// ListenAndServe starts serving on addr and returns the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.http.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: bad request body: %w", err))
+		return v, false
+	}
+	return v, true
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		SQL string `json:"sql"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	st, err := sqlmini.Parse(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ct, isCreate := st.(sqlmini.CreateTable)
+	if !isCreate {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected CREATE TABLE"))
+		return
+	}
+	s.mu.Lock()
+	s.schema[ct.Table.Name] = &ct.Table
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"table": ct.Table.Name})
+}
+
+func (s *Server) handleProducerCreate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		Table               string `json:"table"`
+		LatestRetentionSec  int    `json:"latestRetentionSec"`
+		HistoryRetentionSec int    `json:"historyRetentionSec"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	if req.LatestRetentionSec <= 0 {
+		req.LatestRetentionSec = 30
+	}
+	if req.HistoryRetentionSec <= 0 {
+		req.HistoryRetentionSec = 60
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	table, exists := s.schema[req.Table]
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", req.Table))
+		return
+	}
+	s.nextID++
+	p := &httpProducer{
+		id:    s.nextID,
+		table: table,
+		store: rgma.NewTupleStore(table, sim.Time(req.LatestRetentionSec)*sim.Second, sim.Time(req.HistoryRetentionSec)*sim.Second),
+	}
+	p.regID = s.registry.RegisterProducer(rgma.ProducerEntry{Kind: rgma.PrimaryKind, Table: req.Table})
+	s.producers[p.id] = p
+	writeJSON(w, http.StatusOK, map[string]int64{"producer": p.id})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		Producer int64  `json:"producer"`
+		SQL      string `json:"sql"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	st, err := sqlmini.Parse(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ins, isInsert := st.(sqlmini.Insert)
+	if !isInsert {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected INSERT"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, exists := s.producers[req.Producer]
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
+		return
+	}
+	row, err := sqlmini.ReorderInsert(p.table, ins)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	now := s.now()
+	tuple := rgma.Tuple{Row: row, SentAt: now, InsertedAt: now}
+	p.store.Insert(tuple)
+	// Stream to matching continuous consumers immediately (the HTTP
+	// binding does not model the gLite streaming delay; the simulator
+	// covers that behaviour).
+	for _, c := range s.consumers {
+		if c.qtype == rgma.ContinuousQuery && c.table == p.table && sqlmini.Matches(p.table, c.query, row) {
+			c.buffer = append(c.buffer, toPop(tuple))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+}
+
+func toPop(t rgma.Tuple) popTuple {
+	cells := make([]string, len(t.Row))
+	for i, v := range t.Row {
+		cells[i] = v.String()
+	}
+	return popTuple{Row: cells, InsertedAt: int64(t.InsertedAt)}
+}
+
+func (s *Server) handleProducerClose(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		Producer int64 `json:"producer"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, exists := s.producers[req.Producer]
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
+		return
+	}
+	s.registry.UnregisterProducer(p.regID)
+	delete(s.producers, p.id)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		Query string `json:"query"`
+		Type  string `json:"type"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	sel, err := rgma.ParseQuery(req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var qtype rgma.QueryType
+	switch req.Type {
+	case "", "continuous":
+		qtype = rgma.ContinuousQuery
+	case "latest":
+		qtype = rgma.LatestQuery
+	case "history":
+		qtype = rgma.HistoryQuery
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: unknown query type %q", req.Type))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	table, exists := s.schema[sel.Table]
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", sel.Table))
+		return
+	}
+	s.nextID++
+	c := &httpConsumer{id: s.nextID, query: sel, table: table, qtype: qtype}
+	s.registry.RegisterConsumer(rgma.ConsumerEntry{Table: sel.Table})
+	s.consumers[c.id] = c
+	writeJSON(w, http.StatusOK, map[string]int64{"consumer": c.id})
+}
+
+func (s *Server) handlePop(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: bad consumer id"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, exists := s.consumers[id]
+	if !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", id))
+		return
+	}
+	var out []popTuple
+	switch c.qtype {
+	case rgma.ContinuousQuery:
+		out = c.buffer
+		c.buffer = nil
+	case rgma.LatestQuery, rgma.HistoryQuery:
+		now := s.now()
+		for _, p := range s.producers {
+			if p.table != c.table {
+				continue
+			}
+			var tuples []rgma.Tuple
+			if c.qtype == rgma.LatestQuery {
+				tuples = p.store.Latest(now, c.query)
+			} else {
+				tuples = p.store.History(now, c.query)
+			}
+			for _, t := range tuples {
+				out = append(out, toPop(t))
+			}
+		}
+	}
+	if out == nil {
+		out = []popTuple{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tuples": out})
+}
+
+func (s *Server) handleConsumerClose(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[struct {
+		Consumer int64 `json:"consumer"`
+	}](w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.consumers[req.Consumer]; !exists {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", req.Consumer))
+		return
+	}
+	delete(s.consumers, req.Consumer)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p, c := s.registry.Counts()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"producers": p, "consumers": c})
+}

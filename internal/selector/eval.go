@@ -1,0 +1,611 @@
+package selector
+
+import (
+	"errors"
+	"fmt"
+
+	"gridmon/internal/message"
+)
+
+// Tri is SQL three-valued logic. A selector accepts a message only when
+// the whole expression evaluates to TriTrue.
+type Tri int8
+
+// Three-valued logic constants.
+const (
+	TriFalse Tri = iota
+	TriTrue
+	TriUnknown
+)
+
+func (t Tri) String() string {
+	switch t {
+	case TriFalse:
+		return "false"
+	case TriTrue:
+		return "true"
+	}
+	return "unknown"
+}
+
+func triNot(t Tri) Tri {
+	switch t {
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
+	}
+	return TriUnknown
+}
+
+func triAnd(a, b Tri) Tri {
+	if a == TriFalse || b == TriFalse {
+		return TriFalse
+	}
+	if a == TriTrue && b == TriTrue {
+		return TriTrue
+	}
+	return TriUnknown
+}
+
+func triOr(a, b Tri) Tri {
+	if a == TriTrue || b == TriTrue {
+		return TriTrue
+	}
+	if a == TriFalse && b == TriFalse {
+		return TriFalse
+	}
+	return TriUnknown
+}
+
+// vkind is the runtime value domain of the evaluator.
+type vkind uint8
+
+const (
+	vNull vkind = iota
+	vBool
+	vLong
+	vDouble
+	vString
+)
+
+type val struct {
+	kind vkind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+}
+
+func nullVal() val            { return val{} }
+func boolVal(b bool) val      { return val{kind: vBool, b: b} }
+func longVal(i int64) val     { return val{kind: vLong, i: i} }
+func doubleVal(f float64) val { return val{kind: vDouble, f: f} }
+func stringVal(s string) val  { return val{kind: vString, s: s} }
+
+func (v val) isNumeric() bool { return v.kind == vLong || v.kind == vDouble }
+
+func (v val) asDouble() float64 {
+	if v.kind == vLong {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// fromMessage maps a typed JMS property value into the evaluator domain.
+func fromMessage(mv message.Value) val {
+	switch mv.Kind() {
+	case message.KindNull:
+		return nullVal()
+	case message.KindBool:
+		b, _ := mv.AsBool()
+		return boolVal(b)
+	case message.KindByte, message.KindShort, message.KindInt, message.KindLong:
+		n, _ := mv.AsLong()
+		return longVal(n)
+	case message.KindFloat, message.KindDouble:
+		f, _ := mv.AsDouble()
+		return doubleVal(f)
+	case message.KindString:
+		return stringVal(mv.AsString())
+	}
+	// Bytes values are not selectable in JMS; treat as null.
+	return nullVal()
+}
+
+// Source supplies identifier values during evaluation. *message.Message
+// implements it.
+type Source interface {
+	SelectorField(name string) (message.Value, bool)
+}
+
+type expr interface {
+	// evalBool evaluates the node as a boolean condition.
+	evalBool(src Source) Tri
+	// evalVal evaluates the node as a value (for arithmetic operands).
+	evalVal(src Source) val
+	// nodes reports the AST size under this node (for cost accounting).
+	nodes() int
+}
+
+// --- leaves ---
+
+type litExpr struct{ v val }
+
+func (e *litExpr) evalVal(Source) val { return e.v }
+func (e *litExpr) evalBool(Source) Tri {
+	if e.v.kind == vBool {
+		if e.v.b {
+			return TriTrue
+		}
+		return TriFalse
+	}
+	if e.v.kind == vNull {
+		return TriUnknown
+	}
+	return TriFalse // non-boolean literal used as condition never matches
+}
+func (e *litExpr) nodes() int { return 1 }
+
+type identExpr struct{ name string }
+
+func (e *identExpr) evalVal(src Source) val {
+	mv, ok := src.SelectorField(e.name)
+	if !ok {
+		return nullVal()
+	}
+	return fromMessage(mv)
+}
+func (e *identExpr) evalBool(src Source) Tri {
+	v := e.evalVal(src)
+	switch v.kind {
+	case vBool:
+		if v.b {
+			return TriTrue
+		}
+		return TriFalse
+	case vNull:
+		return TriUnknown
+	}
+	return TriFalse
+}
+func (e *identExpr) nodes() int { return 1 }
+
+// --- boolean combinators ---
+
+type notExpr struct{ inner expr }
+
+func (e *notExpr) evalBool(src Source) Tri { return triNot(e.inner.evalBool(src)) }
+func (e *notExpr) evalVal(src Source) val  { return triToVal(e.evalBool(src)) }
+func (e *notExpr) nodes() int              { return 1 + e.inner.nodes() }
+
+type andExpr struct{ l, r expr }
+
+func (e *andExpr) evalBool(src Source) Tri {
+	lv := e.l.evalBool(src)
+	if lv == TriFalse {
+		return TriFalse // short circuit
+	}
+	return triAnd(lv, e.r.evalBool(src))
+}
+func (e *andExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *andExpr) nodes() int             { return 1 + e.l.nodes() + e.r.nodes() }
+
+type orExpr struct{ l, r expr }
+
+func (e *orExpr) evalBool(src Source) Tri {
+	lv := e.l.evalBool(src)
+	if lv == TriTrue {
+		return TriTrue // short circuit
+	}
+	return triOr(lv, e.r.evalBool(src))
+}
+func (e *orExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *orExpr) nodes() int             { return 1 + e.l.nodes() + e.r.nodes() }
+
+func triToVal(t Tri) val {
+	if t == TriUnknown {
+		return nullVal()
+	}
+	return boolVal(t == TriTrue)
+}
+
+// --- comparisons ---
+
+type cmpExpr struct {
+	op   string
+	l, r expr
+}
+
+func (e *cmpExpr) evalBool(src Source) Tri {
+	lv, rv := e.l.evalVal(src), e.r.evalVal(src)
+	if lv.kind == vNull || rv.kind == vNull {
+		return TriUnknown
+	}
+	// Numeric comparison with promotion.
+	if lv.isNumeric() && rv.isNumeric() {
+		if lv.kind == vLong && rv.kind == vLong {
+			return cmpOrdered(e.op, compareInt(lv.i, rv.i))
+		}
+		return cmpOrdered(e.op, compareFloat(lv.asDouble(), rv.asDouble()))
+	}
+	// String and boolean support only equality operators (JMS §3.8.1.2).
+	if lv.kind == vString && rv.kind == vString {
+		switch e.op {
+		case "=":
+			return boolTri(lv.s == rv.s)
+		case "<>":
+			return boolTri(lv.s != rv.s)
+		}
+		return TriUnknown
+	}
+	if lv.kind == vBool && rv.kind == vBool {
+		switch e.op {
+		case "=":
+			return boolTri(lv.b == rv.b)
+		case "<>":
+			return boolTri(lv.b != rv.b)
+		}
+		return TriUnknown
+	}
+	// Incompatible types.
+	return TriUnknown
+}
+func (e *cmpExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *cmpExpr) nodes() int             { return 1 + e.l.nodes() + e.r.nodes() }
+
+func boolTri(b bool) Tri {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpOrdered(op string, c int) Tri {
+	switch op {
+	case "=":
+		return boolTri(c == 0)
+	case "<>":
+		return boolTri(c != 0)
+	case "<":
+		return boolTri(c < 0)
+	case "<=":
+		return boolTri(c <= 0)
+	case ">":
+		return boolTri(c > 0)
+	case ">=":
+		return boolTri(c >= 0)
+	}
+	return TriUnknown
+}
+
+// --- arithmetic ---
+
+type arithExpr struct {
+	op   byte // + - * /
+	l, r expr
+}
+
+func (e *arithExpr) evalVal(src Source) val {
+	lv, rv := e.l.evalVal(src), e.r.evalVal(src)
+	if !lv.isNumeric() || !rv.isNumeric() {
+		return nullVal()
+	}
+	if lv.kind == vLong && rv.kind == vLong {
+		switch e.op {
+		case '+':
+			return longVal(lv.i + rv.i)
+		case '-':
+			return longVal(lv.i - rv.i)
+		case '*':
+			return longVal(lv.i * rv.i)
+		case '/':
+			if rv.i == 0 {
+				return nullVal()
+			}
+			return longVal(lv.i / rv.i)
+		}
+	}
+	a, b := lv.asDouble(), rv.asDouble()
+	switch e.op {
+	case '+':
+		return doubleVal(a + b)
+	case '-':
+		return doubleVal(a - b)
+	case '*':
+		return doubleVal(a * b)
+	case '/':
+		return doubleVal(a / b) // IEEE semantics, as in Java
+	}
+	return nullVal()
+}
+func (e *arithExpr) evalBool(src Source) Tri { return TriFalse }
+func (e *arithExpr) nodes() int              { return 1 + e.l.nodes() + e.r.nodes() }
+
+type negExpr struct{ inner expr }
+
+func (e *negExpr) evalVal(src Source) val {
+	v := e.inner.evalVal(src)
+	switch v.kind {
+	case vLong:
+		return longVal(-v.i)
+	case vDouble:
+		return doubleVal(-v.f)
+	}
+	return nullVal()
+}
+func (e *negExpr) evalBool(Source) Tri { return TriFalse }
+func (e *negExpr) nodes() int          { return 1 + e.inner.nodes() }
+
+// --- BETWEEN / IN / LIKE / IS NULL ---
+
+type betweenExpr struct {
+	not       bool
+	e, lo, hi expr
+}
+
+func (e *betweenExpr) evalBool(src Source) Tri {
+	v, lo, hi := e.e.evalVal(src), e.lo.evalVal(src), e.hi.evalVal(src)
+	if v.kind == vNull || lo.kind == vNull || hi.kind == vNull {
+		return TriUnknown
+	}
+	if !v.isNumeric() || !lo.isNumeric() || !hi.isNumeric() {
+		return TriUnknown
+	}
+	in := compareFloat(v.asDouble(), lo.asDouble()) >= 0 && compareFloat(v.asDouble(), hi.asDouble()) <= 0
+	if v.kind == vLong && lo.kind == vLong && hi.kind == vLong {
+		in = v.i >= lo.i && v.i <= hi.i
+	}
+	if e.not {
+		return boolTri(!in)
+	}
+	return boolTri(in)
+}
+func (e *betweenExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *betweenExpr) nodes() int             { return 1 + e.e.nodes() + e.lo.nodes() + e.hi.nodes() }
+
+type inExpr struct {
+	not   bool
+	ident string
+	set   []string
+}
+
+func (e *inExpr) evalBool(src Source) Tri {
+	mv, ok := src.SelectorField(e.ident)
+	if !ok || mv.IsNull() {
+		return TriUnknown
+	}
+	if mv.Kind() != message.KindString {
+		return TriUnknown
+	}
+	s := mv.AsString()
+	found := false
+	for _, x := range e.set {
+		if x == s {
+			found = true
+			break
+		}
+	}
+	if e.not {
+		return boolTri(!found)
+	}
+	return boolTri(found)
+}
+func (e *inExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *inExpr) nodes() int             { return 1 + len(e.set) }
+
+type likeExpr struct {
+	not     bool
+	ident   string
+	pattern string
+	matcher *likeMatcher
+}
+
+func (e *likeExpr) evalBool(src Source) Tri {
+	mv, ok := src.SelectorField(e.ident)
+	if !ok || mv.IsNull() {
+		return TriUnknown
+	}
+	if mv.Kind() != message.KindString {
+		return TriUnknown
+	}
+	m := e.matcher.match(mv.AsString())
+	if e.not {
+		return boolTri(!m)
+	}
+	return boolTri(m)
+}
+func (e *likeExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *likeExpr) nodes() int             { return 2 }
+
+type isNullExpr struct {
+	not   bool
+	ident string
+}
+
+func (e *isNullExpr) evalBool(src Source) Tri {
+	mv, ok := src.SelectorField(e.ident)
+	isNull := !ok || mv.IsNull()
+	if e.not {
+		return boolTri(!isNull)
+	}
+	return boolTri(isNull)
+}
+func (e *isNullExpr) evalVal(src Source) val { return triToVal(e.evalBool(src)) }
+func (e *isNullExpr) nodes() int             { return 2 }
+
+// --- LIKE pattern compilation ---
+
+// likeMatcher matches SQL LIKE patterns: '%' is any run (including empty),
+// '_' any single character, and an optional escape character quotes the
+// next pattern character literally.
+type likeMatcher struct {
+	ops []likeOp
+}
+
+type likeOp struct {
+	kind byte // 'l' literal, '_' single, '%' any-run
+	lit  byte
+}
+
+func compileLike(pattern string, escape byte) (*likeMatcher, error) {
+	m := &likeMatcher{}
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		switch {
+		case escape != 0 && c == escape:
+			i++
+			if i >= len(pattern) {
+				return nil, errors.New("LIKE pattern ends with escape character")
+			}
+			m.ops = append(m.ops, likeOp{kind: 'l', lit: pattern[i]})
+		case c == '%':
+			// Collapse consecutive wildcards.
+			if n := len(m.ops); n == 0 || m.ops[n-1].kind != '%' {
+				m.ops = append(m.ops, likeOp{kind: '%'})
+			}
+		case c == '_':
+			m.ops = append(m.ops, likeOp{kind: '_'})
+		default:
+			m.ops = append(m.ops, likeOp{kind: 'l', lit: c})
+		}
+	}
+	return m, nil
+}
+
+// match runs the classic two-pointer wildcard algorithm (linear in
+// len(s) * number of '%' segments, no recursion).
+func (m *likeMatcher) match(s string) bool {
+	ops := m.ops
+	si, oi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		if oi < len(ops) {
+			op := ops[oi]
+			switch op.kind {
+			case 'l':
+				if s[si] == op.lit {
+					si++
+					oi++
+					continue
+				}
+			case '_':
+				si++
+				oi++
+				continue
+			case '%':
+				star = oi
+				starSi = si
+				oi++
+				continue
+			}
+		}
+		if star >= 0 {
+			oi = star + 1
+			starSi++
+			si = starSi
+			continue
+		}
+		return false
+	}
+	for oi < len(ops) && ops[oi].kind == '%' {
+		oi++
+	}
+	return oi == len(ops)
+}
+
+// --- public API ---
+
+// Selector is a compiled JMS message selector.
+type Selector struct {
+	src  string
+	root expr
+}
+
+// Parse compiles a selector expression. An empty (or all-whitespace)
+// selector returns a Selector that matches every message, mirroring a JMS
+// consumer created without a selector.
+func Parse(src string) (*Selector, error) {
+	trimmed := false
+	for i := 0; i < len(src); i++ {
+		if src[i] != ' ' && src[i] != '\t' && src[i] != '\n' && src[i] != '\r' {
+			trimmed = true
+			break
+		}
+	}
+	if !trimmed {
+		return &Selector{src: src}, nil
+	}
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	root, err2 := p.parseOr()
+	if err2 != nil {
+		return nil, err2
+	}
+	if p.tok.kind != tokEOF {
+		return nil, &Error{Pos: p.tok.pos, Msg: fmt.Sprintf("unexpected trailing token %q", p.tok.text), Expr: src}
+	}
+	return &Selector{src: src, root: root}, nil
+}
+
+// MustParse is Parse that panics on error, for tests and constants.
+func MustParse(src string) *Selector {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Matches reports whether the selector accepts the message (evaluates to
+// TRUE; FALSE and UNKNOWN both reject, per JMS).
+func (s *Selector) Matches(src Source) bool {
+	return s.Eval(src) == TriTrue
+}
+
+// Eval returns the three-valued result of the selector on the message.
+func (s *Selector) Eval(src Source) Tri {
+	if s == nil || s.root == nil {
+		return TriTrue
+	}
+	return s.root.evalBool(src)
+}
+
+// Complexity reports the AST node count, used by the simulation's CPU cost
+// model to charge selector evaluation time.
+func (s *Selector) Complexity() int {
+	if s == nil || s.root == nil {
+		return 0
+	}
+	return s.root.nodes()
+}
+
+// String returns the original selector text.
+func (s *Selector) String() string {
+	if s == nil {
+		return ""
+	}
+	return s.src
+}

@@ -1,0 +1,193 @@
+// Package selector implements the JMS 1.1 message-selector language, the
+// SQL-92 conditional-expression subset that brokers evaluate against
+// message headers and properties. The paper's subscribers attach the
+// selector "id<10000" to every subscription — one that filters nothing but
+// "simulates real uses", i.e. charges the broker the evaluation cost — so
+// a faithful reproduction needs a real parser and evaluator, not a stub.
+//
+// Supported grammar (per JMS §3.8.1): AND/OR/NOT with three-valued logic,
+// comparison operators on numeric and string/bool operands, arithmetic
+// (+ - * /), BETWEEN, IN, LIKE (with ESCAPE), IS [NOT] NULL, parentheses,
+// numeric/string/boolean literals, and identifiers resolved against the
+// message at evaluation time.
+package selector
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokOp      // punctuation operators: = <> < <= > >= + - * / ( ) ,
+	tokKeyword // AND OR NOT BETWEEN LIKE IN IS NULL ESCAPE TRUE FALSE
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercase for keywords, verbatim otherwise
+	pos  int
+	ival int64
+	fval float64
+}
+
+// Error describes a selector parse failure with its byte offset.
+type Error struct {
+	Pos  int
+	Msg  string
+	Expr string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("selector: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "LIKE": true,
+	"IN": true, "IS": true, "NULL": true, "ESCAPE": true, "TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Expr: l.src}
+}
+
+func (l *lexer) next() (token, *Error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.number(start)
+
+	case c == '\'':
+		return l.stringLit(start)
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+			return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+
+	case c == '=' || c == '+' || c == '-' || c == '*' || c == '/' || c == '(' || c == ')' || c == ',':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+func (l *lexer) number(start int) (token, *Error) {
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			// Not an exponent after all ("10e" would be invalid; JMS
+			// identifiers cannot start mid-number, so reject).
+			l.pos = mark
+			return token{}, l.errf(mark, "malformed exponent")
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return token{}, l.errf(start, "bad float literal %q", text)
+		}
+		return token{kind: tokFloat, text: text, fval: f, pos: start}, nil
+	}
+	var n int64
+	if _, err := fmt.Sscanf(text, "%d", &n); err != nil {
+		return token{}, l.errf(start, "bad integer literal %q", text)
+	}
+	return token{kind: tokInt, text: text, ival: n, pos: start}, nil
+}
+
+func (l *lexer) stringLit(start int) (token, *Error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // '' escapes a quote, per SQL
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}

@@ -1,0 +1,239 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which — together
+// with a seeded random source — makes every simulation run exactly
+// reproducible. All of the network, CPU and middleware models in this
+// repository are driven by a single Kernel, mirroring the single-cluster
+// testbed of the paper while compressing its 30-minute experiments into
+// fractions of a second of wall time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, expressed as nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Common virtual-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// FromDuration converts a time.Duration into a virtual Time offset.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts a virtual Time (or difference of Times) into a
+// time.Duration for reporting.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are created through Kernel.At and
+// Kernel.After and may be cancelled before they fire.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 once fired or cancelled
+	fn     func()
+	cancel bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	fired   uint64
+	stopped bool
+}
+
+// New returns a Kernel whose random source is seeded with seed. Two kernels
+// constructed with the same seed and fed the same schedule produce identical
+// event orderings and random draws.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired reports how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// a model that rewinds time is a bug, not a policy.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// has already fired or been cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&k.events, e.index)
+	e.index = -1
+}
+
+// Stop makes the current Run/RunUntil call return after the event that is
+// executing finishes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	if e.at < k.now {
+		panic("sim: event heap corrupted: time went backwards")
+	}
+	k.now = e.at
+	k.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if the queue still holds later events). It returns the
+// number of events fired by this call.
+func (k *Kernel) RunUntil(t Time) uint64 {
+	k.stopped = false
+	start := k.fired
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= t {
+		k.step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+	return k.fired - start
+}
+
+// Every schedules fn to run every period, starting at start, until the
+// returned Ticker is stopped. fn observes the tick time via Kernel.Now.
+func (k *Kernel) Every(start, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.ev = k.At(start, t.tick)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual-time period.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped the ticker
+		t.ev = t.k.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels any pending tick. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.k.Cancel(t.ev)
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(1500*time.Millisecond) != 1500*Millisecond {
+		t.Fatalf("FromDuration mismatch")
+	}
+	if (2 * Second).Duration() != 2*time.Second {
+		t.Fatalf("Duration mismatch")
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds = %v, want 0.25", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Fatalf("Milliseconds = %v, want 3", got)
+	}
+	if (90 * Second).String() != "1m30s" {
+		t.Fatalf("String = %q", (90 * Second).String())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.At(30*Millisecond, func() { order = append(order, 3) })
+	k.At(10*Millisecond, func() { order = append(order, 1) })
+	k.At(20*Millisecond, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 30*Millisecond {
+		t.Fatalf("now = %v", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Second, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.After(-5*Second, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("now = %v, want 0", k.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := New(1)
+	k.At(Second, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(0, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	k := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event func did not panic")
+		}
+	}()
+	k.At(Second, nil)
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.At(Second, func() { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double-cancel and cancelling a fired event must be no-ops.
+	k.Cancel(e)
+	e2 := k.At(2*Second, func() {})
+	k.Run()
+	k.Cancel(e2)
+	k.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := New(1)
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, k.At(Time(i+1)*Millisecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		k.Cancel(evs[i])
+	}
+	k.Run()
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i)*Second, func() { count++ })
+	}
+	n := k.RunUntil(5 * Second)
+	if n != 5 || count != 5 {
+		t.Fatalf("RunUntil fired %d (count %d), want 5", n, count)
+	}
+	if k.Now() != 5*Second {
+		t.Fatalf("now = %v, want 5s", k.Now())
+	}
+	// Clock advances to the requested horizon even past the last event.
+	k.RunUntil(30 * Second)
+	if count != 10 || k.Now() != 30*Second {
+		t.Fatalf("count=%d now=%v", count, k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if k.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", k.Pending())
+	}
+	// Run resumes after Stop.
+	k.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := New(1)
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 100 {
+			k.After(Millisecond, chain)
+		}
+	}
+	k.After(0, chain)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if k.Now() != 99*Millisecond {
+		t.Fatalf("now = %v", k.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := New(1)
+	var ticks []Time
+	tk := k.Every(Second, 10*Second, func() { ticks = append(ticks, k.Now()) })
+	k.At(45*Second, func() { tk.Stop() })
+	k.Run()
+	want := []Time{Second, 11 * Second, 21 * Second, 31 * Second, 41 * Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+	tk.Stop() // double stop is a no-op
+}
+
+func TestTickerStoppedFromCallback(t *testing.T) {
+	k := New(1)
+	n := 0
+	var tk *Ticker
+	tk = k.Every(0, Second, func() {
+		n++
+		if n == 4 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	k := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	k.Every(0, 0, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := New(seed)
+		var draws []int64
+		for i := 0; i < 50; i++ {
+			k.After(Time(k.Rand().Intn(1000))*Millisecond, func() {
+				draws = append(draws, k.Rand().Int63n(1e9))
+			})
+		}
+		k.Run()
+		return draws
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Property: for any batch of event offsets, events fire in nondecreasing
+// time order and the count matches.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		k := New(7)
+		var fired []Time
+		for _, off := range offsets {
+			k.At(Time(off)*Microsecond, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil(h) fires exactly the events with at <= h.
+func TestPropertyRunUntilBoundary(t *testing.T) {
+	f := func(offsets []uint16, horizon uint16) bool {
+		k := New(3)
+		want := 0
+		for _, off := range offsets {
+			k.At(Time(off)*Microsecond, func() {})
+			if off <= horizon {
+				want++
+			}
+		}
+		n := k.RunUntil(Time(horizon) * Microsecond)
+		return int(n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		for j := 0; j < 1000; j++ {
+			k.At(Time(j)*Microsecond, func() {})
+		}
+		k.Run()
+	}
+}

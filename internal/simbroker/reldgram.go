@@ -1,0 +1,135 @@
+package simbroker
+
+import (
+	"gridmon/internal/sim"
+	"gridmon/internal/simnet"
+	"gridmon/internal/wire"
+)
+
+// dgram is the on-wire unit for unreliable transports: either a data
+// frame with a sequence number or a pure acknowledgement.
+type dgram struct {
+	seq   int64
+	ack   bool
+	frame wire.Frame // nil for acks
+}
+
+const dgramHeader = 12 // seq + flags on the wire
+
+func dgramSize(d dgram) int {
+	if d.ack {
+		return dgramHeader
+	}
+	return dgramHeader + wire.Size(d.frame)
+}
+
+// relChan implements NaradaBrokering's JMS-over-UDP behaviour on one
+// direction-pair of a lossy simnet connection: every data frame must be
+// acknowledged; unacknowledged frames are retransmitted up to MaxRetries
+// times; frames still unacknowledged after that are abandoned (the
+// residual loss the paper measured); retransmitted frames the peer
+// already saw are deduplicated.
+type relChan struct {
+	k    *sim.Kernel
+	port *simnet.Port
+	tr   Transport
+
+	nextSeq int64
+	pending map[int64]*relPending
+	seen    map[int64]bool
+
+	deliver func(wire.Frame)
+
+	// Counters.
+	sent, delivered, retransmits, abandoned, dupes uint64
+}
+
+type relPending struct {
+	d       dgram
+	retries int
+	timer   *sim.Event
+	done    func(ok bool)
+}
+
+// newRelChan wraps a port with the reliable-datagram protocol. deliver
+// receives deduplicated data frames.
+func newRelChan(k *sim.Kernel, port *simnet.Port, tr Transport, deliver func(wire.Frame)) *relChan {
+	r := &relChan{
+		k:       k,
+		port:    port,
+		tr:      tr,
+		pending: make(map[int64]*relPending),
+		seen:    make(map[int64]bool),
+		deliver: deliver,
+	}
+	port.SetHandler(r.onFrame)
+	return r
+}
+
+// Send transmits a frame with at-least-once delivery effort. done, if
+// non-nil, fires with ok=true when the peer acknowledged and ok=false when
+// the frame was abandoned after the retry budget.
+func (r *relChan) Send(f wire.Frame, done func(ok bool)) {
+	r.nextSeq++
+	p := &relPending{d: dgram{seq: r.nextSeq, frame: f}, done: done}
+	r.pending[p.d.seq] = p
+	r.sent++
+	r.transmit(p)
+}
+
+func (r *relChan) transmit(p *relPending) {
+	r.port.Send(p.d, dgramSize(p.d))
+	p.timer = r.k.After(r.tr.AckTimeout, func() { r.timeout(p) })
+}
+
+func (r *relChan) timeout(p *relPending) {
+	if _, live := r.pending[p.d.seq]; !live {
+		return
+	}
+	if p.retries >= r.tr.MaxRetries {
+		delete(r.pending, p.d.seq)
+		r.abandoned++
+		if p.done != nil {
+			p.done(false)
+		}
+		return
+	}
+	p.retries++
+	r.retransmits++
+	r.transmit(p)
+}
+
+func (r *relChan) onFrame(f simnet.Frame) {
+	d, ok := f.Payload.(dgram)
+	if !ok {
+		return
+	}
+	if d.ack {
+		p, live := r.pending[d.seq]
+		if !live {
+			return
+		}
+		delete(r.pending, d.seq)
+		r.k.Cancel(p.timer)
+		if p.done != nil {
+			p.done(true)
+		}
+		return
+	}
+	// Data: always ack (the ack itself may be lost; the peer will then
+	// retransmit and we deduplicate).
+	r.port.Send(dgram{seq: d.seq, ack: true}, dgramHeader)
+	if r.seen[d.seq] {
+		r.dupes++
+		return
+	}
+	r.seen[d.seq] = true
+	r.delivered++
+	r.deliver(d.frame)
+}
+
+// Stats reports protocol counters: data frames sent, delivered (deduped),
+// retransmitted, abandoned after retries, and duplicates suppressed.
+func (r *relChan) Stats() (sent, delivered, retransmits, abandoned, dupes uint64) {
+	return r.sent, r.delivered, r.retransmits, r.abandoned, r.dupes
+}

@@ -1,0 +1,192 @@
+package simbroker
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridmon/internal/sim"
+	"gridmon/internal/simnet"
+	"gridmon/internal/wire"
+)
+
+// relPair wires two relChans over a lossy connection.
+func relPair(seed int64, loss float64, retries int) (*sim.Kernel, *relChan, *relChan, *[]wire.Frame, *[]wire.Frame) {
+	k := sim.New(seed)
+	net := simnet.New(k)
+	a := net.AddNode("a", simnet.HydraNode())
+	b := net.AddNode("b", simnet.HydraNode())
+	conn := net.Connect(a, b, simnet.ConnOptions{Latency: sim.Millisecond, LossProb: loss})
+	tr := Transport{Name: "test", LossProb: loss, AckTimeout: 50 * sim.Millisecond, MaxRetries: retries}
+	var gotA, gotB []wire.Frame
+	ra := newRelChan(k, conn.A(), tr, func(f wire.Frame) { gotA = append(gotA, f) })
+	rb := newRelChan(k, conn.B(), tr, func(f wire.Frame) { gotB = append(gotB, f) })
+	return k, ra, rb, &gotA, &gotB
+}
+
+func TestRelChanLosslessDelivery(t *testing.T) {
+	k, ra, _, _, gotB := relPair(1, 0, 1)
+	for i := 0; i < 20; i++ {
+		ra.Send(wire.Ping{Token: int64(i)}, nil)
+	}
+	k.Run()
+	if len(*gotB) != 20 {
+		t.Fatalf("delivered %d of 20", len(*gotB))
+	}
+	sent, delivered, retransmits, abandoned, dupes := ra.Stats()
+	if sent != 20 || retransmits != 0 || abandoned != 0 || dupes != 0 || delivered != 0 {
+		t.Fatalf("sender stats: %d/%d/%d/%d/%d", sent, delivered, retransmits, abandoned, dupes)
+	}
+}
+
+func TestRelChanRetransmitRecoversLoss(t *testing.T) {
+	// With generous retries, even heavy datagram loss delivers all.
+	k, ra, _, _, gotB := relPair(2, 0.3, 10)
+	acked := 0
+	for i := 0; i < 100; i++ {
+		ra.Send(wire.Ping{Token: int64(i)}, func(ok bool) {
+			if ok {
+				acked++
+			}
+		})
+	}
+	k.Run()
+	if len(*gotB) != 100 {
+		t.Fatalf("delivered %d of 100 with retries", len(*gotB))
+	}
+	if acked != 100 {
+		t.Fatalf("acked %d of 100", acked)
+	}
+	_, _, retransmits, _, _ := ra.Stats()
+	if retransmits == 0 {
+		t.Fatal("no retransmissions under 30% loss")
+	}
+}
+
+func TestRelChanAbandonsAfterRetries(t *testing.T) {
+	k, ra, _, _, gotB := relPair(3, 0.6, 1)
+	failed := 0
+	const total = 300
+	for i := 0; i < total; i++ {
+		ra.Send(wire.Ping{Token: int64(i)}, func(ok bool) {
+			if !ok {
+				failed++
+			}
+		})
+	}
+	k.Run()
+	if failed == 0 {
+		t.Fatal("no abandons under 60% loss with one retry")
+	}
+	_, _, _, abandoned, _ := ra.Stats()
+	if int(abandoned) != failed {
+		t.Fatalf("abandoned=%d but %d done(false) callbacks", abandoned, failed)
+	}
+	// Note: done(false) means no ACK arrived; the data may still have
+	// been delivered (the ack itself can be lost), so delivered can
+	// exceed total-abandoned but never total.
+	if len(*gotB) > total {
+		t.Fatalf("delivered %d > sent %d", len(*gotB), total)
+	}
+}
+
+func TestRelChanDeduplicates(t *testing.T) {
+	// Loss on acks forces retransmits; receiver must not deliver twice.
+	k, ra, rb, _, gotB := relPair(4, 0.4, 5)
+	for i := 0; i < 200; i++ {
+		ra.Send(wire.Ping{Token: int64(i)}, nil)
+	}
+	k.Run()
+	seen := map[int64]bool{}
+	for _, f := range *gotB {
+		tok := f.(wire.Ping).Token
+		if seen[tok] {
+			t.Fatalf("token %d delivered twice", tok)
+		}
+		seen[tok] = true
+	}
+	_, _, _, _, dupes := rb.Stats()
+	if dupes == 0 {
+		t.Fatal("expected suppressed duplicates under ack loss")
+	}
+}
+
+func TestRelChanBidirectionalSeqSpaces(t *testing.T) {
+	// Both directions use independent sequence spaces over one conn.
+	k, ra, rb, gotA, gotB := relPair(5, 0, 1)
+	for i := 0; i < 10; i++ {
+		ra.Send(wire.Ping{Token: int64(i)}, nil)
+		rb.Send(wire.Pong{Token: int64(100 + i)}, nil)
+	}
+	k.Run()
+	if len(*gotA) != 10 || len(*gotB) != 10 {
+		t.Fatalf("bidirectional delivery %d/%d", len(*gotA), len(*gotB))
+	}
+}
+
+// Property: delivered+abandoned accounting holds under arbitrary loss.
+func TestPropertyRelChanAccounting(t *testing.T) {
+	f := func(seed int64, lossPct uint8, n uint8) bool {
+		loss := float64(lossPct%90) / 100
+		k, ra, _, _, gotB := relPair(seed, loss, 2)
+		okCount, failCount := 0, 0
+		for i := 0; i < int(n); i++ {
+			ra.Send(wire.Ping{Token: int64(i)}, func(ok bool) {
+				if ok {
+					okCount++
+				} else {
+					failCount++
+				}
+			})
+		}
+		k.Run()
+		sent, _, _, abandoned, _ := ra.Stats()
+		// Every send resolves exactly once.
+		if okCount+failCount != int(n) || sent != uint64(n) {
+			return false
+		}
+		// Ack-confirmed messages were certainly delivered.
+		return len(*gotB) >= okCount && int(abandoned) == failCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransportProfiles(t *testing.T) {
+	if !TCP().Reliable || !NIO().Reliable {
+		t.Fatal("TCP/NIO must be reliable")
+	}
+	if UDP().Reliable || UDPClientAck().Reliable {
+		t.Fatal("UDP profiles must be unreliable")
+	}
+	if UDP().LossProb <= UDPClientAck().LossProb {
+		t.Fatal("UDP CLI must model lower loss than UDP (paper 0.03% vs 0.06%)")
+	}
+	if NIO().DataOverhead <= TCP().DataOverhead {
+		t.Fatal("NIO must carry more per-frame overhead than TCP")
+	}
+	if UDP().DataOverhead <= NIO().DataOverhead {
+		t.Fatal("UDP ack bookkeeping must exceed NIO overhead")
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	c := DefaultCosts()
+	small := wire.Publish{Msg: paperMsg("t")}
+	big := wire.Publish{Msg: TriplePayload(paperMsg("t"))}
+	if c.brokerRecvCost(big, 100, TCP()) <= c.brokerRecvCost(small, 100, TCP()) {
+		t.Fatal("bigger payloads must cost more at the broker")
+	}
+	if c.brokerRecvCost(small, 4000, TCP()) <= c.brokerRecvCost(small, 80, TCP()) {
+		t.Fatal("more connections must cost more per frame (thread scan)")
+	}
+	if c.clientSendCost(big, TCP()) <= c.clientSendCost(small, TCP()) {
+		t.Fatal("bigger payloads must cost more at the client")
+	}
+	if c.selectorCost(10) <= c.selectorCost(1) {
+		t.Fatal("selector cost must grow with complexity")
+	}
+	if c.DeliverRecvCost(paperMsg("t").Clone(), TCP()) <= 0 {
+		t.Fatal("deliver recv cost must be positive")
+	}
+}

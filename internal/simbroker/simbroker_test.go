@@ -1,0 +1,378 @@
+package simbroker
+
+import (
+	"testing"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/brokernet"
+	"gridmon/internal/message"
+	"gridmon/internal/sim"
+	"gridmon/internal/simnet"
+	"gridmon/internal/wire"
+)
+
+type rig struct {
+	k      *sim.Kernel
+	net    *simnet.Network
+	host   *Host
+	client *simnet.Node // one client machine
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.New(1)
+	net := simnet.New(k)
+	bn := net.AddNode("broker", simnet.HydraNode())
+	cn := net.AddNode("client1", simnet.HydraNode())
+	host := NewHost(net, bn, broker.DefaultConfig("broker"), DefaultCosts())
+	return &rig{k: k, net: net, host: host, client: cn}
+}
+
+func paperMsg(topic string) *message.Message {
+	m := message.NewMap()
+	m.Dest = message.Topic(topic)
+	m.SetProperty("id", message.Int(7))
+	m.MapSet("power", message.Float(1.5))
+	m.MapSet("voltage", message.Float(240))
+	m.MapSet("site", message.String("aberdeen"))
+	return m
+}
+
+func TestEndToEndTCP(t *testing.T) {
+	r := newRig(t)
+	sub, err := r.host.Connect(r.client, TCP(), "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := r.host.Connect(r.client, TCP(), "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBroker string
+	sub.OnConnected = func(id string) { gotBroker = id }
+	var subOK []int64
+	sub.OnSubOK = func(id int64) { subOK = append(subOK, id) }
+	var rtts []sim.Time
+	sub.OnDeliver = func(d wire.Deliver) {
+		rtts = append(rtts, r.k.Now()-sim.Time(d.Msg.Timestamp))
+	}
+	var acked []int64
+	pub.OnPubAck = func(seq int64) { acked = append(acked, seq) }
+
+	sub.Subscribe(1, message.Topic("power"), "id<10000")
+	r.k.After(sim.Second, func() { pub.Publish(paperMsg("power")) })
+	r.k.Run()
+
+	if gotBroker != "broker" {
+		t.Fatalf("connected broker = %q", gotBroker)
+	}
+	if len(subOK) != 1 || subOK[0] != 1 {
+		t.Fatalf("subOK = %v", subOK)
+	}
+	if len(rtts) != 1 {
+		t.Fatalf("deliveries = %d", len(rtts))
+	}
+	if len(acked) != 1 {
+		t.Fatalf("pubacks = %v", acked)
+	}
+	// RTT must be positive, millisecond-scale on an idle system.
+	if rtts[0] <= 0 || rtts[0] > 20*sim.Millisecond {
+		t.Fatalf("TCP RTT = %v, want low single-digit ms", rtts[0])
+	}
+	if sub.Received() != 1 || pub.Published() != 1 {
+		t.Fatalf("counters: recv=%d pub=%d", sub.Received(), pub.Published())
+	}
+	// The auto-ack must have cleared broker pending state.
+	if got := r.host.Broker().PendingCount(); got != 0 {
+		t.Fatalf("pending after auto-ack = %d", got)
+	}
+}
+
+func TestSelectorChargedAndFiltering(t *testing.T) {
+	r := newRig(t)
+	sub, _ := r.host.Connect(r.client, TCP(), "sub")
+	pub, _ := r.host.Connect(r.client, TCP(), "pub")
+	got := 0
+	sub.OnDeliver = func(wire.Deliver) { got++ }
+	sub.Subscribe(1, message.Topic("power"), "id > 100")
+	r.k.After(sim.Second, func() {
+		m := paperMsg("power") // id = 7, filtered out
+		pub.Publish(m)
+	})
+	r.k.Run()
+	if got != 0 {
+		t.Fatal("selector did not filter")
+	}
+	if r.host.Broker().Stats().SelectorRejected != 1 {
+		t.Fatalf("stats: %+v", r.host.Broker().Stats())
+	}
+}
+
+func TestTransportRTTOrdering(t *testing.T) {
+	// The paper's fig. 3 ordering at light load: TCP < NIO < UDP.
+	rtt := func(tr Transport) sim.Time {
+		k := sim.New(42)
+		net := simnet.New(k)
+		bn := net.AddNode("broker", simnet.HydraNode())
+		cn := net.AddNode("client", simnet.HydraNode())
+		host := NewHost(net, bn, broker.DefaultConfig("b"), DefaultCosts())
+		sub, err := host.Connect(cn, tr, "sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := host.Connect(cn, tr, "pub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total sim.Time
+		n := 0
+		sub.OnDeliver = func(d wire.Deliver) {
+			total += k.Now() - sim.Time(d.Msg.Timestamp)
+			n++
+		}
+		sub.Subscribe(1, message.Topic("t"), "id<10000")
+		for i := 0; i < 20; i++ {
+			k.At(sim.Time(i+1)*sim.Second, func() { pub.Publish(paperMsg("t")) })
+		}
+		k.Run()
+		if n == 0 {
+			t.Fatalf("%s: no deliveries", tr.Name)
+		}
+		return total / sim.Time(n)
+	}
+	tcp, nio, udp := rtt(TCP()), rtt(NIO()), rtt(UDP())
+	if !(tcp < nio && nio < udp) {
+		t.Fatalf("RTT ordering violated: tcp=%v nio=%v udp=%v", tcp, nio, udp)
+	}
+}
+
+func TestUDPLossAndRetransmission(t *testing.T) {
+	k := sim.New(7)
+	net := simnet.New(k)
+	bn := net.AddNode("broker", simnet.HydraNode())
+	cn := net.AddNode("client", simnet.HydraNode())
+	host := NewHost(net, bn, broker.DefaultConfig("b"), DefaultCosts())
+	tr := UDP()
+	tr.LossProb = 0.2 // exaggerate for the test
+	sub, _ := host.Connect(cn, tr, "sub")
+	pub, _ := host.Connect(cn, tr, "pub")
+	received := 0
+	seen := map[string]bool{}
+	dup := 0
+	sub.OnDeliver = func(d wire.Deliver) {
+		received++
+		if seen[d.Msg.ID] {
+			dup++
+		}
+		seen[d.Msg.ID] = true
+	}
+	lost := 0
+	pub.OnSendLost = func(wire.Frame) { lost++ }
+	sub.Subscribe(1, message.Topic("t"), "")
+	const total = 400
+	for i := 0; i < total; i++ {
+		k.At(sim.Time(i+1)*sim.Second, func() { pub.Publish(paperMsg("t")) })
+	}
+	k.Run()
+	if dup != 0 {
+		t.Fatalf("%d duplicate deliveries leaked through dedup", dup)
+	}
+	if received == total {
+		t.Fatal("no residual loss with 20% datagram loss and 1 retry")
+	}
+	// With p=0.2 and one retry, residual message loss is ~p^2 = 4% per
+	// hop; across pub and deliver hops expect roughly 5-15% end-to-end.
+	rate := float64(total-received) / float64(total)
+	if rate < 0.01 || rate > 0.25 {
+		t.Fatalf("loss rate = %.3f, outside plausible band", rate)
+	}
+}
+
+func TestClientAckBatching(t *testing.T) {
+	r := newRig(t)
+	sub, _ := r.host.Connect(r.client, TCP(), "sub")
+	pub, _ := r.host.Connect(r.client, TCP(), "pub")
+	sub.SetAckMode(message.ClientAck)
+	sub.OnDeliver = func(wire.Deliver) {}
+	sub.Subscribe(1, message.Topic("t"), "")
+	for i := 0; i < 25; i++ {
+		r.k.At(sim.Time(i+1)*sim.Second, func() { pub.Publish(paperMsg("t")) })
+	}
+	r.k.Run()
+	// 25 deliveries, batch size 10: 20 acked, 5 still pending.
+	if got := r.host.Broker().PendingCount(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+	sub.FlushAcks()
+	r.k.Run()
+	if got := r.host.Broker().PendingCount(); got != 0 {
+		t.Fatalf("pending after flush = %d", got)
+	}
+}
+
+func TestConnectionRefusalAtNativeBudget(t *testing.T) {
+	k := sim.New(1)
+	net := simnet.New(k)
+	bn := net.AddNode("broker", simnet.HydraNode())
+	cn := net.AddNode("client", simnet.HydraNode())
+	costs := DefaultCosts()
+	costs.NativeBudget = 10 * costs.NativePerConn
+	host := NewHost(net, bn, broker.DefaultConfig("b"), costs)
+	opened := 0
+	for i := 0; i < 20; i++ {
+		if _, err := host.Connect(cn, TCP(), "c"); err == nil {
+			opened++
+		}
+	}
+	if opened != 10 {
+		t.Fatalf("opened %d, want 10", opened)
+	}
+	if host.Broker().Stats().RefusedConns != 10 {
+		t.Fatalf("refused = %d", host.Broker().Stats().RefusedConns)
+	}
+}
+
+func TestHeapAccountsConnections(t *testing.T) {
+	r := newRig(t)
+	before := r.host.Node().Heap.Used()
+	if _, err := r.host.Connect(r.client, TCP(), "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.host.Node().Heap.Used() - before; got != DefaultCosts().HeapPerConn {
+		t.Fatalf("heap delta = %d", got)
+	}
+	if r.host.NativeUsed() != DefaultCosts().NativePerConn {
+		t.Fatalf("native = %d", r.host.NativeUsed())
+	}
+}
+
+func TestDBNForwarding(t *testing.T) {
+	for _, mode := range []brokernet.RoutingMode{brokernet.RoutingBroadcast, brokernet.RoutingTree} {
+		k := sim.New(1)
+		net := simnet.New(k)
+		b1n := net.AddNode("b1", simnet.HydraNode())
+		b2n := net.AddNode("b2", simnet.HydraNode())
+		cn := net.AddNode("client", simnet.HydraNode())
+		h1 := NewHost(net, b1n, broker.DefaultConfig("b1"), DefaultCosts())
+		h2 := NewHost(net, b2n, broker.DefaultConfig("b2"), DefaultCosts())
+		h1.JoinNetwork(mode)
+		h2.JoinNetwork(mode)
+		Peer(h1, h2)
+
+		sub, _ := h2.Connect(cn, TCP(), "sub")
+		pub, _ := h1.Connect(cn, TCP(), "pub")
+		got := 0
+		var rtt sim.Time
+		sub.OnDeliver = func(d wire.Deliver) {
+			got++
+			rtt = k.Now() - sim.Time(d.Msg.Timestamp)
+		}
+		sub.Subscribe(1, message.Topic("power"), "id<10000")
+		k.At(sim.Second, func() { pub.Publish(paperMsg("power")) })
+		k.Run()
+		if got != 1 {
+			t.Fatalf("%v: cross-broker deliveries = %d", mode, got)
+		}
+		if rtt <= 0 || rtt > 50*sim.Millisecond {
+			t.Fatalf("%v: DBN RTT = %v", mode, rtt)
+		}
+	}
+}
+
+func TestDBNSingleVsNetworkRTT(t *testing.T) {
+	// A cross-broker path must cost more than a same-broker path: the
+	// mechanism behind the paper's fig. 7 RTT2 > RTT.
+	singleRTT := func() sim.Time {
+		r := newRig(t)
+		sub, _ := r.host.Connect(r.client, TCP(), "sub")
+		pub, _ := r.host.Connect(r.client, TCP(), "pub")
+		var rtt sim.Time
+		sub.OnDeliver = func(d wire.Deliver) { rtt = r.k.Now() - sim.Time(d.Msg.Timestamp) }
+		sub.Subscribe(1, message.Topic("t"), "")
+		r.k.At(sim.Second, func() { pub.Publish(paperMsg("t")) })
+		r.k.Run()
+		return rtt
+	}()
+
+	k := sim.New(1)
+	net := simnet.New(k)
+	h1 := NewHost(net, net.AddNode("b1", simnet.HydraNode()), broker.DefaultConfig("b1"), DefaultCosts())
+	h2 := NewHost(net, net.AddNode("b2", simnet.HydraNode()), broker.DefaultConfig("b2"), DefaultCosts())
+	cn := net.AddNode("client", simnet.HydraNode())
+	h1.JoinNetwork(brokernet.RoutingBroadcast)
+	h2.JoinNetwork(brokernet.RoutingBroadcast)
+	Peer(h1, h2)
+	sub, _ := h2.Connect(cn, TCP(), "sub")
+	pub, _ := h1.Connect(cn, TCP(), "pub")
+	var dbnRTT sim.Time
+	sub.OnDeliver = func(d wire.Deliver) { dbnRTT = k.Now() - sim.Time(d.Msg.Timestamp) }
+	sub.Subscribe(1, message.Topic("t"), "")
+	k.At(sim.Second, func() { pub.Publish(paperMsg("t")) })
+	k.Run()
+
+	if dbnRTT <= singleRTT {
+		t.Fatalf("DBN RTT %v not above single-broker RTT %v", dbnRTT, singleRTT)
+	}
+}
+
+func TestTriplePayload(t *testing.T) {
+	m := paperMsg("t")
+	tr := TriplePayload(m)
+	if tr.MapLen() != 3*m.MapLen() {
+		t.Fatalf("triple map len = %d, want %d", tr.MapLen(), 3*m.MapLen())
+	}
+	if tr.EncodedSize() <= 2*m.EncodedSize() {
+		t.Fatalf("triple size %d vs original %d", tr.EncodedSize(), m.EncodedSize())
+	}
+	// Non-map messages pass through as clones.
+	txt := message.NewText("x")
+	if TriplePayload(txt).Text() != "x" {
+		t.Fatal("non-map triple broke message")
+	}
+}
+
+func TestPingPongThroughSim(t *testing.T) {
+	r := newRig(t)
+	c, _ := r.host.Connect(r.client, TCP(), "c")
+	var tok int64
+	c.OnPong = func(v int64) { tok = v }
+	c.Ping(99)
+	r.k.Run()
+	if tok != 99 {
+		t.Fatalf("pong token = %d", tok)
+	}
+}
+
+func TestCloseSession(t *testing.T) {
+	r := newRig(t)
+	c, _ := r.host.Connect(r.client, TCP(), "c")
+	c.CloseSession()
+	r.k.Run()
+	if got := r.host.Broker().Stats().Connections; got != 0 {
+		t.Fatalf("connections after close = %d", got)
+	}
+}
+
+func TestJoinNetworkTwicePanics(t *testing.T) {
+	r := newRig(t)
+	r.host.JoinNetwork(brokernet.RoutingTree)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double JoinNetwork did not panic")
+		}
+	}()
+	r.host.JoinNetwork(brokernet.RoutingTree)
+}
+
+func TestPeerWithoutNetworkPanics(t *testing.T) {
+	k := sim.New(1)
+	net := simnet.New(k)
+	h1 := NewHost(net, net.AddNode("b1", simnet.HydraNode()), broker.DefaultConfig("b1"), DefaultCosts())
+	h2 := NewHost(net, net.AddNode("b2", simnet.HydraNode()), broker.DefaultConfig("b2"), DefaultCosts())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peer before JoinNetwork did not panic")
+		}
+	}()
+	Peer(h1, h2)
+}

@@ -1,0 +1,306 @@
+// Package simnet models the paper's testbed network: a private switched
+// 100 Mbps LAN connecting eight identical nodes.
+//
+// Every node owns a network interface with separate egress and ingress
+// serialization queues (a frame occupies the wire for size/bandwidth), and
+// every connection adds propagation latency with optional jitter.
+// Unreliable (UDP-style) connections drop frames with a configurable
+// probability; reliable (TCP-style) connections never drop and preserve
+// order. The model deliberately omits TCP congestion dynamics: the paper's
+// workload (≤75 msg/s of ≤1 KB messages, <50 KB/s) never approaches the
+// LAN's measured 7–8 MB/s capacity, so serialization and latency are the
+// only network effects that matter.
+package simnet
+
+import (
+	"fmt"
+
+	"gridmon/internal/sim"
+	"gridmon/internal/simproc"
+)
+
+// NodeConfig describes one testbed machine.
+type NodeConfig struct {
+	// CPUSpeed scales service costs; 1.0 is the reference Pentium III.
+	CPUSpeed float64
+	// HeapLimit caps the node's middleware heap in bytes (0 = unlimited).
+	HeapLimit int64
+	// HeapBaseline is resident memory the middleware occupies at start.
+	HeapBaseline int64
+	// BandwidthBps is the NIC line rate in bits per second for each
+	// direction independently (100e6 for the Hydra LAN). 0 means
+	// infinitely fast (no serialization delay).
+	BandwidthBps float64
+}
+
+// HydraNode returns the configuration used for the paper's cluster nodes:
+// one Pentium III-class CPU, a 1 GB JVM heap over a ~64 MB resident
+// baseline, and a 100 Mbps switched LAN port.
+func HydraNode() NodeConfig {
+	return NodeConfig{
+		CPUSpeed:     1.0,
+		HeapLimit:    1 << 30, // -Xmx1024m
+		HeapBaseline: 64 << 20,
+		BandwidthBps: 100e6,
+	}
+}
+
+// Node is a machine on the simulated LAN.
+type Node struct {
+	name string
+	net  *Network
+	CPU  *simproc.CPU
+	Heap *simproc.Heap
+
+	bwBps       float64
+	egressBusy  sim.Time
+	ingressBusy sim.Time
+
+	bytesOut, bytesIn uint64
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// BytesOut reports total bytes serialized onto the wire by this node.
+func (n *Node) BytesOut() uint64 { return n.bytesOut }
+
+// BytesIn reports total bytes received off the wire by this node.
+func (n *Node) BytesIn() uint64 { return n.bytesIn }
+
+// serialize reserves wire time for size bytes in one direction and returns
+// when the last byte has left (egress) or arrived (ingress).
+func serialize(k *sim.Kernel, busy *sim.Time, bwBps float64, size int) sim.Time {
+	now := k.Now()
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	var tx sim.Time
+	if bwBps > 0 {
+		tx = sim.Time(float64(size*8) / bwBps * float64(sim.Second))
+	}
+	*busy = start + tx
+	return *busy
+}
+
+// Network is a collection of nodes joined by a non-blocking switch.
+type Network struct {
+	k     *sim.Kernel
+	nodes map[string]*Node
+
+	framesSent      uint64
+	framesDelivered uint64
+	framesDropped   uint64
+}
+
+// New returns an empty network driven by kernel k.
+func New(k *sim.Kernel) *Network {
+	return &Network{k: k, nodes: make(map[string]*Node)}
+}
+
+// Kernel returns the simulation kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// AddNode creates and registers a node. Duplicate names panic: experiment
+// topologies are static and a duplicate is a configuration bug.
+func (n *Network) AddNode(name string, cfg NodeConfig) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	if cfg.CPUSpeed == 0 {
+		cfg.CPUSpeed = 1.0
+	}
+	node := &Node{
+		name:  name,
+		net:   n,
+		CPU:   simproc.NewCPU(n.k, name, cfg.CPUSpeed),
+		Heap:  simproc.NewHeap(name, cfg.HeapLimit, cfg.HeapBaseline),
+		bwBps: cfg.BandwidthBps,
+	}
+	n.nodes[name] = node
+	return node
+}
+
+// Node returns a registered node or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Stats reports total frames sent, delivered and dropped across all
+// connections.
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.framesSent, n.framesDelivered, n.framesDropped
+}
+
+// ConnOptions configures one point-to-point connection.
+type ConnOptions struct {
+	// Latency is the one-way propagation delay.
+	Latency sim.Time
+	// Jitter adds a uniform random component in [0, Jitter] per frame.
+	Jitter sim.Time
+	// Reliable connections (TCP-like) never lose frames. Unreliable
+	// connections drop each frame independently with LossProb.
+	Reliable bool
+	// LossProb is the per-frame drop probability for unreliable
+	// connections (ignored when Reliable).
+	LossProb float64
+}
+
+// LANOptions returns the connection profile of the Hydra switched LAN:
+// ~100 µs one-way latency with 50 µs jitter, reliable.
+func LANOptions() ConnOptions {
+	return ConnOptions{Latency: 100 * sim.Microsecond, Jitter: 50 * sim.Microsecond, Reliable: true}
+}
+
+// Frame is one unit of delivery on a connection.
+type Frame struct {
+	Payload any
+	Size    int
+	Sent    sim.Time
+}
+
+// Handler consumes delivered frames.
+type Handler func(Frame)
+
+// Conn is a duplex point-to-point connection between two nodes. Each side
+// is addressed through a Port.
+type Conn struct {
+	net    *Network
+	a, b   *Node
+	opts   ConnOptions
+	portA  Port
+	portB  Port
+	closed bool
+
+	// Per-direction last arrival instants, used to keep reliable
+	// connections in order when jitter would otherwise reorder frames.
+	lastArriveAB sim.Time
+	lastArriveBA sim.Time
+
+	sent, delivered, dropped uint64
+}
+
+// Connect joins two nodes with the given options and returns the new
+// connection. a and b may be the same node (loopback).
+func (n *Network) Connect(a, b *Node, opts ConnOptions) *Conn {
+	if a == nil || b == nil {
+		panic("simnet: Connect with nil node")
+	}
+	if opts.LossProb < 0 || opts.LossProb > 1 {
+		panic(fmt.Sprintf("simnet: loss probability %v out of range", opts.LossProb))
+	}
+	c := &Conn{net: n, a: a, b: b, opts: opts}
+	c.portA = Port{conn: c, isA: true}
+	c.portB = Port{conn: c, isA: false}
+	return c
+}
+
+// A returns the port on node a; B the port on node b.
+func (c *Conn) A() *Port { return &c.portA }
+func (c *Conn) B() *Port { return &c.portB }
+
+// Close stops all future deliveries on the connection. Frames already in
+// flight are discarded silently.
+func (c *Conn) Close() { c.closed = true }
+
+// Closed reports whether Close has been called.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Stats reports per-connection frame counters.
+func (c *Conn) Stats() (sent, delivered, dropped uint64) {
+	return c.sent, c.delivered, c.dropped
+}
+
+// Port is one endpoint of a Conn.
+type Port struct {
+	conn    *Conn
+	isA     bool
+	handler Handler
+}
+
+// Node returns the node this port lives on.
+func (p *Port) Node() *Node {
+	if p.isA {
+		return p.conn.a
+	}
+	return p.conn.b
+}
+
+// Peer returns the opposite port.
+func (p *Port) Peer() *Port {
+	if p.isA {
+		return &p.conn.portB
+	}
+	return &p.conn.portA
+}
+
+// SetHandler installs the delivery callback for frames arriving at this
+// port. Frames that arrive while no handler is installed are dropped and
+// counted.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// Send transmits a frame of the given size to the peer port. Delivery time
+// is egress serialization + latency (+ jitter) + ingress serialization.
+// For unreliable connections the frame may be lost.
+func (p *Port) Send(payload any, size int) {
+	c := p.conn
+	if c.closed {
+		return
+	}
+	if size < 0 {
+		panic("simnet: negative frame size")
+	}
+	k := c.net.k
+	src, dst := p.Node(), p.Peer().Node()
+	dstPort := p.Peer()
+
+	c.sent++
+	c.net.framesSent++
+	src.bytesOut += uint64(size)
+
+	txEnd := serialize(k, &src.egressBusy, src.bwBps, size)
+
+	if !c.opts.Reliable && c.opts.LossProb > 0 && k.Rand().Float64() < c.opts.LossProb {
+		c.dropped++
+		c.net.framesDropped++
+		return
+	}
+
+	lat := c.opts.Latency
+	if c.opts.Jitter > 0 {
+		lat += sim.Time(k.Rand().Int63n(int64(c.opts.Jitter) + 1))
+	}
+	arrive := txEnd + lat
+	if c.opts.Reliable {
+		// TCP delivers in order: a frame cannot arrive before one sent
+		// earlier in the same direction.
+		last := &c.lastArriveAB
+		if !p.isA {
+			last = &c.lastArriveBA
+		}
+		if arrive < *last {
+			arrive = *last
+		}
+		*last = arrive
+	}
+	f := Frame{Payload: payload, Size: size, Sent: k.Now()}
+	k.At(arrive, func() {
+		if c.closed {
+			return
+		}
+		end := serialize(k, &dst.ingressBusy, dst.bwBps, size)
+		k.At(end, func() {
+			if c.closed {
+				return
+			}
+			dst.bytesIn += uint64(size)
+			if dstPort.handler == nil {
+				c.dropped++
+				c.net.framesDropped++
+				return
+			}
+			c.delivered++
+			c.net.framesDelivered++
+			dstPort.handler(f)
+		})
+	})
+}

@@ -1,0 +1,338 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridmon/internal/sim"
+)
+
+func lan(t *testing.T) (*sim.Kernel, *Network, *Node, *Node) {
+	t.Helper()
+	k := sim.New(1)
+	n := New(k)
+	a := n.AddNode("hydra1", HydraNode())
+	b := n.AddNode("hydra2", HydraNode())
+	return k, n, a, b
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	k := sim.New(1)
+	n := New(k)
+	n.AddNode("x", HydraNode())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node did not panic")
+		}
+	}()
+	n.AddNode("x", HydraNode())
+}
+
+func TestNodeLookup(t *testing.T) {
+	_, n, a, _ := lan(t)
+	if n.Node("hydra1") != a {
+		t.Fatal("Node lookup failed")
+	}
+	if n.Node("nope") != nil {
+		t.Fatal("missing node should be nil")
+	}
+}
+
+func TestReliableDelivery(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Millisecond, Reliable: true})
+	var got []any
+	var at sim.Time
+	c.B().SetHandler(func(f Frame) {
+		got = append(got, f.Payload)
+		at = k.Now()
+	})
+	c.A().Send("hello", 1000)
+	k.Run()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	// 1000 bytes at 100 Mbps = 80 µs serialization each side + 1 ms latency.
+	want := sim.Millisecond + 2*80*sim.Microsecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	sent, delivered, dropped := c.Stats()
+	if sent != 1 || delivered != 1 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d", sent, delivered, dropped)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, LANOptions())
+	gotA, gotB := 0, 0
+	c.A().SetHandler(func(Frame) { gotA++ })
+	c.B().SetHandler(func(Frame) { gotB++ })
+	c.A().Send(1, 100)
+	c.B().Send(2, 100)
+	k.Run()
+	if gotA != 1 || gotB != 1 {
+		t.Fatalf("gotA=%d gotB=%d", gotA, gotB)
+	}
+	if a.BytesOut() != 100 || a.BytesIn() != 100 {
+		t.Fatalf("node a bytes = %d out, %d in", a.BytesOut(), a.BytesIn())
+	}
+}
+
+func TestOrderPreservedUnderSerialization(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Millisecond, Reliable: true})
+	var got []int
+	c.B().SetHandler(func(f Frame) { got = append(got, f.Payload.(int)) })
+	for i := 0; i < 50; i++ {
+		c.A().Send(i, 10000) // large frames force serialization queueing
+	}
+	k.Run()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSerializationSharesEgress(t *testing.T) {
+	// Two connections from the same node share its egress bandwidth, so
+	// the second frame is delayed by the first frame's wire time.
+	k := sim.New(1)
+	n := New(k)
+	a := n.AddNode("a", HydraNode())
+	b := n.AddNode("b", HydraNode())
+	c := n.AddNode("c", HydraNode())
+	c1 := n.Connect(a, b, ConnOptions{Reliable: true})
+	c2 := n.Connect(a, c, ConnOptions{Reliable: true})
+	var t1, t2 sim.Time
+	c1.B().SetHandler(func(Frame) { t1 = k.Now() })
+	c2.B().SetHandler(func(Frame) { t2 = k.Now() })
+	c1.A().Send(1, 125000) // 10 ms of wire at 100 Mbps
+	c2.A().Send(2, 125000)
+	k.Run()
+	if t1 != 20*sim.Millisecond { // 10ms egress + 10ms ingress at b
+		t.Fatalf("t1 = %v", t1)
+	}
+	// Second frame waits 10 ms behind the first in a's egress queue.
+	if t2 != 30*sim.Millisecond {
+		t.Fatalf("t2 = %v", t2)
+	}
+}
+
+func TestInfiniteBandwidth(t *testing.T) {
+	k := sim.New(1)
+	n := New(k)
+	a := n.AddNode("a", NodeConfig{})
+	b := n.AddNode("b", NodeConfig{})
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Second, Reliable: true})
+	var at sim.Time
+	c.B().SetHandler(func(Frame) { at = k.Now() })
+	c.A().Send(nil, 1<<30)
+	k.Run()
+	if at != sim.Second {
+		t.Fatalf("at = %v, want exactly the latency", at)
+	}
+}
+
+func TestUnreliableLoss(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Millisecond, LossProb: 0.5})
+	got := 0
+	c.B().SetHandler(func(Frame) { got++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		c.A().Send(i, 100)
+	}
+	k.Run()
+	sent, delivered, dropped := c.Stats()
+	if sent != total || delivered != uint64(got) || delivered+dropped != total {
+		t.Fatalf("sent=%d delivered=%d dropped=%d got=%d", sent, delivered, dropped, got)
+	}
+	if got < total*4/10 || got > total*6/10 {
+		t.Fatalf("delivered %d of %d with p=0.5", got, total)
+	}
+}
+
+func TestReliableIgnoresLossProb(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Reliable: true, LossProb: 1.0})
+	got := 0
+	c.B().SetHandler(func(Frame) { got++ })
+	for i := 0; i < 10; i++ {
+		c.A().Send(i, 10)
+	}
+	k.Run()
+	if got != 10 {
+		t.Fatalf("reliable conn lost frames: %d/10", got)
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Second, Reliable: true})
+	got := 0
+	c.B().SetHandler(func(Frame) { got++ })
+	c.A().Send(1, 10)
+	k.At(500*sim.Millisecond, func() { c.Close() })
+	k.Run()
+	if got != 0 {
+		t.Fatal("frame delivered after close")
+	}
+	if !c.Closed() {
+		t.Fatal("Closed() = false")
+	}
+	c.A().Send(2, 10) // send after close is a silent no-op
+	k.Run()
+	if got != 0 {
+		t.Fatal("send after close delivered")
+	}
+}
+
+func TestNoHandlerCountsDrop(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, LANOptions())
+	c.A().Send(1, 10)
+	k.Run()
+	_, delivered, dropped := c.Stats()
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, dropped)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, ConnOptions{Latency: sim.Millisecond, Jitter: sim.Millisecond, Reliable: true})
+	var min, max sim.Time = 1 << 62, 0
+	c.B().SetHandler(func(f Frame) {
+		d := k.Now() - f.Sent
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	})
+	for i := 0; i < 500; i++ {
+		k.At(sim.Time(i)*sim.Second, func() { c.A().Send(i, 0) })
+	}
+	k.Run()
+	if min < sim.Millisecond || max > 2*sim.Millisecond {
+		t.Fatalf("latency range [%v, %v] outside [1ms, 2ms]", min, max)
+	}
+	if max-min < 500*sim.Microsecond {
+		t.Fatalf("jitter too narrow: [%v, %v]", min, max)
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	k, n, a, _ := lan(t)
+	c := n.Connect(a, a, ConnOptions{Reliable: true})
+	got := 0
+	c.B().SetHandler(func(Frame) { got++ })
+	c.A().Send(1, 10)
+	k.Run()
+	if got != 1 {
+		t.Fatal("loopback delivery failed")
+	}
+}
+
+func TestBadConnectPanics(t *testing.T) {
+	k, n, a, _ := lan(t)
+	_ = k
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil node did not panic")
+			}
+		}()
+		n.Connect(a, nil, ConnOptions{})
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad loss prob did not panic")
+		}
+	}()
+	n.Connect(a, a, ConnOptions{LossProb: 1.5})
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	_, n, a, b := lan(t)
+	c := n.Connect(a, b, LANOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	c.A().Send(nil, -1)
+}
+
+func TestNetworkStats(t *testing.T) {
+	k, n, a, b := lan(t)
+	c := n.Connect(a, b, LANOptions())
+	c.B().SetHandler(func(Frame) {})
+	for i := 0; i < 5; i++ {
+		c.A().Send(i, 10)
+	}
+	k.Run()
+	sent, delivered, dropped := n.Stats()
+	if sent != 5 || delivered != 5 || dropped != 0 {
+		t.Fatalf("network stats %d/%d/%d", sent, delivered, dropped)
+	}
+}
+
+// Property: on a reliable connection every frame is delivered exactly once
+// and in order, regardless of sizes and send times.
+func TestPropertyReliableExactlyOnceInOrder(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		k := sim.New(5)
+		n := New(k)
+		a := n.AddNode("a", HydraNode())
+		b := n.AddNode("b", HydraNode())
+		c := n.Connect(a, b, LANOptions())
+		var got []int
+		c.B().SetHandler(func(f Frame) { got = append(got, f.Payload.(int)) })
+		for i, s := range sizes {
+			c.A().Send(i, int(s))
+		}
+		k.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sent == delivered + dropped on unreliable connections.
+func TestPropertyLossAccounting(t *testing.T) {
+	f := func(count uint8, lossPct uint8) bool {
+		k := sim.New(int64(count)*257 + int64(lossPct))
+		n := New(k)
+		a := n.AddNode("a", HydraNode())
+		b := n.AddNode("b", HydraNode())
+		p := float64(lossPct%101) / 100
+		c := n.Connect(a, b, ConnOptions{Latency: sim.Millisecond, LossProb: p})
+		c.B().SetHandler(func(Frame) {})
+		for i := 0; i < int(count); i++ {
+			c.A().Send(i, 64)
+		}
+		k.Run()
+		sent, delivered, dropped := c.Stats()
+		return sent == uint64(count) && delivered+dropped == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

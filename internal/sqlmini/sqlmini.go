@@ -1,0 +1,948 @@
+// Package sqlmini implements the SQL subset that R-GMA exposes on its
+// "virtual database": CREATE TABLE, INSERT, and SELECT with WHERE
+// predicates. The paper's producers publish monitoring tuples with SQL
+// INSERT statements and consumers pose continuous/latest/history SELECT
+// queries; R-GMA's content-based filtering is exactly WHERE-predicate
+// evaluation, so this package provides the parser, the type system and
+// the predicate evaluator the rgma package builds on.
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColType enumerates supported column types (the subset R-GMA's schema
+// service supports that the paper's workload uses).
+type ColType uint8
+
+// Column types.
+const (
+	TInteger ColType = iota + 1
+	TReal
+	TDouble
+	TChar
+	TVarchar
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInteger:
+		return "INTEGER"
+	case TReal:
+		return "REAL"
+	case TDouble:
+		return "DOUBLE PRECISION"
+	case TChar:
+		return "CHAR"
+	case TVarchar:
+		return "VARCHAR"
+	}
+	return "TYPE(?)"
+}
+
+// Column is one schema column.
+type Column struct {
+	Name    string
+	Type    ColType
+	Len     int  // for CHAR/VARCHAR
+	Primary bool // PRIMARY KEY column (R-GMA latest-query identity)
+}
+
+// Table is a schema definition.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// ColIndex returns the index of a column by name (-1 when absent).
+// Column names are case-insensitive, as in SQL.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// PrimaryKey returns the indexes of primary-key columns.
+func (t *Table) PrimaryKey() []int {
+	var out []int
+	for i, c := range t.Columns {
+		if c.Primary {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Value is a SQL runtime value.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	F    float64
+	Str  string
+}
+
+// ValueKind tags Value.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	VNull ValueKind = iota
+	VInt
+	VFloat
+	VString
+)
+
+// Null, IntV, FloatV and StringV construct values.
+func Null() Value            { return Value{} }
+func IntV(n int64) Value     { return Value{Kind: VInt, Int: n} }
+func FloatV(f float64) Value { return Value{Kind: VFloat, F: f} }
+func StringV(s string) Value { return Value{Kind: VString, Str: s} }
+
+// IsNull reports SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == VNull }
+
+// AsFloat promotes numerics.
+func (v Value) AsFloat() float64 {
+	if v.Kind == VInt {
+		return float64(v.Int)
+	}
+	return v.F
+}
+
+// String renders a SQL literal form.
+func (v Value) String() string {
+	switch v.Kind {
+	case VNull:
+		return "NULL"
+	case VInt:
+		return strconv.FormatInt(v.Int, 10)
+	case VFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+}
+
+// Equal compares values strictly (kind-sensitive, for tests).
+func (v Value) Equal(o Value) bool { return v == o }
+
+// Row is one tuple.
+type Row []Value
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTable is a parsed CREATE TABLE.
+type CreateTable struct {
+	Table Table
+}
+
+// Insert is a parsed INSERT.
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []Value
+}
+
+// Select is a parsed SELECT.
+type Select struct {
+	Columns []string // nil means *
+	Table   string
+	Where   Expr // nil means no predicate
+}
+
+func (CreateTable) stmt() {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+
+// Expr is a WHERE predicate node.
+type Expr interface {
+	// Eval returns SQL three-valued logic: 1 true, 0 false, -1 unknown.
+	Eval(schema *Table, row Row) int
+	String() string
+}
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("sqlmini: syntax error")
+
+// --- lexer ---
+
+type sqlToken struct {
+	kind byte // 'i' ident/keyword (upper), 'n' number, 's' string, 'p' punct, 0 EOF
+	text string
+	ival int64
+	fval float64
+	isF  bool
+	pos  int
+}
+
+type sqlLexer struct {
+	src string
+	pos int
+}
+
+func (l *sqlLexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("%w: %s at offset %d in %q", ErrSyntax, fmt.Sprintf(format, args...), pos, l.src)
+}
+
+func (l *sqlLexer) next() (sqlToken, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return sqlToken{pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return sqlToken{kind: 'i', text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		isF := false
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c >= '0' && c <= '9' {
+				l.pos++
+			} else if c == '.' && !isF {
+				isF = true
+				l.pos++
+			} else if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+				isF = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		if isF {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return sqlToken{}, l.errf(start, "bad number %q", text)
+			}
+			return sqlToken{kind: 'n', text: text, fval: f, isF: true, pos: start}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return sqlToken{}, l.errf(start, "bad number %q", text)
+		}
+		return sqlToken{kind: 'n', text: text, ival: n, pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return sqlToken{kind: 's', text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return sqlToken{}, l.errf(start, "unterminated string")
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return sqlToken{kind: 'p', text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return sqlToken{kind: 'p', text: l.src[start:l.pos], pos: start}, nil
+	case strings.ContainsRune("=(),*+-/", rune(c)):
+		l.pos++
+		return sqlToken{kind: 'p', text: string(c), pos: start}, nil
+	}
+	return sqlToken{}, l.errf(start, "unexpected character %q", string(c))
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	lex *sqlLexer
+	tok sqlToken
+}
+
+func (p *sqlParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+func (p *sqlParser) keyword() string {
+	if p.tok.kind == 'i' {
+		return strings.ToUpper(p.tok.text)
+	}
+	return ""
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if p.keyword() != kw {
+		return p.errf("expected %s, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	if p.tok.kind != 'p' || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *sqlParser) ident() (string, error) {
+	if p.tok.kind != 'i' {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Stmt, error) {
+	p := &sqlParser{lex: &sqlLexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var s Stmt
+	var err error
+	switch p.keyword() {
+	case "CREATE":
+		s, err = p.parseCreate()
+	case "INSERT":
+		s, err = p.parseInsert()
+	case "SELECT":
+		s, err = p.parseSelect()
+	default:
+		return nil, p.errf("expected CREATE, INSERT or SELECT")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != 0 {
+		return nil, p.errf("trailing input %q", p.tok.text)
+	}
+	return s, nil
+}
+
+func (p *sqlParser) parseCreate() (Stmt, error) {
+	if err := p.advance(); err != nil { // CREATE
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	t := Table{Name: name}
+	for {
+		col, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		t.Columns = append(t.Columns, col)
+		if p.tok.kind == 'p' && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("%w: duplicate column %q", ErrSyntax, c.Name)
+		}
+		seen[lc] = true
+	}
+	return CreateTable{Table: t}, nil
+}
+
+func (p *sqlParser) parseColumn() (Column, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Column{}, err
+	}
+	col := Column{Name: name}
+	switch p.keyword() {
+	case "INTEGER", "INT":
+		col.Type = TInteger
+	case "REAL":
+		col.Type = TReal
+	case "DOUBLE":
+		col.Type = TDouble
+		if err := p.advance(); err != nil {
+			return Column{}, err
+		}
+		if p.keyword() != "PRECISION" {
+			return Column{}, p.errf("expected PRECISION after DOUBLE")
+		}
+	case "CHAR", "VARCHAR":
+		if p.keyword() == "CHAR" {
+			col.Type = TChar
+		} else {
+			col.Type = TVarchar
+		}
+		if err := p.advance(); err != nil {
+			return Column{}, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return Column{}, err
+		}
+		if p.tok.kind != 'n' || p.tok.isF {
+			return Column{}, p.errf("expected length")
+		}
+		col.Len = int(p.tok.ival)
+		if err := p.advance(); err != nil {
+			return Column{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Column{}, err
+		}
+		goto modifiers
+	default:
+		return Column{}, p.errf("unknown column type %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return Column{}, err
+	}
+modifiers:
+	if p.keyword() == "PRIMARY" {
+		if err := p.advance(); err != nil {
+			return Column{}, err
+		}
+		if err := p.expectKeyword("KEY"); err != nil {
+			return Column{}, err
+		}
+		col.Primary = true
+	}
+	return col, nil
+}
+
+func (p *sqlParser) parseInsert() (Stmt, error) {
+	if err := p.advance(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := Insert{Table: name}
+	if p.tok.kind == 'p' && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.tok.kind == 'p' && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		if p.tok.kind == 'p' && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(ins.Columns) > 0 && len(ins.Columns) != len(ins.Values) {
+		return nil, fmt.Errorf("%w: %d columns but %d values", ErrSyntax, len(ins.Columns), len(ins.Values))
+	}
+	return ins, nil
+}
+
+func (p *sqlParser) parseLiteral() (Value, error) {
+	neg := false
+	if p.tok.kind == 'p' && (p.tok.text == "-" || p.tok.text == "+") {
+		neg = p.tok.text == "-"
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+	}
+	switch {
+	case p.tok.kind == 'n' && p.tok.isF:
+		v := p.tok.fval
+		if neg {
+			v = -v
+		}
+		return FloatV(v), p.advance()
+	case p.tok.kind == 'n':
+		v := p.tok.ival
+		if neg {
+			v = -v
+		}
+		return IntV(v), p.advance()
+	case p.tok.kind == 's':
+		if neg {
+			return Value{}, p.errf("negated string")
+		}
+		return StringV(p.tok.text), p.advance()
+	case p.keyword() == "NULL":
+		if neg {
+			return Value{}, p.errf("negated NULL")
+		}
+		return Null(), p.advance()
+	}
+	return Value{}, p.errf("expected literal, found %q", p.tok.text)
+}
+
+func (p *sqlParser) parseSelect() (Stmt, error) {
+	if err := p.advance(); err != nil { // SELECT
+		return nil, err
+	}
+	sel := Select{}
+	if p.tok.kind == 'p' && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, col)
+			if p.tok.kind == 'p' && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = name
+	if p.keyword() == "WHERE" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	return sel, nil
+}
+
+// --- predicate expressions ---
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword() == "OR" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &orNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword() == "AND" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &andNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.keyword() == "NOT" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *sqlParser) parsePredicate() (Expr, error) {
+	if p.tok.kind == 'p' && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword() == "IS" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		not := false
+		if p.keyword() == "NOT" {
+			not = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &isNullNode{col: col, not: not}, nil
+	}
+	if p.tok.kind != 'p' || !isSQLCmp(p.tok.text) {
+		return nil, p.errf("expected comparison operator, found %q", p.tok.text)
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &cmpNode{col: col, op: op, lit: lit}, nil
+}
+
+func isSQLCmp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+type cmpNode struct {
+	col string
+	op  string
+	lit Value
+}
+
+func (n *cmpNode) Eval(schema *Table, row Row) int {
+	i := schema.ColIndex(n.col)
+	if i < 0 || i >= len(row) {
+		return -1
+	}
+	v := row[i]
+	if v.IsNull() || n.lit.IsNull() {
+		return -1
+	}
+	var c int
+	switch {
+	case v.Kind == VString && n.lit.Kind == VString:
+		c = strings.Compare(v.Str, n.lit.Str)
+	case v.Kind != VString && n.lit.Kind != VString:
+		a, b := v.AsFloat(), n.lit.AsFloat()
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	default:
+		return -1 // type mismatch
+	}
+	ok := false
+	switch n.op {
+	case "=":
+		ok = c == 0
+	case "<>":
+		ok = c != 0
+	case "<":
+		ok = c < 0
+	case "<=":
+		ok = c <= 0
+	case ">":
+		ok = c > 0
+	case ">=":
+		ok = c >= 0
+	}
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+func (n *cmpNode) String() string { return fmt.Sprintf("%s %s %s", n.col, n.op, n.lit) }
+
+type isNullNode struct {
+	col string
+	not bool
+}
+
+func (n *isNullNode) Eval(schema *Table, row Row) int {
+	i := schema.ColIndex(n.col)
+	isNull := i < 0 || i >= len(row) || row[i].IsNull()
+	if isNull != n.not {
+		return 1
+	}
+	return 0
+}
+
+func (n *isNullNode) String() string {
+	if n.not {
+		return n.col + " IS NOT NULL"
+	}
+	return n.col + " IS NULL"
+}
+
+type andNode struct{ l, r Expr }
+
+func (n *andNode) Eval(s *Table, row Row) int {
+	a := n.l.Eval(s, row)
+	if a == 0 {
+		return 0
+	}
+	b := n.r.Eval(s, row)
+	if b == 0 {
+		return 0
+	}
+	if a == 1 && b == 1 {
+		return 1
+	}
+	return -1
+}
+func (n *andNode) String() string { return "(" + n.l.String() + " AND " + n.r.String() + ")" }
+
+type orNode struct{ l, r Expr }
+
+func (n *orNode) Eval(s *Table, row Row) int {
+	a := n.l.Eval(s, row)
+	if a == 1 {
+		return 1
+	}
+	b := n.r.Eval(s, row)
+	if b == 1 {
+		return 1
+	}
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return -1
+}
+func (n *orNode) String() string { return "(" + n.l.String() + " OR " + n.r.String() + ")" }
+
+type notNode struct{ inner Expr }
+
+func (n *notNode) Eval(s *Table, row Row) int {
+	switch n.inner.Eval(s, row) {
+	case 1:
+		return 0
+	case 0:
+		return 1
+	}
+	return -1
+}
+func (n *notNode) String() string { return "NOT " + n.inner.String() }
+
+// --- helpers used by the rgma engine ---
+
+// CheckRow validates a row against a schema: length, types and CHAR
+// length limits. Integers are accepted into REAL/DOUBLE columns.
+func CheckRow(t *Table, row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("sqlmini: row has %d values, table %s has %d columns", len(row), t.Name, len(t.Columns))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		col := t.Columns[i]
+		switch col.Type {
+		case TInteger:
+			if v.Kind != VInt {
+				return fmt.Errorf("sqlmini: column %s wants INTEGER, got %s", col.Name, v)
+			}
+		case TReal, TDouble:
+			if v.Kind != VInt && v.Kind != VFloat {
+				return fmt.Errorf("sqlmini: column %s wants numeric, got %s", col.Name, v)
+			}
+		case TChar, TVarchar:
+			if v.Kind != VString {
+				return fmt.Errorf("sqlmini: column %s wants string, got %s", col.Name, v)
+			}
+			if col.Len > 0 && len(v.Str) > col.Len {
+				return fmt.Errorf("sqlmini: column %s value exceeds length %d", col.Name, col.Len)
+			}
+		}
+	}
+	return nil
+}
+
+// ReorderInsert maps an INSERT's values into schema column order,
+// filling unnamed columns with NULL. An INSERT without a column list must
+// cover every column in order.
+func ReorderInsert(t *Table, ins Insert) (Row, error) {
+	if len(ins.Columns) == 0 {
+		if len(ins.Values) != len(t.Columns) {
+			return nil, fmt.Errorf("sqlmini: INSERT has %d values, table %s has %d columns", len(ins.Values), t.Name, len(t.Columns))
+		}
+		row := make(Row, len(ins.Values))
+		copy(row, ins.Values)
+		return row, CheckRow(t, row)
+	}
+	row := make(Row, len(t.Columns))
+	for i, col := range ins.Columns {
+		idx := t.ColIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("sqlmini: table %s has no column %q", t.Name, col)
+		}
+		row[idx] = ins.Values[i]
+	}
+	return row, CheckRow(t, row)
+}
+
+// Project applies a SELECT's column list to a row.
+func Project(t *Table, sel Select, row Row) (Row, error) {
+	if sel.Columns == nil {
+		out := make(Row, len(row))
+		copy(out, row)
+		return out, nil
+	}
+	out := make(Row, len(sel.Columns))
+	for i, col := range sel.Columns {
+		idx := t.ColIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("sqlmini: table %s has no column %q", t.Name, col)
+		}
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// Matches reports whether a row satisfies a SELECT's WHERE clause
+// (true when there is no predicate; SQL semantics: only TRUE matches).
+func Matches(t *Table, sel Select, row Row) bool {
+	if sel.Where == nil {
+		return true
+	}
+	return sel.Where.Eval(t, row) == 1
+}
+
+// FormatInsert renders an INSERT statement for a table and row, the form
+// the R-GMA producer API puts on the wire.
+func FormatInsert(t *Table, row Row) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(t.Name)
+	sb.WriteString(" (")
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteString(") VALUES (")
+	for i, v := range row {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

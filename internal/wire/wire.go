@@ -1,0 +1,615 @@
+// Package wire defines the broker's binary protocol: typed frames, an
+// exact binary codec for JMS messages, and length-prefixed stream framing
+// for real TCP transports.
+//
+// The same frame structs travel two ways: over the discrete-event
+// simulator they are carried by reference (with Size providing the exact
+// number of bytes the codec would produce, so the network model charges
+// authentic wire time), and over real TCP they are marshalled with this
+// codec. Everything is big-endian.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"gridmon/internal/message"
+)
+
+// FrameType tags each protocol frame.
+type FrameType uint8
+
+// Protocol frame types.
+const (
+	FTConnect FrameType = iota + 1
+	FTConnected
+	FTSubscribe
+	FTSubOK
+	FTUnsubscribe
+	FTPublish
+	FTPubAck
+	FTMessage
+	FTAck
+	FTClose
+	FTPing
+	FTPong
+	FTBrokerHello
+	FTBrokerForward
+	FTBrokerSub
+)
+
+var frameNames = map[FrameType]string{
+	FTConnect: "CONNECT", FTConnected: "CONNECTED", FTSubscribe: "SUBSCRIBE",
+	FTSubOK: "SUB_OK", FTUnsubscribe: "UNSUBSCRIBE", FTPublish: "PUBLISH",
+	FTPubAck: "PUB_ACK", FTMessage: "MESSAGE", FTAck: "ACK", FTClose: "CLOSE",
+	FTPing: "PING", FTPong: "PONG", FTBrokerHello: "BROKER_HELLO",
+	FTBrokerForward: "BROKER_FORWARD", FTBrokerSub: "BROKER_SUB",
+}
+
+func (t FrameType) String() string {
+	if s, ok := frameNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// Frame is one protocol message.
+type Frame interface {
+	Type() FrameType
+}
+
+// Connect opens a client connection.
+type Connect struct {
+	ClientID string
+}
+
+// Connected acknowledges Connect.
+type Connected struct {
+	BrokerID string
+}
+
+// Subscribe registers a subscription on a destination with an optional
+// JMS selector.
+type Subscribe struct {
+	SubID       int64
+	Dest        message.Destination
+	Selector    string
+	Durable     bool
+	DurableName string
+	AckMode     message.AckMode
+}
+
+// SubOK acknowledges Subscribe.
+type SubOK struct {
+	SubID int64
+}
+
+// Unsubscribe removes a subscription.
+type Unsubscribe struct {
+	SubID int64
+}
+
+// Publish carries a produced message. Seq lets the broker acknowledge the
+// publish on transports that require it.
+type Publish struct {
+	Seq int64
+	Msg *message.Message
+}
+
+// PubAck acknowledges a Publish by sequence number.
+type PubAck struct {
+	Seq int64
+}
+
+// Deliver pushes a message to a subscription; Tag identifies the delivery
+// for acknowledgement.
+type Deliver struct {
+	SubID int64
+	Tag   int64
+	Msg   *message.Message
+}
+
+// Ack acknowledges one or more deliveries on a subscription.
+type Ack struct {
+	SubID int64
+	Tags  []int64
+}
+
+// Close terminates a connection gracefully.
+type Close struct{}
+
+// Ping is a liveness probe; Pong is its reply.
+type Ping struct{ Token int64 }
+
+// Pong replies to Ping.
+type Pong struct{ Token int64 }
+
+// BrokerHello identifies a peer broker on an inter-broker link.
+type BrokerHello struct {
+	BrokerID string
+}
+
+// BrokerForward carries a published message between brokers in a broker
+// network. Origin is the broker that first accepted the publish; brokers
+// never re-forward a forwarded message, which keeps the (fully-connected
+// or tree) broker network loop-free.
+type BrokerForward struct {
+	Origin string
+	Msg    *message.Message
+}
+
+// BrokerSub propagates topic interest between brokers so TREE-mode
+// routing can forward selectively.
+type BrokerSub struct {
+	BrokerID string
+	Topic    string
+	Add      bool
+}
+
+// Type implementations.
+func (Connect) Type() FrameType       { return FTConnect }
+func (Connected) Type() FrameType     { return FTConnected }
+func (Subscribe) Type() FrameType     { return FTSubscribe }
+func (SubOK) Type() FrameType         { return FTSubOK }
+func (Unsubscribe) Type() FrameType   { return FTUnsubscribe }
+func (Publish) Type() FrameType       { return FTPublish }
+func (PubAck) Type() FrameType        { return FTPubAck }
+func (Deliver) Type() FrameType       { return FTMessage }
+func (Ack) Type() FrameType           { return FTAck }
+func (Close) Type() FrameType         { return FTClose }
+func (Ping) Type() FrameType          { return FTPing }
+func (Pong) Type() FrameType          { return FTPong }
+func (BrokerHello) Type() FrameType   { return FTBrokerHello }
+func (BrokerForward) Type() FrameType { return FTBrokerForward }
+func (BrokerSub) Type() FrameType     { return FTBrokerSub }
+
+// Errors returned by the codec.
+var (
+	ErrShortBuffer  = errors.New("wire: short buffer")
+	ErrUnknownFrame = errors.New("wire: unknown frame type")
+	ErrBadMessage   = errors.New("wire: malformed message")
+	ErrFrameTooBig  = errors.New("wire: frame exceeds maximum size")
+)
+
+// MaxFrameSize bounds a single frame on stream transports (16 MB), a
+// protective limit far above any monitoring payload.
+const MaxFrameSize = 16 << 20
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) bool(b bool) {
+	if b {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+func (r *reader) rbytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return b
+}
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func writeValue(w *writer, v message.Value) {
+	w.u8(uint8(v.Kind()))
+	switch v.Kind() {
+	case message.KindNull:
+	case message.KindBool:
+		b, _ := v.AsBool()
+		w.bool(b)
+	case message.KindByte:
+		n, _ := v.AsLong()
+		w.u8(uint8(int8(n)))
+	case message.KindShort:
+		n, _ := v.AsLong()
+		w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(int16(n)))
+	case message.KindInt:
+		n, _ := v.AsLong()
+		w.u32(uint32(int32(n)))
+	case message.KindLong:
+		n, _ := v.AsLong()
+		w.u64(uint64(n))
+	case message.KindFloat:
+		f, _ := v.AsDouble()
+		w.u32(math.Float32bits(float32(f)))
+	case message.KindDouble:
+		f, _ := v.AsDouble()
+		w.u64(math.Float64bits(f))
+	case message.KindString:
+		w.str(v.AsString())
+	case message.KindBytes:
+		b, _ := v.AsBytes()
+		w.bytes(b)
+	}
+}
+
+func readValue(r *reader) message.Value {
+	kind := message.Kind(r.u8())
+	switch kind {
+	case message.KindNull:
+		return message.Null()
+	case message.KindBool:
+		return message.Bool(r.bool())
+	case message.KindByte:
+		return message.Byte(int8(r.u8()))
+	case message.KindShort:
+		if r.err != nil || r.off+2 > len(r.buf) {
+			r.fail()
+			return message.Null()
+		}
+		v := int16(binary.BigEndian.Uint16(r.buf[r.off:]))
+		r.off += 2
+		return message.Short(v)
+	case message.KindInt:
+		return message.Int(int32(r.u32()))
+	case message.KindLong:
+		return message.Long(int64(r.u64()))
+	case message.KindFloat:
+		return message.Float(math.Float32frombits(r.u32()))
+	case message.KindDouble:
+		return message.Double(math.Float64frombits(r.u64()))
+	case message.KindString:
+		return message.String(r.str())
+	case message.KindBytes:
+		return message.Bytes(r.rbytes())
+	}
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: bad value kind %d", ErrBadMessage, kind)
+	}
+	return message.Null()
+}
+
+func writeDest(w *writer, d message.Destination) {
+	w.u8(uint8(d.Kind))
+	w.str(d.Name)
+}
+
+func readDest(r *reader) message.Destination {
+	k := message.DestKind(r.u8())
+	return message.Destination{Kind: k, Name: r.str()}
+}
+
+// WriteMessage appends the codec form of m to the writer.
+func writeMessage(w *writer, m *message.Message) {
+	w.u8(uint8(m.BodyKind()))
+	w.str(m.ID)
+	writeDest(w, m.Dest)
+	w.u64(uint64(m.Timestamp))
+	w.u64(uint64(m.Expiration))
+	w.u8(uint8(m.Priority))
+	w.str(m.CorrelationID)
+	writeDest(w, m.ReplyTo)
+	w.str(m.Type)
+	w.bool(m.Redelivered)
+	w.u8(uint8(m.Mode))
+	names := m.PropertyNames()
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		w.str(name)
+		v, _ := m.Property(name)
+		writeValue(w, v)
+	}
+	switch m.BodyKind() {
+	case message.TextBody:
+		w.str(m.Text())
+	case message.BytesBody, message.ObjectBody:
+		w.bytes(m.BytesPayload())
+	case message.MapBody:
+		mn := m.MapNames()
+		w.u32(uint32(len(mn)))
+		for _, name := range mn {
+			w.str(name)
+			v, _ := m.MapGet(name)
+			writeValue(w, v)
+		}
+	case message.StreamBody:
+		vs := m.Stream()
+		w.u32(uint32(len(vs)))
+		for _, v := range vs {
+			writeValue(w, v)
+		}
+	}
+}
+
+func readMessage(r *reader) *message.Message {
+	bodyKind := message.BodyKind(r.u8())
+	m := message.New()
+	switch bodyKind {
+	case message.MapBody:
+		m = message.NewMap()
+	case message.EmptyBody, message.TextBody, message.BytesBody, message.StreamBody, message.ObjectBody:
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: bad body kind %d", ErrBadMessage, bodyKind)
+		}
+		return m
+	}
+	m.ID = r.str()
+	m.Dest = readDest(r)
+	m.Timestamp = int64(r.u64())
+	m.Expiration = int64(r.u64())
+	m.Priority = int(r.u8())
+	m.CorrelationID = r.str()
+	m.ReplyTo = readDest(r)
+	m.Type = r.str()
+	m.Redelivered = r.bool()
+	m.Mode = message.DeliveryMode(r.u8())
+	nprops := int(r.u32())
+	for i := 0; i < nprops && r.err == nil; i++ {
+		name := r.str()
+		m.SetProperty(name, readValue(r))
+	}
+	switch bodyKind {
+	case message.TextBody:
+		m.SetText(r.str())
+	case message.BytesBody:
+		m.SetBytes(r.rbytes())
+	case message.ObjectBody:
+		m.SetObject(r.rbytes())
+	case message.MapBody:
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			name := r.str()
+			m.MapSet(name, readValue(r))
+		}
+	case message.StreamBody:
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.StreamAppend(readValue(r))
+		}
+	}
+	return m
+}
+
+// Marshal encodes a frame to bytes.
+func Marshal(f Frame) []byte {
+	w := &writer{buf: make([]byte, 0, 64)}
+	w.u8(uint8(f.Type()))
+	switch v := f.(type) {
+	case Connect:
+		w.str(v.ClientID)
+	case Connected:
+		w.str(v.BrokerID)
+	case Subscribe:
+		w.u64(uint64(v.SubID))
+		writeDest(w, v.Dest)
+		w.str(v.Selector)
+		w.bool(v.Durable)
+		w.str(v.DurableName)
+		w.u8(uint8(v.AckMode))
+	case SubOK:
+		w.u64(uint64(v.SubID))
+	case Unsubscribe:
+		w.u64(uint64(v.SubID))
+	case Publish:
+		w.u64(uint64(v.Seq))
+		writeMessage(w, v.Msg)
+	case PubAck:
+		w.u64(uint64(v.Seq))
+	case Deliver:
+		w.u64(uint64(v.SubID))
+		w.u64(uint64(v.Tag))
+		writeMessage(w, v.Msg)
+	case Ack:
+		w.u64(uint64(v.SubID))
+		w.u32(uint32(len(v.Tags)))
+		for _, tag := range v.Tags {
+			w.u64(uint64(tag))
+		}
+	case Close:
+	case Ping:
+		w.u64(uint64(v.Token))
+	case Pong:
+		w.u64(uint64(v.Token))
+	case BrokerHello:
+		w.str(v.BrokerID)
+	case BrokerForward:
+		w.str(v.Origin)
+		writeMessage(w, v.Msg)
+	case BrokerSub:
+		w.str(v.BrokerID)
+		w.str(v.Topic)
+		w.bool(v.Add)
+	default:
+		panic(fmt.Sprintf("wire: marshal of unknown frame %T", f))
+	}
+	return w.buf
+}
+
+// Unmarshal decodes a frame from bytes.
+func Unmarshal(buf []byte) (Frame, error) {
+	r := &reader{buf: buf}
+	t := FrameType(r.u8())
+	var f Frame
+	switch t {
+	case FTConnect:
+		f = Connect{ClientID: r.str()}
+	case FTConnected:
+		f = Connected{BrokerID: r.str()}
+	case FTSubscribe:
+		f = Subscribe{
+			SubID:       int64(r.u64()),
+			Dest:        readDest(r),
+			Selector:    r.str(),
+			Durable:     r.bool(),
+			DurableName: r.str(),
+			AckMode:     message.AckMode(r.u8()),
+		}
+	case FTSubOK:
+		f = SubOK{SubID: int64(r.u64())}
+	case FTUnsubscribe:
+		f = Unsubscribe{SubID: int64(r.u64())}
+	case FTPublish:
+		f = Publish{Seq: int64(r.u64()), Msg: readMessage(r)}
+	case FTPubAck:
+		f = PubAck{Seq: int64(r.u64())}
+	case FTMessage:
+		f = Deliver{SubID: int64(r.u64()), Tag: int64(r.u64()), Msg: readMessage(r)}
+	case FTAck:
+		a := Ack{SubID: int64(r.u64())}
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			a.Tags = append(a.Tags, int64(r.u64()))
+		}
+		f = a
+	case FTClose:
+		f = Close{}
+	case FTPing:
+		f = Ping{Token: int64(r.u64())}
+	case FTPong:
+		f = Pong{Token: int64(r.u64())}
+	case FTBrokerHello:
+		f = BrokerHello{BrokerID: r.str()}
+	case FTBrokerForward:
+		f = BrokerForward{Origin: r.str(), Msg: readMessage(r)}
+	case FTBrokerSub:
+		f = BrokerSub{BrokerID: r.str(), Topic: r.str(), Add: r.bool()}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, t)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(buf)-r.off)
+	}
+	return f, nil
+}
+
+// Size reports the exact number of bytes Marshal produces for f, without
+// allocating. The simulator uses this to charge wire time for frames that
+// are carried by reference.
+func Size(f Frame) int {
+	n := 1 // frame type
+	switch v := f.(type) {
+	case Connect:
+		n += 4 + len(v.ClientID)
+	case Connected:
+		n += 4 + len(v.BrokerID)
+	case Subscribe:
+		n += 8 + 1 + 4 + len(v.Dest.Name) + 4 + len(v.Selector) + 1 + 4 + len(v.DurableName) + 1
+	case SubOK, Unsubscribe, PubAck:
+		n += 8
+	case Publish:
+		n += 8 + v.Msg.EncodedSize()
+	case Deliver:
+		n += 16 + v.Msg.EncodedSize()
+	case Ack:
+		n += 8 + 4 + 8*len(v.Tags)
+	case Close:
+	case Ping, Pong:
+		n += 8
+	case BrokerHello:
+		n += 4 + len(v.BrokerID)
+	case BrokerForward:
+		n += 4 + len(v.Origin) + v.Msg.EncodedSize()
+	case BrokerSub:
+		n += 4 + len(v.BrokerID) + 4 + len(v.Topic) + 1
+	default:
+		panic(fmt.Sprintf("wire: size of unknown frame %T", f))
+	}
+	return n
+}
+
+// WriteFrame writes a length-prefixed frame to a stream.
+func WriteFrame(w io.Writer, f Frame) error {
+	body := Marshal(f)
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from a stream.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Unmarshal(body)
+}

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"gridmon/internal/message"
+)
+
+func sampleMessage() *message.Message {
+	m := message.NewMap()
+	m.ID = "ID:hydra1-42"
+	m.Dest = message.Topic("power.monitoring")
+	m.Timestamp = 1234567890
+	m.Expiration = 99
+	m.Priority = 4
+	m.CorrelationID = "corr"
+	m.ReplyTo = message.Queue("replies")
+	m.Type = "telemetry"
+	m.Mode = message.Persistent
+	m.SetProperty("id", message.Int(42))
+	m.SetProperty("site", message.String("aberdeen"))
+	m.MapSet("power", message.Float(1.5))
+	m.MapSet("voltage", message.Double(240.1))
+	m.MapSet("count", message.Long(7))
+	m.MapSet("ok", message.Bool(true))
+	m.MapSet("b", message.Byte(-1))
+	m.MapSet("s", message.Short(-2))
+	m.MapSet("raw", message.Bytes([]byte{1, 2, 3}))
+	m.MapSet("none", message.Null())
+	return m
+}
+
+func allFrames() []Frame {
+	return []Frame{
+		Connect{ClientID: "gen-17"},
+		Connected{BrokerID: "hydra5"},
+		Subscribe{SubID: 3, Dest: message.Topic("t"), Selector: "id<10000", Durable: true, DurableName: "d1", AckMode: message.ClientAck},
+		SubOK{SubID: 3},
+		Unsubscribe{SubID: 3},
+		Publish{Seq: 9, Msg: sampleMessage()},
+		PubAck{Seq: 9},
+		Deliver{SubID: 3, Tag: 77, Msg: sampleMessage()},
+		Ack{SubID: 3, Tags: []int64{1, 2, 3}},
+		Close{},
+		Ping{Token: 5},
+		Pong{Token: 5},
+		BrokerHello{BrokerID: "hydra5"},
+		BrokerForward{Origin: "hydra5", Msg: sampleMessage()},
+		BrokerSub{BrokerID: "hydra6", Topic: "power.monitoring", Add: true},
+	}
+}
+
+func framesEqual(a, b Frame) bool {
+	switch av := a.(type) {
+	case Publish:
+		bv, ok := b.(Publish)
+		return ok && av.Seq == bv.Seq && av.Msg.Equal(bv.Msg)
+	case Deliver:
+		bv, ok := b.(Deliver)
+		return ok && av.SubID == bv.SubID && av.Tag == bv.Tag && av.Msg.Equal(bv.Msg)
+	case Ack:
+		bv, ok := b.(Ack)
+		if !ok || av.SubID != bv.SubID || len(av.Tags) != len(bv.Tags) {
+			return false
+		}
+		for i := range av.Tags {
+			if av.Tags[i] != bv.Tags[i] {
+				return false
+			}
+		}
+		return true
+	case BrokerForward:
+		bv, ok := b.(BrokerForward)
+		return ok && av.Origin == bv.Origin && av.Msg.Equal(bv.Msg)
+	default:
+		// Remaining frames are comparable structs.
+		return a == b
+	}
+}
+
+func TestRoundTripAllFrames(t *testing.T) {
+	for _, f := range allFrames() {
+		buf := Marshal(f)
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%v: unmarshal: %v", f.Type(), err)
+		}
+		if got.Type() != f.Type() {
+			t.Fatalf("type mismatch: %v vs %v", got.Type(), f.Type())
+		}
+		if !framesEqual(f, got) {
+			t.Fatalf("%v: round trip mismatch:\n in: %#v\nout: %#v", f.Type(), f, got)
+		}
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	for _, f := range allFrames() {
+		if got, want := Size(f), len(Marshal(f)); got != want {
+			t.Errorf("%v: Size = %d, Marshal len = %d", f.Type(), got, want)
+		}
+	}
+}
+
+func TestMessageEncodedSizeMatchesWire(t *testing.T) {
+	m := sampleMessage()
+	p := Publish{Seq: 1, Msg: m}
+	// Frame overhead is 1 (type) + 8 (seq); the rest is the message.
+	if got := len(Marshal(p)) - 9; got != m.EncodedSize() {
+		t.Fatalf("message wire size %d != EncodedSize %d", got, m.EncodedSize())
+	}
+}
+
+func TestAllBodyKindsRoundTrip(t *testing.T) {
+	text := message.NewText("hello world")
+	text.ID = "t1"
+	bytesMsg := message.NewBytes([]byte{9, 8, 7})
+	bytesMsg.ID = "b1"
+	obj := message.New()
+	obj.SetObject([]byte{1, 1, 2, 3, 5})
+	obj.ID = "o1"
+	stream := message.New()
+	stream.StreamAppend(message.Int(1))
+	stream.StreamAppend(message.String("two"))
+	stream.ID = "s1"
+	empty := message.New()
+	empty.ID = "e1"
+
+	for _, m := range []*message.Message{text, bytesMsg, obj, stream, empty} {
+		buf := Marshal(Publish{Seq: 1, Msg: m})
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", m.BodyKind(), err)
+		}
+		gm := got.(Publish).Msg
+		if !m.Equal(gm) {
+			t.Fatalf("%v round trip mismatch", m.BodyKind())
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{200}); !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("unknown frame err = %v", err)
+	}
+	// Truncated connect.
+	buf := Marshal(Connect{ClientID: "abcdef"})
+	if _, err := Unmarshal(buf[:4]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("short buffer err = %v", err)
+	}
+	// Trailing garbage.
+	if _, err := Unmarshal(append(Marshal(Close{}), 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing bytes err = %v", err)
+	}
+	// Empty buffer.
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer should error")
+	}
+}
+
+func TestCorruptMessagePayload(t *testing.T) {
+	buf := Marshal(Publish{Seq: 1, Msg: sampleMessage()})
+	// Walk every truncation point; none may panic, all must error.
+	for i := 1; i < len(buf); i++ {
+		if _, err := Unmarshal(buf[:i]); err == nil {
+			t.Fatalf("truncation at %d did not error", i)
+		}
+	}
+}
+
+func TestStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	frames := allFrames()
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write %v: %v", f.Type(), err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !framesEqual(want, got) {
+			t.Fatalf("stream round trip mismatch for %v", want.Type())
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Connect{ClientID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated body did not error")
+	}
+}
+
+func TestReadFrameOversize(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize err = %v", err)
+	}
+}
+
+// Property: arbitrary map messages survive the codec byte-for-byte.
+func TestPropertyMapMessageRoundTrip(t *testing.T) {
+	f := func(id string, i32 int32, i64 int64, f64 float64, s string, bs []byte, pri uint8) bool {
+		m := message.NewMap()
+		m.ID = id
+		m.Dest = message.Topic("t")
+		m.Priority = int(pri % 10)
+		m.MapSet("i", message.Int(i32))
+		m.MapSet("l", message.Long(i64))
+		m.MapSet("d", message.Double(f64))
+		m.MapSet("s", message.String(s))
+		m.MapSet("b", message.Bytes(bs))
+		buf := Marshal(Publish{Seq: 1, Msg: m})
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return m.Equal(got.(Publish).Msg) && len(buf) == Size(Publish{Seq: 1, Msg: m})
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ack frames with arbitrary tag lists round trip.
+func TestPropertyAckRoundTrip(t *testing.T) {
+	f := func(sub int64, tags []int64) bool {
+		in := Ack{SubID: sub, Tags: tags}
+		got, err := Unmarshal(Marshal(in))
+		if err != nil {
+			return false
+		}
+		out := got.(Ack)
+		if out.SubID != sub || len(out.Tags) != len(tags) {
+			return false
+		}
+		for i := range tags {
+			if out.Tags[i] != tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalPublish(b *testing.B) {
+	p := Publish{Seq: 1, Msg: sampleMessage()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(p)
+	}
+}
+
+func BenchmarkUnmarshalPublish(b *testing.B) {
+	buf := Marshal(Publish{Seq: 1, Msg: sampleMessage()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSize(b *testing.B) {
+	p := Publish{Seq: 1, Msg: sampleMessage()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Size(p)
+	}
+}
