@@ -1,0 +1,186 @@
+package gridmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// Publish fan-out benchmarks for the broker core's subscription index:
+// 10/100/1000 subscribers × {no selector, simple selector, complex
+// selector}, each runnable against the indexed hot path and against the
+// pre-index linear scan (broker.Config.LegacyLinearScan). Subscribers
+// with selectors are split into ten interest bands, so a published
+// message matches roughly a tenth of them — the content-filtering regime
+// the paper's selector workload models. Each iteration publishes one
+// message and feeds back the acknowledgements its deliveries produced.
+//
+// `go test -bench=PublishFanout` runs the matrix; `go test
+// -run=TestWriteFanoutBench -fanout-json` additionally times every cell
+// in both modes and writes BENCH_fanout.json with the speedups.
+
+// fanoutEnv is a minimal broker.Env: unlimited memory, frames recorded
+// only to the extent needed to acknowledge deliveries.
+type fanoutEnv struct {
+	acks      []wire.Ack
+	delivered uint64
+}
+
+func (e *fanoutEnv) Now() int64 { return 0 }
+func (e *fanoutEnv) Send(conn broker.ConnID, f wire.Frame) {
+	if d, ok := f.(wire.Deliver); ok {
+		e.delivered++
+		e.acks = append(e.acks, wire.Ack{SubID: d.SubID, Tags: []int64{d.Tag}})
+	}
+}
+func (e *fanoutEnv) CloseConn(broker.ConnID) {}
+func (e *fanoutEnv) AllocConn() error        { return nil }
+func (e *fanoutEnv) FreeConn()               {}
+func (e *fanoutEnv) Alloc(int64) error       { return nil }
+func (e *fanoutEnv) Free(int64)              {}
+
+const fanoutBands = 10
+
+func fanoutSelector(class string, band int) string {
+	lo, hi := band*1000, band*1000+999
+	switch class {
+	case "none":
+		return ""
+	case "simple":
+		return fmt.Sprintf("id BETWEEN %d AND %d", lo, hi)
+	case "complex":
+		return fmt.Sprintf(
+			"id BETWEEN %d AND %d AND region IN ('us', 'eu') AND name LIKE 'gen-%%' AND load * 2 < 2000",
+			lo, hi)
+	}
+	panic("unknown selector class " + class)
+}
+
+// setupFanout builds a broker with subs subscribers on one topic. All
+// subscriptions land on a single connection; fan-out cost is per
+// subscription, not per connection.
+func setupFanout(subs int, class string, legacy bool) (*broker.Broker, *fanoutEnv) {
+	env := &fanoutEnv{}
+	cfg := broker.DefaultConfig("bench")
+	cfg.LegacyLinearScan = legacy
+	b := broker.New(env, cfg)
+	if err := b.OnConnOpen(1); err != nil {
+		panic(err)
+	}
+	if err := b.OnConnOpen(2); err != nil {
+		panic(err)
+	}
+	for i := 0; i < subs; i++ {
+		b.OnFrame(1, wire.Subscribe{
+			SubID:    int64(i + 1),
+			Dest:     message.Topic("power"),
+			Selector: fanoutSelector(class, i%fanoutBands),
+		})
+	}
+	return b, env
+}
+
+// fanoutPublish publishes the i-th message and processes the resulting
+// acknowledgements, as a live broker would.
+func fanoutPublish(b *broker.Broker, env *fanoutEnv, i int) {
+	m := message.NewText("reading")
+	m.ID = "ID:bench/1"
+	m.Dest = message.Topic("power")
+	m.SetProperty("id", message.Int(int32(i*7919%(fanoutBands*1000))))
+	m.SetProperty("region", message.String("eu"))
+	m.SetProperty("name", message.String("gen-42"))
+	m.SetProperty("load", message.Double(400))
+	env.acks = env.acks[:0]
+	b.OnFrame(2, wire.Publish{Seq: int64(i), Msg: m})
+	for _, a := range env.acks {
+		b.OnFrame(1, a)
+	}
+}
+
+func benchmarkFanout(b *testing.B, subs int, class string, legacy bool) {
+	br, env := setupFanout(subs, class, legacy)
+	fanoutPublish(br, env, 0) // warm up; sanity-check delivery counts
+	if class == "none" && env.delivered != uint64(subs) {
+		b.Fatalf("warmup delivered %d of %d", env.delivered, subs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fanoutPublish(br, env, i+1)
+	}
+	b.ReportMetric(float64(env.delivered)/float64(b.N), "deliveries/op")
+}
+
+func BenchmarkPublishFanout(b *testing.B) {
+	for _, subs := range []int{10, 100, 1000} {
+		for _, class := range []string{"none", "simple", "complex"} {
+			for _, mode := range []string{"indexed", "legacy"} {
+				b.Run(fmt.Sprintf("subs=%d/sel=%s/%s", subs, class, mode), func(b *testing.B) {
+					benchmarkFanout(b, subs, class, mode == "legacy")
+				})
+			}
+		}
+	}
+}
+
+// fanoutResult is one cell of BENCH_fanout.json.
+type fanoutResult struct {
+	Subscribers   int     `json:"subscribers"`
+	Selector      string  `json:"selector"`
+	IndexedNsOp   float64 `json:"indexed_ns_per_publish"`
+	LegacyNsOp    float64 `json:"legacy_ns_per_publish"`
+	IndexedPubSec float64 `json:"indexed_publishes_per_sec"`
+	LegacyPubSec  float64 `json:"legacy_publishes_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// TestWriteFanoutBench times the full matrix in both modes and writes
+// BENCH_fanout.json. Gated behind an env var so the regular test run
+// stays fast: BENCH_FANOUT_OUT=BENCH_fanout.json go test -run
+// TestWriteFanoutBench .
+func TestWriteFanoutBench(t *testing.T) {
+	out := os.Getenv("BENCH_FANOUT_OUT")
+	if out == "" {
+		t.Skip("set BENCH_FANOUT_OUT to write the fan-out benchmark file")
+	}
+	var results []fanoutResult
+	for _, subs := range []int{10, 100, 1000} {
+		for _, class := range []string{"none", "simple", "complex"} {
+			cell := fanoutResult{Subscribers: subs, Selector: class}
+			for _, legacy := range []bool{false, true} {
+				subs, class, legacy := subs, class, legacy
+				r := testing.Benchmark(func(b *testing.B) {
+					benchmarkFanout(b, subs, class, legacy)
+				})
+				ns := float64(r.T.Nanoseconds()) / float64(r.N)
+				if legacy {
+					cell.LegacyNsOp = ns
+					cell.LegacyPubSec = 1e9 / ns
+				} else {
+					cell.IndexedNsOp = ns
+					cell.IndexedPubSec = 1e9 / ns
+				}
+			}
+			cell.Speedup = cell.LegacyNsOp / cell.IndexedNsOp
+			results = append(results, cell)
+			t.Logf("subs=%d sel=%s: indexed %.0f ns/publish, legacy %.0f ns/publish, speedup %.2fx",
+				subs, class, cell.IndexedNsOp, cell.LegacyNsOp, cell.Speedup)
+		}
+	}
+	buf, err := json.MarshalIndent(map[string]any{
+		"benchmark":   "publish fan-out: indexed subscription index vs pre-index linear scan",
+		"description": "one topic, N subscribers split across 10 selector interest bands; ns per publish incl. delivery + ack processing",
+		"results":     results,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

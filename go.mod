@@ -1,0 +1,3 @@
+module gridmon
+
+go 1.24

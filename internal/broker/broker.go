@@ -13,11 +13,29 @@
 // stack, so a 1 GB heap refuses new connections near 4000 of them, exactly
 // as the paper's broker "ran out of memory to create new threads to serve
 // more incoming connections".
+//
+// # Subscription index
+//
+// The publish hot path is indexed rather than scanned. Each topic
+// partitions its subscriptions into a fast set — subscriptions whose
+// selector provably accepts every message (empty or constant-TRUE
+// selectors) — delivered without any evaluation, and selector groups:
+// selector-bearing subscriptions grouped by their selector source text,
+// so each distinct selector expression's compiled program
+// (selector.Program) evaluates once per published message no matter how
+// many subscribers share it. Durable subscriptions are additionally indexed by
+// topic name, so a publish touches only the durables of its own topic
+// instead of every durable in the broker. All index structures are
+// ordered slices (subscribe order; groups by first appearance), which
+// makes fan-out order — and therefore the discrete-event simulation —
+// deterministic. Config.LegacyLinearScan restores the pre-index scan as a
+// baseline for A/B benchmarks and equivalence tests.
 package broker
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"gridmon/internal/message"
 	"gridmon/internal/selector"
@@ -66,6 +84,13 @@ type Config struct {
 	// MaxDurableBacklog bounds messages stored for a disconnected
 	// durable subscriber; 0 means unbounded (memory still applies).
 	MaxDurableBacklog int
+	// LegacyLinearScan restores the pre-index publish path: a linear
+	// scan over every topic subscription with tree-walking selector
+	// evaluation per candidate, and a scan over every durable in the
+	// system. It exists as the measured baseline for the fan-out
+	// benchmarks and for index-equivalence tests; production
+	// configurations leave it false.
+	LegacyLinearScan bool
 }
 
 // DefaultConfig returns the configuration used in the paper reproduction.
@@ -126,9 +151,37 @@ type storedMsg struct {
 	cost int64
 }
 
+// selGroup collects the topic subscriptions sharing one selector source
+// text. The group's compiled program is evaluated once per published
+// message and its verdict applied to every member. Grouping is textual:
+// semantically equivalent but differently written selectors ("id<10" vs
+// "id < 10") land in separate groups and are evaluated separately.
+type selGroup struct {
+	key  string // verbatim selector source
+	prog *selector.Program
+	subs []*subscription // subscribe order
+}
+
+// topicState indexes a topic's subscriptions for publish fan-out. In the
+// default indexed mode, fast holds subscriptions delivered without
+// selector evaluation and groups holds the selector-bearing ones,
+// deduplicated by selector source. In legacy mode every subscription
+// lives in the legacy set — an unordered map, exactly the structure the
+// pre-index broker scanned.
 type topicState struct {
-	name string
-	subs map[*subscription]struct{}
+	name   string
+	fast   []*subscription      // always-true selectors, subscribe order
+	groups []*selGroup          // first-appearance order
+	byKey  map[string]*selGroup // selector source -> group
+	legacy map[*subscription]struct{}
+}
+
+func (t *topicState) subCount() int {
+	n := len(t.fast) + len(t.legacy)
+	for _, g := range t.groups {
+		n += len(g.subs)
+	}
+	return n
 }
 
 type queueState struct {
@@ -163,6 +216,10 @@ type Broker struct {
 	topics   map[string]*topicState
 	queues   map[string]*queueState
 	durables map[string]*durableState
+	// durablesByTopic indexes durables by their topic (in creation
+	// order) so publish touches only the durables of the published
+	// topic. Unused in legacy mode, which scans the durables map.
+	durablesByTopic map[string][]*durableState
 
 	forwarder Forwarder
 
@@ -179,12 +236,13 @@ func New(env Env, cfg Config) *Broker {
 		cfg.ID = "broker"
 	}
 	return &Broker{
-		env:      env,
-		cfg:      cfg,
-		conns:    make(map[ConnID]*conn),
-		topics:   make(map[string]*topicState),
-		queues:   make(map[string]*queueState),
-		durables: make(map[string]*durableState),
+		env:             env,
+		cfg:             cfg,
+		conns:           make(map[ConnID]*conn),
+		topics:          make(map[string]*topicState),
+		queues:          make(map[string]*queueState),
+		durables:        make(map[string]*durableState),
+		durablesByTopic: make(map[string][]*durableState),
 	}
 }
 
@@ -209,19 +267,37 @@ func (b *Broker) SetInterestFunc(fn func(topic string, add bool)) { b.onInterest
 // (bindings use it to charge selector-matching CPU time).
 func (b *Broker) TopicSubscribers(name string) int {
 	if t := b.topics[name]; t != nil {
-		return len(t.subs)
+		return t.subCount()
 	}
 	return 0
 }
 
-// Topics returns the names of topics with at least one local subscriber.
+// TopicSelectorGroups reports how many distinct selector programs a
+// publish on the topic evaluates: one per selector group, zero for fast
+// (no-selector) subscriptions. Note the simulator binding deliberately
+// does NOT use this: it charges selector CPU per subscriber, modelling
+// the paper's linear-scan Java broker. This accessor exists for bindings
+// (and tests) that want to model or observe the indexed broker itself.
+func (b *Broker) TopicSelectorGroups(name string) int {
+	if t := b.topics[name]; t != nil {
+		if b.cfg.LegacyLinearScan {
+			return len(t.legacy)
+		}
+		return len(t.groups)
+	}
+	return 0
+}
+
+// Topics returns the names of topics with at least one local subscriber,
+// sorted for deterministic iteration by callers.
 func (b *Broker) Topics() []string {
 	var out []string
 	for name, t := range b.topics {
-		if len(t.subs) > 0 {
+		if t.subCount() > 0 {
 			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -324,11 +400,11 @@ func (b *Broker) handleSubscribe(c *conn, v wire.Subscribe) {
 		}
 		t := b.topics[v.Dest.Name]
 		if t == nil {
-			t = &topicState{name: v.Dest.Name, subs: make(map[*subscription]struct{})}
+			t = &topicState{name: v.Dest.Name, byKey: make(map[string]*selGroup)}
 			b.topics[v.Dest.Name] = t
 		}
-		wasEmpty := len(t.subs) == 0
-		t.subs[sub] = struct{}{}
+		wasEmpty := t.subCount() == 0
+		b.addTopicSub(t, sub)
 		if wasEmpty && b.onInterest != nil {
 			b.onInterest(t.name, true)
 		}
@@ -353,6 +429,70 @@ func (b *Broker) handleSubscribe(c *conn, v wire.Subscribe) {
 	}
 }
 
+// addTopicSub places a subscription into the topic's index: the fast set
+// when its selector provably matches everything, otherwise the selector
+// group for its selector source (created on first use). Legacy mode
+// appends to the flat scan list instead.
+func (b *Broker) addTopicSub(t *topicState, sub *subscription) {
+	if b.cfg.LegacyLinearScan {
+		if t.legacy == nil {
+			t.legacy = make(map[*subscription]struct{})
+		}
+		t.legacy[sub] = struct{}{}
+		return
+	}
+	if sub.sel.AlwaysTrue() {
+		t.fast = append(t.fast, sub)
+		return
+	}
+	key := sub.sel.String()
+	g := t.byKey[key]
+	if g == nil {
+		g = &selGroup{key: key, prog: sub.sel.Compiled()}
+		t.byKey[key] = g
+		t.groups = append(t.groups, g)
+	}
+	g.subs = append(g.subs, sub)
+}
+
+// removeTopicSub removes a subscription from the topic's index,
+// preserving the order of the remaining entries. Emptied selector groups
+// are dropped.
+func (b *Broker) removeTopicSub(t *topicState, sub *subscription) {
+	if b.cfg.LegacyLinearScan {
+		delete(t.legacy, sub)
+		return
+	}
+	if sub.sel.AlwaysTrue() {
+		t.fast = removeSub(t.fast, sub)
+		return
+	}
+	key := sub.sel.String()
+	g := t.byKey[key]
+	if g == nil {
+		return
+	}
+	g.subs = removeSub(g.subs, sub)
+	if len(g.subs) == 0 {
+		delete(t.byKey, key)
+		for i, og := range t.groups {
+			if og == g {
+				t.groups = append(t.groups[:i], t.groups[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func removeSub(subs []*subscription, sub *subscription) []*subscription {
+	for i, s := range subs {
+		if s == sub {
+			return append(subs[:i], subs[i+1:]...)
+		}
+	}
+	return subs
+}
+
 // attachDurable binds a subscription to its durable state, creating it on
 // first use. It fails when the durable name is already active on another
 // subscription (JMS allows one active consumer per durable subscription).
@@ -361,6 +501,7 @@ func (b *Broker) attachDurable(sub *subscription) bool {
 	if d == nil {
 		d = &durableState{name: sub.durableName, topic: sub.dest.Name, sel: sub.sel}
 		b.durables[sub.durableName] = d
+		b.durablesByTopic[d.topic] = append(b.durablesByTopic[d.topic], d)
 	}
 	if d.active != nil {
 		return false
@@ -371,11 +512,32 @@ func (b *Broker) attachDurable(sub *subscription) bool {
 			b.env.Free(sm.cost)
 		}
 		d.backlog = nil
-		d.topic = sub.dest.Name
+		if d.topic != sub.dest.Name {
+			b.unindexDurable(d)
+			d.topic = sub.dest.Name
+			b.durablesByTopic[d.topic] = append(b.durablesByTopic[d.topic], d)
+		}
 		d.sel = sub.sel
 	}
 	d.active = sub
 	return true
+}
+
+// unindexDurable removes a durable from the by-topic index, preserving
+// the order of the remaining entries.
+func (b *Broker) unindexDurable(d *durableState) {
+	ds := b.durablesByTopic[d.topic]
+	for i, od := range ds {
+		if od == d {
+			ds = append(ds[:i], ds[i+1:]...)
+			break
+		}
+	}
+	if len(ds) == 0 {
+		delete(b.durablesByTopic, d.topic)
+	} else {
+		b.durablesByTopic[d.topic] = ds
+	}
 }
 
 func (b *Broker) drainDurable(d *durableState, sub *subscription) {
@@ -402,8 +564,8 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 	switch sub.dest.Kind {
 	case message.TopicKind:
 		if t := b.topics[sub.dest.Name]; t != nil {
-			delete(t.subs, sub)
-			if len(t.subs) == 0 {
+			b.removeTopicSub(t, sub)
+			if t.subCount() == 0 {
 				if b.onInterest != nil {
 					b.onInterest(t.name, false)
 				}
@@ -418,6 +580,7 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 						b.env.Free(sm.cost)
 					}
 					delete(b.durables, sub.durableName)
+					b.unindexDurable(d)
 				}
 			}
 		}
@@ -467,19 +630,41 @@ func (b *Broker) routeLocal(m *message.Message) {
 	}
 	switch m.Dest.Kind {
 	case message.TopicKind:
-		if t := b.topics[m.Dest.Name]; t != nil {
-			for sub := range t.subs {
-				if sub.sel.Matches(m) {
-					b.deliverTo(sub, m)
+		if b.cfg.LegacyLinearScan {
+			b.routeTopicLegacy(m)
+			return
+		}
+		t := b.topics[m.Dest.Name]
+		durables := b.durablesByTopic[m.Dest.Name]
+		if t == nil && len(durables) == 0 {
+			return
+		}
+		// The message's encoded size (hence its delivery memory cost) is
+		// identical for every subscriber: compute it once per publish.
+		cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+		if t != nil {
+			// Fast set: selectors that provably accept everything are
+			// delivered without evaluation.
+			for _, sub := range t.fast {
+				b.deliverCost(sub, m, cost)
+			}
+			// Selector groups: one compiled evaluation per distinct
+			// selector, applied to every subscriber sharing it.
+			for _, g := range t.groups {
+				if g.prog.Matches(m) {
+					for _, sub := range g.subs {
+						b.deliverCost(sub, m, cost)
+					}
 				} else {
-					b.stats.SelectorRejected++
+					b.stats.SelectorRejected += uint64(len(g.subs))
 				}
 			}
 		}
-		// Durable subscribers currently offline buffer the message.
-		for _, d := range b.durables {
-			if d.active == nil && d.topic == m.Dest.Name && d.sel.Matches(m) {
-				b.storeDurable(d, m)
+		// Durable subscribers currently offline buffer the message; only
+		// this topic's durables are touched.
+		for _, d := range durables {
+			if d.active == nil && d.sel.Matches(m) {
+				b.storeDurable(d, m, cost)
 			}
 		}
 	case message.QueueKind:
@@ -493,12 +678,32 @@ func (b *Broker) routeLocal(m *message.Message) {
 	}
 }
 
-func (b *Broker) storeDurable(d *durableState, m *message.Message) {
+// routeTopicLegacy is the pre-index publish path, kept as the measured
+// baseline: every topic subscription is visited with a tree-walking
+// selector evaluation per candidate, and every durable in the broker is
+// scanned regardless of its topic.
+func (b *Broker) routeTopicLegacy(m *message.Message) {
+	if t := b.topics[m.Dest.Name]; t != nil {
+		for sub := range t.legacy {
+			if sub.sel.EvalInterpreted(m) == selector.TriTrue {
+				b.deliverTo(sub, m)
+			} else {
+				b.stats.SelectorRejected++
+			}
+		}
+	}
+	for _, d := range b.durables {
+		if d.active == nil && d.topic == m.Dest.Name && d.sel.EvalInterpreted(m) == selector.TriTrue {
+			b.storeDurable(d, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
+		}
+	}
+}
+
+func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
 	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
 		b.stats.DroppedBacklog++
 		return
 	}
-	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
 	if err := b.env.Alloc(cost); err != nil {
 		b.stats.DroppedOOM++
 		return
@@ -549,11 +754,16 @@ func (b *Broker) drainQueue(q *queueState) {
 // deliverTo sends a message to one subscription, tracking it as pending
 // until acknowledged.
 func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
+	b.deliverCost(sub, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
+}
+
+// deliverCost is deliverTo with the delivery's memory cost precomputed,
+// so a topic fan-out prices the message once instead of per subscriber.
+func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) {
 	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
 		b.stats.DroppedBacklog++
 		return
 	}
-	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
 	if err := b.env.Alloc(cost); err != nil {
 		b.stats.DroppedOOM++
 		return

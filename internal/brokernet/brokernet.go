@@ -18,6 +18,7 @@ package brokernet
 
 import (
 	"fmt"
+	"sort"
 
 	"gridmon/internal/broker"
 	"gridmon/internal/message"
@@ -58,6 +59,9 @@ type Member struct {
 	b     *broker.Broker
 	mode  RoutingMode
 	peers map[string]LinkSender
+	// peerOrder fixes fan-out iteration to AddPeer order; map iteration
+	// here would make multi-broker simulations nondeterministic.
+	peerOrder []string
 
 	// interest[peer] is the set of topics for which the subtree reached
 	// through that peer has at least one subscriber.
@@ -104,10 +108,18 @@ func (m *Member) AddPeer(id string, send LinkSender) {
 		panic(fmt.Sprintf("brokernet: duplicate peer %q on %q", id, m.b.ID()))
 	}
 	m.peers[id] = send
+	m.peerOrder = append(m.peerOrder, id)
 	m.interest[id] = make(map[string]bool)
 	send(wire.BrokerHello{BrokerID: m.b.ID()})
-	// Advertise every topic this subtree is currently interested in.
-	for topic := range m.advertisedTopics(id) {
+	// Advertise every topic this subtree is currently interested in, in
+	// sorted order so link setup is deterministic.
+	adv := m.advertisedTopics(id)
+	topics := make([]string, 0, len(adv))
+	for topic := range adv {
+		topics = append(topics, topic)
+	}
+	sort.Strings(topics)
+	for _, topic := range topics {
 		send(wire.BrokerSub{BrokerID: m.b.ID(), Topic: topic, Add: true})
 	}
 }
@@ -144,7 +156,8 @@ func (m *Member) onLocalInterest(topic string, add bool) {
 // reAdvertise recomputes and pushes the interest advertisement for one
 // topic on every link where it changed.
 func (m *Member) reAdvertise(topic string) {
-	for peer, send := range m.peers {
+	for _, peer := range m.peerOrder {
+		send := m.peers[peer]
 		want := m.localTopics[topic]
 		if !want {
 			for other, topics := range m.interest {
@@ -167,12 +180,14 @@ func (m *Member) OnLocalPublish(msg *message.Message) {
 	m.forward(msg, "")
 }
 
-// forward sends a message to peers, skipping the link it arrived on.
+// forward sends a message to peers in AddPeer order, skipping the link
+// it arrived on.
 func (m *Member) forward(msg *message.Message, from string) {
-	for peer, send := range m.peers {
+	for _, peer := range m.peerOrder {
 		if peer == from {
 			continue
 		}
+		send := m.peers[peer]
 		if m.mode == RoutingTree && msg.Dest.Kind == message.TopicKind {
 			if !m.interest[peer][msg.Dest.Name] {
 				m.prunedForwards++

@@ -30,6 +30,7 @@ type Connection struct {
 	conn net.Conn
 
 	writeMu sync.Mutex
+	wbuf    []byte // reusable encode buffer, guarded by writeMu
 
 	mu          sync.Mutex
 	brokerID    string
@@ -107,10 +108,25 @@ func (c *Connection) BrokerID() string {
 	return c.brokerID
 }
 
+// maxRetainedSendBuf caps the encode buffer kept across sends; an
+// occasional huge frame should not pin its buffer for the connection's
+// lifetime.
+const maxRetainedSendBuf = 64 << 10
+
 func (c *Connection) send(f wire.Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return wire.WriteFrame(c.conn, f)
+	buf, err := wire.AppendFrame(c.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	if cap(buf) <= maxRetainedSendBuf {
+		c.wbuf = buf
+	} else {
+		c.wbuf = nil
+	}
+	_, err = c.conn.Write(buf)
+	return err
 }
 
 func (c *Connection) readLoop() {

@@ -174,13 +174,48 @@ func (s *Server) accept() {
 	}
 }
 
+// maxWriteBatch caps how many bytes of queued frames the writer encodes
+// into one buffer before flushing to the socket.
+const maxWriteBatch = 64 << 10
+
 func (w *connWriter) run() {
+	// One reusable encode buffer per connection: frames already queued
+	// when the writer wakes (same-tick deliveries of a fan-out) are
+	// coalesced into a single Write call.
+	buf := make([]byte, 0, 4096)
 	for {
 		select {
 		case f := <-w.out:
-			if err := wire.WriteFrame(w.conn, f); err != nil {
+			var err error
+			buf, err = wire.AppendFrame(buf[:0], f)
+			if err != nil {
 				_ = w.conn.Close()
 				return
+			}
+		coalesce:
+			for len(buf) < maxWriteBatch {
+				select {
+				case f2 := <-w.out:
+					buf, err = wire.AppendFrame(buf, f2)
+					if err != nil {
+						// Flush the frames that did encode before
+						// dropping the connection.
+						_, _ = w.conn.Write(buf)
+						_ = w.conn.Close()
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			if _, err := w.conn.Write(buf); err != nil {
+				_ = w.conn.Close()
+				return
+			}
+			// An occasional oversized frame must not pin its buffer for
+			// the connection's lifetime.
+			if cap(buf) > maxWriteBatch {
+				buf = make([]byte, 0, 4096)
 			}
 		case <-w.done:
 			return

@@ -113,6 +113,16 @@ func (v Value) IsIntegral() bool {
 	return false
 }
 
+// Raw exposes the value's kind together with its raw numeric bits and
+// string payload, without conversion checks or error plumbing. Integer
+// kinds are stored sign-extended, so int64(num) recovers them; float
+// kinds hold their IEEE bits (32-bit for KindFloat). Hot-path evaluators
+// (the selector stack machine) use this to avoid the As* conversion
+// switches per property access.
+func (v Value) Raw() (kind Kind, num uint64, str string) {
+	return v.kind, v.num, v.str
+}
+
 // rawInt returns the signed integer payload without conversion checks.
 func (v Value) rawInt() int64 {
 	switch v.kind {

@@ -1,0 +1,73 @@
+package selector
+
+import (
+	"testing"
+
+	"gridmon/internal/message"
+)
+
+// Micro-benchmarks comparing the tree-walking interpreter with the
+// compiled program on the paper's selector ("id<10000") and on a complex
+// multi-clause selector. Run with:
+//
+//	go test ./internal/selector -bench=. -benchmem
+
+const benchComplexExpr = "id < 10000 AND (region IN ('us', 'eu') OR priority BETWEEN 3 AND 7) " +
+	"AND name LIKE 'gen-%' AND JMSPriority >= 2 AND load * 1.5 < 900.0"
+
+func benchMsg() *message.Message {
+	m := message.NewMap()
+	m.Priority = 4
+	m.SetProperty("id", message.Int(512))
+	m.SetProperty("region", message.String("eu"))
+	m.SetProperty("priority", message.Int(5))
+	m.SetProperty("name", message.String("gen-17"))
+	m.SetProperty("load", message.Double(400))
+	return m
+}
+
+func BenchmarkParseSimple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("id < 10000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchComplexExpr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEval(b *testing.B, expr string, interpreted bool) {
+	b.Helper()
+	sel := MustParse(expr)
+	m := benchMsg()
+	if sel.Eval(m) != sel.EvalInterpreted(m) {
+		b.Fatal("evaluators disagree")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if interpreted {
+		for i := 0; i < b.N; i++ {
+			if sel.EvalInterpreted(m) != TriTrue {
+				b.Fatal("no match")
+			}
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		if !sel.Matches(m) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkMatchSimpleInterpreted(b *testing.B) { benchEval(b, "id < 10000", true) }
+func BenchmarkMatchSimpleCompiled(b *testing.B)    { benchEval(b, "id < 10000", false) }
+
+func BenchmarkMatchComplexInterpreted(b *testing.B) { benchEval(b, benchComplexExpr, true) }
+func BenchmarkMatchComplexCompiled(b *testing.B)    { benchEval(b, benchComplexExpr, false) }

@@ -1,0 +1,692 @@
+package selector
+
+import "gridmon/internal/message"
+
+// This file implements the selector compilation pass. Parse builds an AST
+// (eval.go) and then flattens it into a Program: a compact instruction
+// slice executed by a small stack machine over unboxed vals, with no
+// per-node interface dispatch. The compiler performs two optimisations on
+// the way down:
+//
+//   - constant folding: literal-only subtrees are evaluated once at
+//     compile time and emitted as a single constant push;
+//   - property-slot pre-resolution: identifier names are resolved against
+//     the JMS header schema at compile time, so evaluating JMSPriority or
+//     JMSTimestamp against a *message.Message is a direct field load
+//     instead of a string switch per message.
+//
+// The compiled evaluator is semantically bit-identical to the interpreted
+// one (EvalInterpreted), including three-valued NULL propagation and the
+// interpreter's corner behaviours (an arithmetic expression used as a
+// boolean condition is FALSE, never UNKNOWN, and never evaluates its
+// operands). The conformance suite in conformance_test.go runs every case
+// against both evaluators.
+
+type opcode uint8
+
+const (
+	opConst    opcode = iota // push consts[a]
+	opField                  // push the value of field slots[a]
+	opNot                    // pop v; push NOT triOf(v)
+	opAnd                    // pop r, l; push triOf(l) AND triOf(r)
+	opOr                     // pop r, l; push triOf(l) OR triOf(r)
+	opJmpFalse               // if triOf(top) is FALSE jump to a (top stays)
+	opJmpTrue                // if triOf(top) is TRUE jump to a (top stays)
+	opToVal                  // pop v; push triToVal(triOf(v)) — value-context normalisation
+	opCmp                    // pop r, l; push comparison verdict; a is a cmpCode
+	opAdd                    // pop r, l; push l+r
+	opSub                    // pop r, l; push l-r
+	opMul                    // pop r, l; push l*r
+	opDivOp                  // pop r, l; push l/r
+	opNeg                    // pop v; push -v
+	opBetween                // pop hi, lo, v; push BETWEEN verdict; not flag honoured
+	opIn                     // push IN verdict for slots[b] against inSets[a]
+	opLike                   // push LIKE verdict for slots[b] against matchers[a]
+	opIsNull                 // push IS NULL verdict for slots[b] (raw field access)
+
+	// Fused forms for the dominant selector shapes: they skip the operand
+	// pushes entirely.
+	opCmpFC     // push slots[a] CMP consts[b]; aux is the cmpCode
+	opCmpCF     // push consts[b] CMP slots[a]; aux is the cmpCode
+	opCmpFF     // push slots[a] CMP slots[b]; aux is the cmpCode
+	opBetweenIC // push slots[a] BETWEEN consts[b] AND consts[b+1]; not flag honoured
+)
+
+// cmpCode is a pre-resolved comparison operator.
+type cmpCode uint8
+
+const (
+	cmpEQ cmpCode = iota
+	cmpNE
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+	cmpBad // unrecognised operator string: always UNKNOWN, like cmpOrdered
+)
+
+func cmpCodeOf(op string) cmpCode {
+	switch op {
+	case "=":
+		return cmpEQ
+	case "<>":
+		return cmpNE
+	case "<":
+		return cmpLT
+	case "<=":
+		return cmpLE
+	case ">":
+		return cmpGT
+	case ">=":
+		return cmpGE
+	}
+	return cmpBad
+}
+
+// headerSlot pre-resolves the JMS header pseudo-properties a selector may
+// reference; hdrNone means the identifier is a user property.
+type headerSlot uint8
+
+const (
+	hdrNone headerSlot = iota
+	hdrPriority
+	hdrTimestamp
+	hdrMessageID
+	hdrCorrelationID
+	hdrType
+	hdrDeliveryMode
+	hdrRedelivered
+)
+
+func headerSlotOf(name string) headerSlot {
+	switch name {
+	case "JMSPriority":
+		return hdrPriority
+	case "JMSTimestamp":
+		return hdrTimestamp
+	case "JMSMessageID":
+		return hdrMessageID
+	case "JMSCorrelationID":
+		return hdrCorrelationID
+	case "JMSType":
+		return hdrType
+	case "JMSDeliveryMode":
+		return hdrDeliveryMode
+	case "JMSRedelivered":
+		return hdrRedelivered
+	}
+	return hdrNone
+}
+
+type fieldSlot struct {
+	name string
+	hdr  headerSlot
+}
+
+type ins struct {
+	op  opcode
+	not bool  // BETWEEN/IN/LIKE/IS NULL negation
+	aux uint8 // cmpCode for fused comparisons
+	a   int32
+	b   int32
+}
+
+// Program is the compiled form of a selector.
+type Program struct {
+	ins      []ins
+	consts   []val
+	slots    []fieldSlot
+	inSets   [][]string
+	matchers []*likeMatcher
+	maxStack int
+
+	// fc short-circuits the instruction loop for single-comparison
+	// programs ("id < 10000" and friends), the dominant selector shape in
+	// the paper's workload.
+	fc *fastCmp
+}
+
+// fastCmp is a pre-decoded `field OP constant` (or `constant OP field`)
+// comparison.
+type fastCmp struct {
+	slot      int32
+	code      cmpCode
+	c         val
+	fieldLeft bool
+}
+
+// triOf classifies a runtime value as a boolean condition, with the same
+// rules litExpr.evalBool and identExpr.evalBool apply: booleans are their
+// value, NULL is UNKNOWN, anything else is FALSE.
+func triOf(v val) Tri {
+	switch v.kind {
+	case vBool:
+		if v.b {
+			return TriTrue
+		}
+		return TriFalse
+	case vNull:
+		return TriUnknown
+	}
+	return TriFalse
+}
+
+// --- compiler ---
+
+type compiler struct {
+	p     *Program
+	depth int // current stack depth during emission
+}
+
+func compileProgram(root expr) *Program {
+	c := &compiler{p: &Program{}}
+	c.compileBool(root)
+	p := c.p
+	if len(p.ins) == 1 {
+		switch p.ins[0].op {
+		case opCmpFC:
+			p.fc = &fastCmp{slot: p.ins[0].a, code: cmpCode(p.ins[0].aux), c: p.consts[p.ins[0].b], fieldLeft: true}
+		case opCmpCF:
+			p.fc = &fastCmp{slot: p.ins[0].a, code: cmpCode(p.ins[0].aux), c: p.consts[p.ins[0].b]}
+		}
+	}
+	return p
+}
+
+func (c *compiler) emit(i ins, delta int) int {
+	c.p.ins = append(c.p.ins, i)
+	c.depth += delta
+	if c.depth > c.p.maxStack {
+		c.p.maxStack = c.depth
+	}
+	return len(c.p.ins) - 1
+}
+
+func (c *compiler) constIdx(v val) int32 {
+	for i, cv := range c.p.consts {
+		if cv == v {
+			return int32(i)
+		}
+	}
+	c.p.consts = append(c.p.consts, v)
+	return int32(len(c.p.consts) - 1)
+}
+
+func (c *compiler) slotIdx(name string) int32 {
+	for i, s := range c.p.slots {
+		if s.name == name {
+			return int32(i)
+		}
+	}
+	c.p.slots = append(c.p.slots, fieldSlot{name: name, hdr: headerSlotOf(name)})
+	return int32(len(c.p.slots) - 1)
+}
+
+// isConst reports whether a subtree references no message state, making it
+// foldable at compile time. IN/LIKE/IS NULL always read a field; every
+// other node is constant when its children are.
+func isConst(e expr) bool {
+	switch v := e.(type) {
+	case *litExpr:
+		return true
+	case *notExpr:
+		return isConst(v.inner)
+	case *andExpr:
+		return isConst(v.l) && isConst(v.r)
+	case *orExpr:
+		return isConst(v.l) && isConst(v.r)
+	case *cmpExpr:
+		return isConst(v.l) && isConst(v.r)
+	case *arithExpr:
+		return isConst(v.l) && isConst(v.r)
+	case *negExpr:
+		return isConst(v.inner)
+	case *betweenExpr:
+		return isConst(v.e) && isConst(v.lo) && isConst(v.hi)
+	}
+	return false
+}
+
+// boolCtxTri evaluates a constant subtree as a boolean condition, with the
+// interpreter's rule that arithmetic in boolean position is FALSE.
+func boolCtxTri(e expr) Tri {
+	switch e.(type) {
+	case *arithExpr, *negExpr:
+		return TriFalse
+	}
+	return e.evalBool(nil)
+}
+
+// compileBool emits code whose final stack value, classified through
+// triOf, equals node.evalBool. Constant subtrees fold to one push.
+func (c *compiler) compileBool(e expr) {
+	// Arithmetic in boolean position is FALSE without evaluating its
+	// operands, exactly as arithExpr/negExpr.evalBool behave.
+	switch e.(type) {
+	case *arithExpr, *negExpr:
+		c.emit(ins{op: opConst, a: c.constIdx(boolVal(false))}, 1)
+		return
+	}
+	if isConst(e) {
+		c.emit(ins{op: opConst, a: c.constIdx(triToVal(e.evalBool(nil)))}, 1)
+		return
+	}
+	switch v := e.(type) {
+	case *litExpr:
+		c.emit(ins{op: opConst, a: c.constIdx(v.v)}, 1)
+	case *identExpr:
+		c.emit(ins{op: opField, a: c.slotIdx(v.name)}, 1)
+	case *notExpr:
+		c.compileBool(v.inner)
+		c.emit(ins{op: opNot}, 0)
+	case *andExpr:
+		// A constant left operand folds: FALSE short-circuits the whole
+		// conjunction (the interpreter never evaluates the right side
+		// either); otherwise the constant combines with the right side
+		// without a jump.
+		if isConst(v.l) {
+			lt := boolCtxTri(v.l)
+			if lt == TriFalse {
+				c.emit(ins{op: opConst, a: c.constIdx(boolVal(false))}, 1)
+				return
+			}
+			c.emit(ins{op: opConst, a: c.constIdx(triToVal(lt))}, 1)
+			c.compileBool(v.r)
+			c.emit(ins{op: opAnd}, -1)
+			return
+		}
+		// Short-circuit: a FALSE left operand jumps over the right side
+		// and the combine, leaving itself as the result (its triOf is
+		// FALSE, which every consumer classifies identically).
+		c.compileBool(v.l)
+		j := c.emit(ins{op: opJmpFalse}, 0)
+		c.compileBool(v.r)
+		c.emit(ins{op: opAnd}, -1)
+		c.p.ins[j].a = int32(len(c.p.ins))
+	case *orExpr:
+		if isConst(v.l) {
+			lt := boolCtxTri(v.l)
+			if lt == TriTrue {
+				c.emit(ins{op: opConst, a: c.constIdx(boolVal(true))}, 1)
+				return
+			}
+			c.emit(ins{op: opConst, a: c.constIdx(triToVal(lt))}, 1)
+			c.compileBool(v.r)
+			c.emit(ins{op: opOr}, -1)
+			return
+		}
+		c.compileBool(v.l)
+		j := c.emit(ins{op: opJmpTrue}, 0)
+		c.compileBool(v.r)
+		c.emit(ins{op: opOr}, -1)
+		c.p.ins[j].a = int32(len(c.p.ins))
+	case *cmpExpr:
+		code := uint8(cmpCodeOf(v.op))
+		li, lIdent := v.l.(*identExpr)
+		ri, rIdent := v.r.(*identExpr)
+		switch {
+		case lIdent && isConst(v.r):
+			c.emit(ins{op: opCmpFC, aux: code, a: c.slotIdx(li.name), b: c.constIdx(v.r.evalVal(nil))}, 1)
+		case isConst(v.l) && rIdent:
+			c.emit(ins{op: opCmpCF, aux: code, a: c.slotIdx(ri.name), b: c.constIdx(v.l.evalVal(nil))}, 1)
+		case lIdent && rIdent:
+			c.emit(ins{op: opCmpFF, aux: code, a: c.slotIdx(li.name), b: c.slotIdx(ri.name)}, 1)
+		default:
+			c.compileVal(v.l)
+			c.compileVal(v.r)
+			c.emit(ins{op: opCmp, a: int32(cmpCodeOf(v.op))}, -1)
+		}
+	case *betweenExpr:
+		if ei, ok := v.e.(*identExpr); ok && isConst(v.lo) && isConst(v.hi) {
+			// The bounds are force-appended so they sit adjacent.
+			lo := int32(len(c.p.consts))
+			c.p.consts = append(c.p.consts, v.lo.evalVal(nil), v.hi.evalVal(nil))
+			c.emit(ins{op: opBetweenIC, not: v.not, a: c.slotIdx(ei.name), b: lo}, 1)
+			return
+		}
+		c.compileVal(v.e)
+		c.compileVal(v.lo)
+		c.compileVal(v.hi)
+		c.emit(ins{op: opBetween, not: v.not}, -2)
+	case *inExpr:
+		c.p.inSets = append(c.p.inSets, v.set)
+		c.emit(ins{op: opIn, not: v.not, a: int32(len(c.p.inSets) - 1), b: c.slotIdx(v.ident)}, 1)
+	case *likeExpr:
+		c.p.matchers = append(c.p.matchers, v.matcher)
+		c.emit(ins{op: opLike, not: v.not, a: int32(len(c.p.matchers) - 1), b: c.slotIdx(v.ident)}, 1)
+	case *isNullExpr:
+		c.emit(ins{op: opIsNull, not: v.not, b: c.slotIdx(v.ident)}, 1)
+	default:
+		panic("selector: compileBool of unknown node")
+	}
+}
+
+// compileVal emits code whose final stack value equals node.evalVal.
+func (c *compiler) compileVal(e expr) {
+	if isConst(e) {
+		c.emit(ins{op: opConst, a: c.constIdx(e.evalVal(nil))}, 1)
+		return
+	}
+	switch v := e.(type) {
+	case *litExpr:
+		c.emit(ins{op: opConst, a: c.constIdx(v.v)}, 1)
+	case *identExpr:
+		c.emit(ins{op: opField, a: c.slotIdx(v.name)}, 1)
+	case *arithExpr:
+		c.compileVal(v.l)
+		c.compileVal(v.r)
+		var op opcode
+		switch v.op {
+		case '+':
+			op = opAdd
+		case '-':
+			op = opSub
+		case '*':
+			op = opMul
+		default:
+			op = opDivOp
+		}
+		c.emit(ins{op: op}, -1)
+	case *negExpr:
+		c.compileVal(v.inner)
+		c.emit(ins{op: opNeg}, 0)
+	default:
+		// Boolean-valued nodes in value position: evalVal is
+		// triToVal(evalBool), which opToVal normalises.
+		c.compileBool(e)
+		c.emit(ins{op: opToVal}, 0)
+	}
+}
+
+// --- evaluator ---
+
+// loadField resolves one field slot to a runtime value. For
+// *message.Message sources, pre-resolved headers skip the per-message
+// string switch; other Source implementations fall back to SelectorField.
+func (p *Program) loadField(m *message.Message, src Source, idx int32) val {
+	s := &p.slots[idx]
+	if m == nil {
+		mv, ok := src.SelectorField(s.name)
+		if !ok {
+			return nullVal()
+		}
+		return fromMessage(mv)
+	}
+	switch s.hdr {
+	case hdrPriority:
+		return longVal(int64(m.Priority))
+	case hdrTimestamp:
+		return longVal(m.Timestamp)
+	case hdrMessageID:
+		return stringVal(m.ID)
+	case hdrCorrelationID:
+		return stringVal(m.CorrelationID)
+	case hdrType:
+		return stringVal(m.Type)
+	case hdrDeliveryMode:
+		if m.Mode == message.Persistent {
+			return stringVal("PERSISTENT")
+		}
+		return stringVal("NON_PERSISTENT")
+	case hdrRedelivered:
+		return boolVal(m.Redelivered)
+	}
+	mv, ok := m.Property(s.name)
+	if !ok {
+		return nullVal()
+	}
+	return fromMessage(mv)
+}
+
+// cmpVals replicates cmpExpr.evalBool over two already-evaluated operands.
+func cmpVals(code cmpCode, lv, rv val) Tri {
+	if lv.kind == vNull || rv.kind == vNull {
+		return TriUnknown
+	}
+	if lv.isNumeric() && rv.isNumeric() {
+		if lv.kind == vLong && rv.kind == vLong {
+			return cmpCoded(code, compareInt(lv.i, rv.i))
+		}
+		return cmpCoded(code, compareFloat(lv.asDouble(), rv.asDouble()))
+	}
+	if lv.kind == vString && rv.kind == vString {
+		switch code {
+		case cmpEQ:
+			return boolTri(lv.s == rv.s)
+		case cmpNE:
+			return boolTri(lv.s != rv.s)
+		}
+		return TriUnknown
+	}
+	if lv.kind == vBool && rv.kind == vBool {
+		switch code {
+		case cmpEQ:
+			return boolTri(lv.b == rv.b)
+		case cmpNE:
+			return boolTri(lv.b != rv.b)
+		}
+		return TriUnknown
+	}
+	return TriUnknown
+}
+
+func cmpCoded(code cmpCode, c int) Tri {
+	switch code {
+	case cmpEQ:
+		return boolTri(c == 0)
+	case cmpNE:
+		return boolTri(c != 0)
+	case cmpLT:
+		return boolTri(c < 0)
+	case cmpLE:
+		return boolTri(c <= 0)
+	case cmpGT:
+		return boolTri(c > 0)
+	case cmpGE:
+		return boolTri(c >= 0)
+	}
+	return TriUnknown
+}
+
+func arithVals(op opcode, lv, rv val) val {
+	if !lv.isNumeric() || !rv.isNumeric() {
+		return nullVal()
+	}
+	if lv.kind == vLong && rv.kind == vLong {
+		switch op {
+		case opAdd:
+			return longVal(lv.i + rv.i)
+		case opSub:
+			return longVal(lv.i - rv.i)
+		case opMul:
+			return longVal(lv.i * rv.i)
+		case opDivOp:
+			if rv.i == 0 {
+				return nullVal()
+			}
+			return longVal(lv.i / rv.i)
+		}
+	}
+	a, b := lv.asDouble(), rv.asDouble()
+	switch op {
+	case opAdd:
+		return doubleVal(a + b)
+	case opSub:
+		return doubleVal(a - b)
+	case opMul:
+		return doubleVal(a * b)
+	case opDivOp:
+		return doubleVal(a / b)
+	}
+	return nullVal()
+}
+
+func betweenVals(not bool, v, lo, hi val) Tri {
+	if v.kind == vNull || lo.kind == vNull || hi.kind == vNull {
+		return TriUnknown
+	}
+	if !v.isNumeric() || !lo.isNumeric() || !hi.isNumeric() {
+		return TriUnknown
+	}
+	in := compareFloat(v.asDouble(), lo.asDouble()) >= 0 && compareFloat(v.asDouble(), hi.asDouble()) <= 0
+	if v.kind == vLong && lo.kind == vLong && hi.kind == vLong {
+		in = v.i >= lo.i && v.i <= hi.i
+	}
+	if not {
+		return boolTri(!in)
+	}
+	return boolTri(in)
+}
+
+// Eval runs the compiled program against a message source and returns the
+// three-valued verdict. A nil or empty program matches every message.
+func (p *Program) Eval(src Source) Tri {
+	if p == nil || len(p.ins) == 0 {
+		return TriTrue
+	}
+	m, _ := src.(*message.Message)
+	if p.fc != nil {
+		v := p.loadField(m, src, p.fc.slot)
+		if p.fc.fieldLeft {
+			return cmpVals(p.fc.code, v, p.fc.c)
+		}
+		return cmpVals(p.fc.code, p.fc.c, v)
+	}
+	var arr [16]val
+	var stack []val
+	if p.maxStack <= len(arr) {
+		stack = arr[:]
+	} else {
+		stack = make([]val, p.maxStack)
+	}
+	sp := 0
+	code := p.ins
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.op {
+		case opConst:
+			stack[sp] = p.consts[in.a]
+			sp++
+		case opField:
+			stack[sp] = p.loadField(m, src, in.a)
+			sp++
+		case opNot:
+			stack[sp-1] = triToVal(triNot(triOf(stack[sp-1])))
+		case opAnd:
+			sp--
+			stack[sp-1] = triToVal(triAnd(triOf(stack[sp-1]), triOf(stack[sp])))
+		case opOr:
+			sp--
+			stack[sp-1] = triToVal(triOr(triOf(stack[sp-1]), triOf(stack[sp])))
+		case opJmpFalse:
+			if triOf(stack[sp-1]) == TriFalse {
+				pc = int(in.a) - 1
+			}
+		case opJmpTrue:
+			if triOf(stack[sp-1]) == TriTrue {
+				pc = int(in.a) - 1
+			}
+		case opToVal:
+			stack[sp-1] = triToVal(triOf(stack[sp-1]))
+		case opCmp:
+			sp--
+			stack[sp-1] = triToVal(cmpVals(cmpCode(in.a), stack[sp-1], stack[sp]))
+		case opAdd, opSub, opMul, opDivOp:
+			sp--
+			stack[sp-1] = arithVals(in.op, stack[sp-1], stack[sp])
+		case opNeg:
+			v := stack[sp-1]
+			switch v.kind {
+			case vLong:
+				stack[sp-1] = longVal(-v.i)
+			case vDouble:
+				stack[sp-1] = doubleVal(-v.f)
+			default:
+				stack[sp-1] = nullVal()
+			}
+		case opBetween:
+			sp -= 2
+			stack[sp-1] = triToVal(betweenVals(in.not, stack[sp-1], stack[sp], stack[sp+1]))
+		case opIn:
+			v := p.loadField(m, src, in.b)
+			var t Tri
+			if v.kind != vString {
+				t = TriUnknown
+			} else {
+				found := false
+				for _, x := range p.inSets[in.a] {
+					if x == v.s {
+						found = true
+						break
+					}
+				}
+				if in.not {
+					found = !found
+				}
+				t = boolTri(found)
+			}
+			stack[sp] = triToVal(t)
+			sp++
+		case opLike:
+			v := p.loadField(m, src, in.b)
+			var t Tri
+			if v.kind != vString {
+				t = TriUnknown
+			} else {
+				ok := p.matchers[in.a].match(v.s)
+				if in.not {
+					ok = !ok
+				}
+				t = boolTri(ok)
+			}
+			stack[sp] = triToVal(t)
+			sp++
+		case opCmpFC:
+			v := p.loadField(m, src, in.a)
+			stack[sp] = triToVal(cmpVals(cmpCode(in.aux), v, p.consts[in.b]))
+			sp++
+		case opCmpCF:
+			v := p.loadField(m, src, in.a)
+			stack[sp] = triToVal(cmpVals(cmpCode(in.aux), p.consts[in.b], v))
+			sp++
+		case opCmpFF:
+			l := p.loadField(m, src, in.a)
+			r := p.loadField(m, src, in.b)
+			stack[sp] = triToVal(cmpVals(cmpCode(in.aux), l, r))
+			sp++
+		case opBetweenIC:
+			v := p.loadField(m, src, in.a)
+			stack[sp] = triToVal(betweenVals(in.not, v, p.consts[in.b], p.consts[in.b+1]))
+			sp++
+		case opIsNull:
+			// IS NULL must see the raw property (a Bytes value is
+			// non-null even though it is not selectable), so it goes
+			// through SelectorField rather than the val domain.
+			mv, ok := src.SelectorField(p.slots[in.b].name)
+			isNull := !ok || mv.IsNull()
+			if in.not {
+				isNull = !isNull
+			}
+			stack[sp] = triToVal(boolTri(isNull))
+			sp++
+		}
+	}
+	return triOf(stack[sp-1])
+}
+
+// Matches reports whether the program accepts the message (TRUE verdict;
+// FALSE and UNKNOWN both reject, per JMS).
+func (p *Program) Matches(src Source) bool { return p.Eval(src) == TriTrue }
+
+// ConstVerdict reports whether the program's verdict is independent of the
+// message, and if so what it is. The broker uses this to place
+// always-true selectors on the no-evaluation fast path.
+func (p *Program) ConstVerdict() (Tri, bool) {
+	if p == nil || len(p.ins) == 0 {
+		return TriTrue, true
+	}
+	if len(p.ins) == 1 && p.ins[0].op == opConst {
+		return triOf(p.consts[p.ins[0].a]), true
+	}
+	return TriFalse, false
+}

@@ -1,0 +1,309 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridmon/internal/message"
+)
+
+// The conformance suite pins down JMS §3.8 selector semantics —
+// three-valued NULL propagation, operator precedence, BETWEEN/IN/LIKE
+// (with ESCAPE), and numeric type coercion — and runs every case against
+// BOTH the tree-walking interpreter and the compiled program, proving the
+// two evaluators equivalent.
+
+// confMsg builds the reference message most cases evaluate against.
+func confMsg() *message.Message {
+	m := message.NewText("payload")
+	m.ID = "ID:conf/1"
+	m.Type = "reading"
+	m.CorrelationID = "corr-9"
+	m.Priority = 7
+	m.Timestamp = 1234567890
+	m.Mode = message.Persistent
+	m.SetProperty("i", message.Int(10))
+	m.SetProperty("l", message.Long(1_000_000_000_000))
+	m.SetProperty("by", message.Byte(3))
+	m.SetProperty("sh", message.Short(-4))
+	m.SetProperty("f", message.Float(2.5))
+	m.SetProperty("d", message.Double(0.125))
+	m.SetProperty("s", message.String("hello world"))
+	m.SetProperty("pct", message.String("100% done_really"))
+	m.SetProperty("t", message.Bool(true))
+	m.SetProperty("fa", message.Bool(false))
+	m.SetProperty("nul", message.Null())
+	m.SetProperty("raw", message.Bytes([]byte{1, 2}))
+	return m
+}
+
+type confCase struct {
+	expr string
+	want Tri
+}
+
+func confCases() []confCase {
+	return []confCase{
+		// Literals and identifiers as conditions.
+		{"TRUE", TriTrue},
+		{"FALSE", TriFalse},
+		{"t", TriTrue},
+		{"fa", TriFalse},
+		{"nul", TriUnknown},
+		{"missing", TriUnknown},
+		{"i", TriFalse},     // non-boolean value as condition never matches
+		{"s", TriFalse},     // string as condition
+		{"raw", TriUnknown}, // bytes are not selectable: treated as null value
+		{"42", TriFalse},
+		{"NULL", TriUnknown},
+
+		// Comparisons with numeric coercion across integer/float kinds.
+		{"i = 10", TriTrue},
+		{"i = 10.0", TriTrue},
+		{"i <> 10", TriFalse},
+		{"by = 3", TriTrue},
+		{"sh = -4", TriTrue},
+		{"sh < 0", TriTrue},
+		{"f = 2.5", TriTrue},
+		{"d = 0.125", TriTrue},
+		{"f > d", TriTrue},
+		{"l = 1000000000000", TriTrue},
+		{"i < l", TriTrue},
+		{"i >= 10", TriTrue},
+		{"i <= 9", TriFalse},
+		{"i > 9.5", TriTrue},
+
+		// String and boolean equality (ordering unsupported -> UNKNOWN).
+		{"s = 'hello world'", TriTrue},
+		{"s <> 'hello world'", TriFalse},
+		{"s = 'other'", TriFalse},
+		{"s < 'z'", TriUnknown},
+		{"t = TRUE", TriTrue},
+		{"t <> fa", TriTrue},
+		{"t > fa", TriUnknown},
+
+		// Incompatible operand types.
+		{"i = 'ten'", TriUnknown},
+		{"s = 10", TriUnknown},
+		{"t = 1", TriUnknown},
+
+		// NULL propagation through comparison and arithmetic.
+		{"nul = 1", TriUnknown},
+		{"missing = missing", TriUnknown},
+		{"nul + 1 = 2", TriUnknown},
+		{"missing * 2 < 10", TriUnknown},
+
+		// Three-valued AND/OR/NOT truth tables.
+		{"TRUE AND TRUE", TriTrue},
+		{"TRUE AND FALSE", TriFalse},
+		{"TRUE AND nul", TriUnknown},
+		{"FALSE AND nul", TriFalse}, // short circuit keeps FALSE
+		{"nul AND FALSE", TriFalse},
+		{"nul AND nul", TriUnknown},
+		{"TRUE OR nul", TriTrue},
+		{"nul OR TRUE", TriTrue},
+		{"FALSE OR nul", TriUnknown},
+		{"nul OR nul", TriUnknown},
+		{"NOT TRUE", TriFalse},
+		{"NOT FALSE", TriTrue},
+		{"NOT nul", TriUnknown},
+		{"NOT (i = 10)", TriFalse},
+
+		// Precedence: NOT > AND > OR; comparison binds tighter than AND.
+		{"TRUE OR FALSE AND FALSE", TriTrue},
+		{"(TRUE OR FALSE) AND FALSE", TriFalse},
+		{"NOT FALSE AND TRUE", TriTrue},
+		{"NOT (FALSE AND TRUE)", TriTrue},
+		{"i = 10 AND s = 'hello world' OR FALSE", TriTrue},
+		{"FALSE OR i = 10 AND fa", TriFalse},
+
+		// Arithmetic precedence and division semantics.
+		{"1 + 2 * 3 = 7", TriTrue},
+		{"(1 + 2) * 3 = 9", TriTrue},
+		{"i + 5 = 15", TriTrue},
+		{"i / 4 = 2", TriTrue},     // integer division truncates
+		{"i / 4.0 = 2.5", TriTrue}, // float division
+		{"i / 0 = 1", TriUnknown},  // integer division by zero is null
+		{"i / 0.0 > 1", TriTrue},   // IEEE +Inf, as in Java
+		{"-i = -10", TriTrue},
+		{"-f < 0", TriTrue},
+		{"+i = 10", TriTrue},
+		{"2 * 3 + 1", TriFalse}, // arithmetic as condition is FALSE, not UNKNOWN
+		{"1 / 0", TriFalse},     // even a null-valued arithmetic condition
+
+		// BETWEEN.
+		{"i BETWEEN 5 AND 15", TriTrue},
+		{"i BETWEEN 10 AND 10", TriTrue},
+		{"i BETWEEN 11 AND 20", TriFalse},
+		{"i NOT BETWEEN 11 AND 20", TriTrue},
+		{"i NOT BETWEEN 5 AND 15", TriFalse},
+		{"f BETWEEN 2 AND 3", TriTrue},
+		{"i BETWEEN nul AND 20", TriUnknown},
+		{"nul BETWEEN 1 AND 2", TriUnknown},
+		{"s BETWEEN 1 AND 2", TriUnknown},
+		{"i BETWEEN 15 AND 5", TriFalse}, // empty range matches nothing
+
+		// IN.
+		{"s IN ('hello world', 'x')", TriTrue},
+		{"s IN ('x', 'y')", TriFalse},
+		{"s NOT IN ('x', 'y')", TriTrue},
+		{"s NOT IN ('hello world')", TriFalse},
+		{"nul IN ('x')", TriUnknown},
+		{"missing IN ('x')", TriUnknown},
+		{"i IN ('10')", TriUnknown}, // non-string identifier
+
+		// LIKE, including '_' , '%' and ESCAPE.
+		{"s LIKE 'hello%'", TriTrue},
+		{"s LIKE '%world'", TriTrue},
+		{"s LIKE 'h_llo world'", TriTrue},
+		{"s LIKE 'hello'", TriFalse},
+		{"s NOT LIKE 'xyz%'", TriTrue},
+		{"s LIKE '%'", TriTrue},
+		{"s LIKE ''", TriFalse},
+		{"pct LIKE '100!% done%' ESCAPE '!'", TriTrue},
+		{"pct LIKE '100!%!_done%' ESCAPE '!'", TriFalse},
+		{"pct LIKE '%done!_really' ESCAPE '!'", TriTrue},
+		{"nul LIKE 'x%'", TriUnknown},
+		{"missing LIKE '%'", TriUnknown},
+		{"i LIKE '1%'", TriUnknown}, // non-string identifier
+
+		// IS NULL / IS NOT NULL.
+		{"nul IS NULL", TriTrue},
+		{"missing IS NULL", TriTrue},
+		{"i IS NULL", TriFalse},
+		{"i IS NOT NULL", TriTrue},
+		{"nul IS NOT NULL", TriFalse},
+		{"raw IS NULL", TriFalse}, // bytes property exists and is non-null
+
+		// JMS header pseudo-properties (compiled slot pre-resolution).
+		{"JMSPriority = 7", TriTrue},
+		{"JMSPriority > 4", TriTrue},
+		{"JMSType = 'reading'", TriTrue},
+		{"JMSMessageID = 'ID:conf/1'", TriTrue},
+		{"JMSCorrelationID = 'corr-9'", TriTrue},
+		{"JMSTimestamp = 1234567890", TriTrue},
+		{"JMSDeliveryMode = 'PERSISTENT'", TriTrue},
+		{"JMSDeliveryMode <> 'NON_PERSISTENT'", TriTrue},
+		{"JMSType LIKE 'read%'", TriTrue},
+		{"JMSPriority BETWEEN 0 AND 9", TriTrue},
+
+		// Constant folding must not change verdicts.
+		{"1 = 1", TriTrue},
+		{"1 = 2 OR t", TriTrue},
+		{"2 + 2 = 4 AND i = 10", TriTrue},
+		{"NULL = NULL", TriUnknown},
+
+		// Mixed nesting.
+		{"(i = 10 AND (s LIKE 'h%' OR fa)) AND NOT (nul IS NOT NULL)", TriTrue},
+		{"i * 2 BETWEEN 19 AND 21", TriTrue},
+		{"(i + by) / 2 >= 6", TriTrue},
+	}
+}
+
+func TestConformanceBothEvaluators(t *testing.T) {
+	m := confMsg()
+	for _, tc := range confCases() {
+		sel, err := Parse(tc.expr)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.expr, err)
+			continue
+		}
+		if got := sel.EvalInterpreted(m); got != tc.want {
+			t.Errorf("interpreted %q = %v, want %v", tc.expr, got, tc.want)
+		}
+		if got := sel.Eval(m); got != tc.want {
+			t.Errorf("compiled %q = %v, want %v", tc.expr, got, tc.want)
+		}
+		if sel.Matches(m) != (tc.want == TriTrue) {
+			t.Errorf("Matches(%q) disagrees with verdict %v", tc.expr, tc.want)
+		}
+	}
+}
+
+// TestConformanceRandomizedEquivalence fuzzes message property values
+// under a fixed set of selector shapes and asserts the interpreter and
+// the compiled program return identical verdicts on every input.
+func TestConformanceRandomizedEquivalence(t *testing.T) {
+	exprs := []string{
+		"a = b", "a < b", "a >= b", "a <> b",
+		"a + b * 2 > c - 1", "a / b = c", "-a < b",
+		"a BETWEEN b AND c", "a NOT BETWEEN 2 AND 8",
+		"s LIKE 'v_l%'", "s NOT LIKE '%9'", "s IN ('v1', 'v2', 'v3')",
+		"a IS NULL", "s IS NOT NULL",
+		"a = 1 AND b = 2 OR NOT (c = 3)",
+		"(a > b OR b > c) AND s LIKE 'v%'",
+		"JMSPriority > a AND JMSType = s",
+		"a AND b", "NOT a", "a OR s",
+	}
+	sels := make([]*Selector, len(exprs))
+	for i, e := range exprs {
+		sels[i] = MustParse(e)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	randVal := func() (message.Value, bool) {
+		switch rng.Intn(8) {
+		case 0:
+			return message.Int(int32(rng.Intn(10) - 5)), true
+		case 1:
+			return message.Long(int64(rng.Intn(1000))), true
+		case 2:
+			return message.Double(rng.Float64() * 10), true
+		case 3:
+			return message.Float(float32(rng.Float64())), true
+		case 4:
+			return message.String(fmt.Sprintf("v%d", rng.Intn(4))), true
+		case 5:
+			return message.Bool(rng.Intn(2) == 0), true
+		case 6:
+			return message.Null(), true
+		default:
+			return message.Value{}, false // property absent
+		}
+	}
+
+	for trial := 0; trial < 2000; trial++ {
+		m := message.NewText("x")
+		m.Priority = rng.Intn(10)
+		m.Type = fmt.Sprintf("v%d", rng.Intn(4))
+		for _, name := range []string{"a", "b", "c", "s"} {
+			if v, ok := randVal(); ok {
+				m.SetProperty(name, v)
+			}
+		}
+		for i, sel := range sels {
+			want, got := sel.EvalInterpreted(m), sel.Eval(m)
+			if want != got {
+				t.Fatalf("trial %d: %q interpreted=%v compiled=%v on %v",
+					trial, exprs[i], want, got, m)
+			}
+		}
+	}
+}
+
+// TestCompiledConstVerdict checks constant folding surfaces through
+// ConstVerdict/AlwaysTrue, which the broker index relies on.
+func TestCompiledConstVerdict(t *testing.T) {
+	cases := []struct {
+		expr   string
+		always bool
+	}{
+		{"", true},
+		{"   ", true},
+		{"TRUE", true},
+		{"1 = 1", true},
+		{"2 + 2 = 4", true},
+		{"TRUE OR missing = 1", true}, // short-circuit folds
+		{"FALSE", false},
+		{"1 = 2", false},
+		{"id < 10000", false},
+		{"NULL", false},
+	}
+	for _, tc := range cases {
+		sel := MustParse(tc.expr)
+		if got := sel.AlwaysTrue(); got != tc.always {
+			t.Errorf("AlwaysTrue(%q) = %v, want %v", tc.expr, got, tc.always)
+		}
+	}
+}

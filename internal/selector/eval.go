@@ -3,6 +3,7 @@ package selector
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"gridmon/internal/message"
 )
@@ -93,21 +94,23 @@ func (v val) asDouble() float64 {
 }
 
 // fromMessage maps a typed JMS property value into the evaluator domain.
+// It reads the raw payload (sign-extended integer bits, IEEE float bits)
+// directly rather than going through the checked As* conversions.
 func fromMessage(mv message.Value) val {
-	switch mv.Kind() {
+	kind, num, str := mv.Raw()
+	switch kind {
 	case message.KindNull:
 		return nullVal()
 	case message.KindBool:
-		b, _ := mv.AsBool()
-		return boolVal(b)
+		return boolVal(num != 0)
 	case message.KindByte, message.KindShort, message.KindInt, message.KindLong:
-		n, _ := mv.AsLong()
-		return longVal(n)
-	case message.KindFloat, message.KindDouble:
-		f, _ := mv.AsDouble()
-		return doubleVal(f)
+		return longVal(int64(num))
+	case message.KindFloat:
+		return doubleVal(float64(math.Float32frombits(uint32(num))))
+	case message.KindDouble:
+		return doubleVal(math.Float64frombits(num))
 	case message.KindString:
-		return stringVal(mv.AsString())
+		return stringVal(str)
 	}
 	// Bytes values are not selectable in JMS; treat as null.
 	return nullVal()
@@ -536,10 +539,14 @@ func (m *likeMatcher) match(s string) bool {
 
 // --- public API ---
 
-// Selector is a compiled JMS message selector.
+// Selector is a compiled JMS message selector. Parse builds the AST and
+// immediately flattens it into a Program (see compile.go); Matches and
+// Eval run the compiled form, while EvalInterpreted retains the
+// tree-walking evaluator for conformance cross-checking.
 type Selector struct {
 	src  string
 	root expr
+	prog *Program
 }
 
 // Parse compiles a selector expression. An empty (or all-whitespace)
@@ -567,7 +574,7 @@ func Parse(src string) (*Selector, error) {
 	if p.tok.kind != tokEOF {
 		return nil, &Error{Pos: p.tok.pos, Msg: fmt.Sprintf("unexpected trailing token %q", p.tok.text), Expr: src}
 	}
-	return &Selector{src: src, root: root}, nil
+	return &Selector{src: src, root: root, prog: compileProgram(root)}, nil
 }
 
 // MustParse is Parse that panics on error, for tests and constants.
@@ -585,12 +592,46 @@ func (s *Selector) Matches(src Source) bool {
 	return s.Eval(src) == TriTrue
 }
 
-// Eval returns the three-valued result of the selector on the message.
+// Eval returns the three-valued result of the selector on the message,
+// using the compiled program.
 func (s *Selector) Eval(src Source) Tri {
 	if s == nil || s.root == nil {
 		return TriTrue
 	}
+	if s.prog != nil {
+		return s.prog.Eval(src)
+	}
 	return s.root.evalBool(src)
+}
+
+// EvalInterpreted returns the three-valued result using the tree-walking
+// evaluator. It exists so tests can prove the compiled program and the
+// interpreter agree on every input.
+func (s *Selector) EvalInterpreted(src Source) Tri {
+	if s == nil || s.root == nil {
+		return TriTrue
+	}
+	return s.root.evalBool(src)
+}
+
+// Compiled returns the selector's compiled program (nil only for the
+// match-everything empty selector).
+func (s *Selector) Compiled() *Program {
+	if s == nil {
+		return nil
+	}
+	return s.prog
+}
+
+// AlwaysTrue reports whether the selector accepts every message: the empty
+// selector, or one whose expression folds to a constant TRUE. The broker
+// places such subscriptions on a fast path that skips evaluation.
+func (s *Selector) AlwaysTrue() bool {
+	if s == nil || s.root == nil {
+		return true
+	}
+	t, const_ := s.prog.ConstVerdict()
+	return const_ && t == TriTrue
 }
 
 // Complexity reports the AST node count, used by the simulation's CPU cost

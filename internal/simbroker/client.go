@@ -1,6 +1,8 @@
 package simbroker
 
 import (
+	"sort"
+
 	"gridmon/internal/message"
 	"gridmon/internal/sim"
 	"gridmon/internal/simnet"
@@ -198,12 +200,19 @@ func (c *Client) acknowledge(d wire.Deliver) {
 	}
 }
 
-// FlushAcks sends any batched acknowledgements immediately.
+// FlushAcks sends any batched acknowledgements immediately, in ascending
+// subscription order so the simulation stays deterministic.
 func (c *Client) FlushAcks() {
+	ids := make([]int64, 0, len(c.ackBuf))
 	for subID, tags := range c.ackBuf {
 		if len(tags) > 0 {
-			c.ackBuf[subID] = nil
-			c.sendFrame(wire.Ack{SubID: subID, Tags: tags})
+			ids = append(ids, subID)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, subID := range ids {
+		tags := c.ackBuf[subID]
+		c.ackBuf[subID] = nil
+		c.sendFrame(wire.Ack{SubID: subID, Tags: tags})
 	}
 }

@@ -434,7 +434,14 @@ func readMessage(r *reader) *message.Message {
 
 // Marshal encodes a frame to bytes.
 func Marshal(f Frame) []byte {
-	w := &writer{buf: make([]byte, 0, 64)}
+	return MarshalAppend(make([]byte, 0, 64), f)
+}
+
+// MarshalAppend encodes a frame onto the end of dst and returns the
+// extended slice, letting transports reuse one encode buffer across
+// messages instead of allocating per frame.
+func MarshalAppend(dst []byte, f Frame) []byte {
+	w := &writer{buf: dst}
 	w.u8(uint8(f.Type()))
 	switch v := f.(type) {
 	case Connect:
@@ -582,18 +589,31 @@ func Size(f Frame) int {
 	return n
 }
 
-// WriteFrame writes a length-prefixed frame to a stream.
-func WriteFrame(w io.Writer, f Frame) error {
-	body := Marshal(f)
-	if len(body) > MaxFrameSize {
-		return ErrFrameTooBig
+// AppendFrame appends the length-prefixed stream form of f to dst — the
+// 4-byte header is reserved up front and patched after encoding, so one
+// buffer (and one Write) carries any number of frames. On error dst is
+// returned truncated to its original length.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = MarshalAppend(dst, f)
+	n := len(dst) - start - 4
+	if n > MaxFrameSize {
+		return dst[:start], ErrFrameTooBig
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// WriteFrame writes a length-prefixed frame to a stream with a single
+// Write call (header and body share one buffer). Callers writing many
+// frames should hold their own buffer and use AppendFrame directly.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, 128), f)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(body)
+	_, err = w.Write(buf)
 	return err
 }
 
