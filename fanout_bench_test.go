@@ -25,7 +25,11 @@ import (
 // in both modes and writes BENCH_fanout.json with the speedups.
 
 // fanoutEnv is a minimal broker.Env: unlimited memory, frames recorded
-// only to the extent needed to acknowledge deliveries.
+// only to the extent needed to acknowledge deliveries. Like a real
+// transport it consumes each pooled Deliver frame and returns it with
+// PutDeliver, and like a batching client it reuses its Ack frames (and
+// their tag slices) across publishes, so the steady-state measurement
+// shows the broker's own allocations.
 type fanoutEnv struct {
 	acks      []wire.Ack
 	delivered uint64
@@ -33,9 +37,17 @@ type fanoutEnv struct {
 
 func (e *fanoutEnv) Now() int64 { return 0 }
 func (e *fanoutEnv) Send(conn broker.ConnID, f wire.Frame) {
-	if d, ok := f.(wire.Deliver); ok {
+	if d, ok := f.(*wire.Deliver); ok {
 		e.delivered++
-		e.acks = append(e.acks, wire.Ack{SubID: d.SubID, Tags: []int64{d.Tag}})
+		if len(e.acks) < cap(e.acks) {
+			e.acks = e.acks[:len(e.acks)+1]
+			a := &e.acks[len(e.acks)-1]
+			a.SubID = d.SubID
+			a.Tags = append(a.Tags[:0], d.Tag)
+		} else {
+			e.acks = append(e.acks, wire.Ack{SubID: d.SubID, Tags: []int64{d.Tag}})
+		}
+		wire.PutDeliver(d)
 	}
 }
 func (e *fanoutEnv) CloseConn(broker.ConnID) {}
@@ -63,11 +75,13 @@ func fanoutSelector(class string, band int) string {
 
 // setupFanout builds a broker with subs subscribers on one topic. All
 // subscriptions land on a single connection; fan-out cost is per
-// subscription, not per connection.
-func setupFanout(subs int, class string, legacy bool) (*broker.Broker, *fanoutEnv) {
+// subscription, not per connection. clone restores the pre-zero-copy
+// per-delivery deep copy as the measured baseline.
+func setupFanout(subs int, class string, legacy, clone bool) (*broker.Broker, *fanoutEnv) {
 	env := &fanoutEnv{}
 	cfg := broker.DefaultConfig("bench")
 	cfg.LegacyLinearScan = legacy
+	cfg.CloneDeliveries = clone
 	b := broker.New(env, cfg)
 	if err := b.OnConnOpen(1); err != nil {
 		panic(err)
@@ -97,13 +111,17 @@ func fanoutPublish(b *broker.Broker, env *fanoutEnv, i int) {
 	m.SetProperty("load", message.Double(400))
 	env.acks = env.acks[:0]
 	b.OnFrame(2, wire.Publish{Seq: int64(i), Msg: m})
-	for _, a := range env.acks {
-		b.OnFrame(1, a)
+	for i := range env.acks {
+		b.OnFrame(1, &env.acks[i])
 	}
 }
 
 func benchmarkFanout(b *testing.B, subs int, class string, legacy bool) {
-	br, env := setupFanout(subs, class, legacy)
+	benchmarkFanoutMode(b, subs, class, legacy, false)
+}
+
+func benchmarkFanoutMode(b *testing.B, subs int, class string, legacy, clone bool) {
+	br, env := setupFanout(subs, class, legacy, clone)
 	fanoutPublish(br, env, 0) // warm up; sanity-check delivery counts
 	if class == "none" && env.delivered != uint64(subs) {
 		b.Fatalf("warmup delivered %d of %d", env.delivered, subs)

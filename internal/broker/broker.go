@@ -30,6 +30,17 @@
 // makes fan-out order — and therefore the discrete-event simulation —
 // deterministic. Config.LegacyLinearScan restores the pre-index scan as a
 // baseline for A/B benchmarks and equivalence tests.
+//
+// # Zero-copy fan-out
+//
+// The broker freezes every message it accepts (message.Freeze) and fans
+// the one frozen value out by reference: deliveries, durable backlogs
+// and queue backlogs all share it, so a 1000-subscriber fan-out costs
+// zero message copies instead of 1000 deep clones. Deliver frames come
+// from a pool (wire.GetDeliver) and are returned by the transport that
+// consumes them. Clone is reserved for paths that genuinely need a
+// private mutable copy. Config.CloneDeliveries restores the per-delivery
+// deep copy as a baseline for the zero-copy benchmarks.
 package broker
 
 import (
@@ -91,6 +102,12 @@ type Config struct {
 	// benchmarks and for index-equivalence tests; production
 	// configurations leave it false.
 	LegacyLinearScan bool
+	// CloneDeliveries restores the pre-zero-copy fan-out: a private deep
+	// copy of the published message per delivery and per stored backlog
+	// entry, instead of sharing the one frozen message by reference. It
+	// exists as the measured baseline for the zero-copy benchmarks;
+	// production configurations leave it false.
+	CloneDeliveries bool
 }
 
 // DefaultConfig returns the configuration used in the paper reproduction.
@@ -354,6 +371,9 @@ func (b *Broker) OnFrame(id ConnID, f wire.Frame) {
 		b.handlePublish(c, v)
 	case wire.Ack:
 		b.handleAck(c, v)
+	case *wire.Ack:
+		// Transports that pool ack frames pass them by pointer.
+		b.handleAck(c, *v)
 	case wire.Ping:
 		b.env.Send(id, wire.Pong{Token: v.Token})
 	case wire.Close:
@@ -477,17 +497,24 @@ func (b *Broker) removeTopicSub(t *topicState, sub *subscription) {
 		delete(t.byKey, key)
 		for i, og := range t.groups {
 			if og == g {
-				t.groups = append(t.groups[:i], t.groups[i+1:]...)
+				copy(t.groups[i:], t.groups[i+1:])
+				t.groups[len(t.groups)-1] = nil // don't pin the dead group
+				t.groups = t.groups[:len(t.groups)-1]
 				break
 			}
 		}
 	}
 }
 
+// removeSub deletes sub from the slice, preserving order and niling the
+// vacated tail slot so the backing array does not pin the dead
+// subscription (and the pending-delivery map hanging off it).
 func removeSub(subs []*subscription, sub *subscription) []*subscription {
 	for i, s := range subs {
 		if s == sub {
-			return append(subs[:i], subs[i+1:]...)
+			copy(subs[i:], subs[i+1:])
+			subs[len(subs)-1] = nil
+			return subs[:len(subs)-1]
 		}
 	}
 	return subs
@@ -529,7 +556,9 @@ func (b *Broker) unindexDurable(d *durableState) {
 	ds := b.durablesByTopic[d.topic]
 	for i, od := range ds {
 		if od == d {
-			ds = append(ds[:i], ds[i+1:]...)
+			copy(ds[i:], ds[i+1:])
+			ds[len(ds)-1] = nil // don't pin the dead durable's backlog
+			ds = ds[:len(ds)-1]
 			break
 		}
 	}
@@ -588,7 +617,9 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 		if q := b.queues[sub.dest.Name]; q != nil {
 			for i, s := range q.subs {
 				if s == sub {
-					q.subs = append(q.subs[:i], q.subs[i+1:]...)
+					copy(q.subs[i:], q.subs[i+1:])
+					q.subs[len(q.subs)-1] = nil // don't pin the dead subscription
+					q.subs = q.subs[:len(q.subs)-1]
 					if q.rrNext > i {
 						q.rrNext--
 					}
@@ -603,7 +634,11 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 }
 
 func (b *Broker) handlePublish(c *conn, v wire.Publish) {
-	m := v.Msg
+	// The broker owns the message from here on: freeze it so the one
+	// value can be shared by reference across forwarding, every local
+	// delivery, and every stored backlog entry. (Freezing before the
+	// forwarder runs means peer brokers receive the sealed message too.)
+	m := v.Msg.Freeze()
 	b.stats.Published++
 	if b.forwarder != nil {
 		b.forwarder.OnLocalPublish(m)
@@ -616,7 +651,7 @@ func (b *Broker) handlePublish(c *conn, v wire.Publish) {
 // local subscribers only (no re-forwarding).
 func (b *Broker) InjectForwarded(m *message.Message) {
 	b.stats.ForwardedIn++
-	b.routeLocal(m)
+	b.routeLocal(m.Freeze())
 }
 
 // CountForwardOut records that the network layer forwarded a message to a
@@ -699,6 +734,17 @@ func (b *Broker) routeTopicLegacy(m *message.Message) {
 	}
 }
 
+// shareOrClone returns the message to hand to a delivery or backlog
+// entry: the frozen message itself on the default zero-copy path, or a
+// private deep copy when Config.CloneDeliveries restores the old
+// behaviour as a benchmark baseline.
+func (b *Broker) shareOrClone(m *message.Message) *message.Message {
+	if b.cfg.CloneDeliveries {
+		return m.Clone()
+	}
+	return m
+}
+
 func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
 	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
 		b.stats.DroppedBacklog++
@@ -708,7 +754,7 @@ func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
 		b.stats.DroppedOOM++
 		return
 	}
-	d.backlog = append(d.backlog, storedMsg{msg: m.Clone(), cost: cost})
+	d.backlog = append(d.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
 }
 
 func (b *Broker) enqueue(q *queueState, m *message.Message) {
@@ -721,17 +767,20 @@ func (b *Broker) enqueue(q *queueState, m *message.Message) {
 		b.stats.DroppedOOM++
 		return
 	}
-	q.backlog = append(q.backlog, storedMsg{msg: m.Clone(), cost: cost})
+	q.backlog = append(q.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
 }
 
 // drainQueue hands queued messages to consumers round-robin, honouring
 // selectors: a message goes to the next consumer whose selector accepts
-// it; messages no consumer accepts stay queued.
+// it; messages no consumer accepts stay queued. The backlog is filtered
+// in place — undelivered messages shift down within the same backing
+// array — so a drain allocates nothing, and when no consumer matches
+// anything the backlog is left untouched.
 func (b *Broker) drainQueue(q *queueState) {
-	if len(q.subs) == 0 {
+	if len(q.subs) == 0 || len(q.backlog) == 0 {
 		return
 	}
-	var remaining []storedMsg
+	kept := 0
 	for _, sm := range q.backlog {
 		delivered := false
 		for i := 0; i < len(q.subs); i++ {
@@ -745,10 +794,19 @@ func (b *Broker) drainQueue(q *queueState) {
 			}
 		}
 		if !delivered {
-			remaining = append(remaining, sm)
+			q.backlog[kept] = sm
+			kept++
 		}
 	}
-	q.backlog = remaining
+	if kept == len(q.backlog) {
+		return // nothing delivered; backlog unchanged
+	}
+	// Zero the vacated tail so delivered messages don't stay pinned by
+	// the backing array.
+	for i := kept; i < len(q.backlog); i++ {
+		q.backlog[i] = storedMsg{}
+	}
+	q.backlog = q.backlog[:kept]
 }
 
 // deliverTo sends a message to one subscription, tracking it as pending
@@ -759,6 +817,9 @@ func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
 
 // deliverCost is deliverTo with the delivery's memory cost precomputed,
 // so a topic fan-out prices the message once instead of per subscriber.
+// The frozen message is shared by reference across all deliveries; the
+// Deliver frame itself comes from a pool, returned by whichever
+// transport consumes it.
 func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) {
 	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
 		b.stats.DroppedBacklog++
@@ -772,7 +833,9 @@ func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) 
 	tag := sub.nextTag
 	sub.pending[tag] = pendingDelivery{tag: tag, cost: cost}
 	b.stats.Delivered++
-	b.env.Send(sub.conn.id, wire.Deliver{SubID: sub.id, Tag: tag, Msg: m.Clone()})
+	d := wire.GetDeliver()
+	d.SubID, d.Tag, d.Msg = sub.id, tag, b.shareOrClone(m)
+	b.env.Send(sub.conn.id, d)
 }
 
 func (b *Broker) handleAck(c *conn, v wire.Ack) {

@@ -43,8 +43,10 @@ func (e *fakeEnv) Free(n int64)                { e.heap.Free(n) }
 func (e *fakeEnv) deliveries(c ConnID) []wire.Deliver {
 	var out []wire.Deliver
 	for _, f := range e.sent[c] {
-		if d, ok := f.(wire.Deliver); ok {
-			out = append(out, d)
+		// The broker emits pooled *wire.Deliver frames; the env records
+		// them without releasing, so value copies here stay stable.
+		if d, ok := f.(*wire.Deliver); ok {
+			out = append(out, *d)
 		}
 	}
 	return out
@@ -157,7 +159,7 @@ func TestInvalidSelectorRejected(t *testing.T) {
 	}
 }
 
-func TestDeliveredMessageIsClone(t *testing.T) {
+func TestDeliveredMessageIsSharedAndFrozen(t *testing.T) {
 	b, env := newBroker(t, 0)
 	topic := message.Topic("t")
 	mustOpen(t, b, 1)
@@ -165,11 +167,33 @@ func TestDeliveredMessageIsClone(t *testing.T) {
 	subscribe(t, b, env, 1, 1, topic, "")
 	sent := pub(b, 2, topic, map[string]message.Value{"id": message.Int(1)})
 	d := env.deliveries(1)[0]
+	if d.Msg != sent {
+		t.Fatal("zero-copy delivery must share the published message by reference")
+	}
+	if !sent.Frozen() {
+		t.Fatal("broker did not freeze the accepted message")
+	}
+}
+
+func TestCloneDeliveriesRestoresPrivateCopies(t *testing.T) {
+	env := newFakeEnv(0)
+	cfg := DefaultConfig("b1")
+	cfg.CloneDeliveries = true
+	b := New(env, cfg)
+	topic := message.Topic("t")
+	mustOpen(t, b, 1)
+	mustOpen(t, b, 2)
+	subscribe(t, b, env, 1, 1, topic, "")
+	sent := pub(b, 2, topic, map[string]message.Value{"id": message.Int(1)})
+	d := env.deliveries(1)[0]
 	if d.Msg == sent {
-		t.Fatal("delivery aliases the published message")
+		t.Fatal("CloneDeliveries delivery aliases the published message")
 	}
 	if !d.Msg.Equal(sent) {
 		t.Fatal("delivered clone differs")
+	}
+	if d.Msg.Frozen() {
+		t.Fatal("clone of a frozen message must be mutable")
 	}
 }
 

@@ -32,7 +32,7 @@ func newIndexedAndLegacy(t *testing.T) (*Broker, *fakeEnv, *Broker, *fakeEnv) {
 func deliveredIDs(env *fakeEnv, c ConnID) map[int64][]string {
 	out := make(map[int64][]string)
 	for _, f := range env.sent[c] {
-		if d, ok := f.(wire.Deliver); ok {
+		if d, ok := f.(*wire.Deliver); ok {
 			out[d.SubID] = append(out[d.SubID], d.Msg.ID)
 		}
 	}

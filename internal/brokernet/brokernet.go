@@ -181,7 +181,10 @@ func (m *Member) OnLocalPublish(msg *message.Message) {
 }
 
 // forward sends a message to peers in AddPeer order, skipping the link
-// it arrived on.
+// it arrived on. The message is already frozen by the local broker, so
+// every peer frame shares the one immutable value; transports that
+// actually serialize it reuse its cached encoding (one encode total, no
+// matter how many peers or local subscribers the fan-out reaches).
 func (m *Member) forward(msg *message.Message, from string) {
 	for _, peer := range m.peerOrder {
 		if peer == from {

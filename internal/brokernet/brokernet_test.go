@@ -30,7 +30,7 @@ func (e *memEnv) Free(n int64)                       { e.heap.Free(n) }
 func (e *memEnv) deliveries(c broker.ConnID) int {
 	n := 0
 	for _, f := range e.sent[c] {
-		if _, ok := f.(wire.Deliver); ok {
+		if _, ok := f.(*wire.Deliver); ok {
 			n++
 		}
 	}

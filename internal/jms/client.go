@@ -130,8 +130,9 @@ func (c *Connection) send(f wire.Frame) error {
 }
 
 func (c *Connection) readLoop() {
+	fr := wire.NewFrameReader(c.conn)
 	for {
-		f, err := wire.ReadFrame(c.conn)
+		f, err := fr.Read()
 		if err != nil {
 			c.shutdown(err)
 			return

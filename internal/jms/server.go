@@ -178,16 +178,45 @@ func (s *Server) accept() {
 // into one buffer before flushing to the socket.
 const maxWriteBatch = 64 << 10
 
+// writeBufPool recycles per-connection encode buffers across connection
+// lifetimes, so churning clients don't allocate a fresh buffer per
+// accept. Buffers are pooled behind a pointer so Put doesn't box the
+// slice header; oversized buffers are dropped rather than pooled.
+var writeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// release returns a consumed frame to its pool. The writer owns each
+// frame it dequeues once encoding is done; broker fan-out Deliver frames
+// are pooled, everything else is left to the GC.
+func release(f wire.Frame) {
+	if d, ok := f.(*wire.Deliver); ok {
+		wire.PutDeliver(d)
+	}
+}
+
 func (w *connWriter) run() {
-	// One reusable encode buffer per connection: frames already queued
-	// when the writer wakes (same-tick deliveries of a fan-out) are
-	// coalesced into a single Write call.
-	buf := make([]byte, 0, 4096)
+	// One reusable encode buffer per connection (pooled across
+	// connections): frames already queued when the writer wakes
+	// (same-tick deliveries of a fan-out) are coalesced into a single
+	// Write call.
+	bp := writeBufPool.Get().(*[]byte)
+	buf := *bp
+	defer func() {
+		if cap(buf) <= maxWriteBatch {
+			*bp = buf[:0]
+			writeBufPool.Put(bp)
+		}
+	}()
 	for {
 		select {
 		case f := <-w.out:
 			var err error
 			buf, err = wire.AppendFrame(buf[:0], f)
+			release(f)
 			if err != nil {
 				_ = w.conn.Close()
 				return
@@ -197,6 +226,7 @@ func (w *connWriter) run() {
 				select {
 				case f2 := <-w.out:
 					buf, err = wire.AppendFrame(buf, f2)
+					release(f2)
 					if err != nil {
 						// Flush the frames that did encode before
 						// dropping the connection.
@@ -224,8 +254,9 @@ func (w *connWriter) run() {
 }
 
 func (s *Server) read(id broker.ConnID, w *connWriter) {
+	fr := wire.NewFrameReader(w.conn)
 	for {
-		f, err := wire.ReadFrame(w.conn)
+		f, err := fr.Read()
 		if err != nil {
 			s.dropConn(id, w, true)
 			return

@@ -3,6 +3,7 @@ package message
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DestKind distinguishes the two JMS destination flavours.
@@ -117,8 +118,14 @@ func (b BodyKind) String() string {
 }
 
 // Message is a JMS message: headers, user properties, and a typed body.
-// It is a value-semantics struct; Clone produces an independent copy for
-// fan-out to multiple subscribers.
+//
+// A message starts out mutable while the producer assembles it. Once the
+// broker accepts it, Freeze seals it: mutator methods panic, EncodedSize
+// is computed once and cached, and the broker fans the single frozen
+// value out to every matching subscriber by reference instead of deep-
+// copying per delivery. Clone produces an independent mutable copy for
+// the rare paths that genuinely need one (e.g. expanding a payload
+// before re-publishing).
 type Message struct {
 	// Standard JMS headers.
 	ID            string // JMSMessageID
@@ -141,6 +148,15 @@ type Message struct {
 	stream   []Value
 	mapNames []string
 	mapVals  map[string]Value
+
+	// Sealed state. encSize caches EncodedSize at freeze time; encOnce /
+	// enc cache the wire codec's message encoding, filled at most once by
+	// the first transport that marshals the frozen message (concurrent
+	// connection writers may race to it, hence the Once).
+	frozen  bool
+	encSize int
+	encOnce *sync.Once
+	enc     []byte
 }
 
 // New returns an empty Message with JMS defaults (priority 4,
@@ -175,8 +191,57 @@ func NewBytes(b []byte) *Message {
 // BodyKind reports which JMS message type this is.
 func (m *Message) BodyKind() BodyKind { return m.bodyKind }
 
+// Freeze seals the message: every mutator method panics from here on,
+// and the encoded size is computed once and cached. The broker freezes a
+// message when it accepts a publish, then shares the one frozen value
+// across all subscriber deliveries, durable backlogs and queue backlogs.
+// Freezing a frozen message is a no-op; Freeze returns m for call-site
+// convenience.
+//
+// Exported header fields (ID, Priority, Dest, ...) and the backing array
+// of a payload passed to SetBytes cannot be guarded this way — not
+// mutating those after Publish is part of the publisher contract and is
+// not enforced at runtime.
+//
+// Freeze itself is not safe for concurrent use — the single broker event
+// loop freezes before any sharing — but once frozen the message is safe
+// for unsynchronized concurrent reads.
+func (m *Message) Freeze() *Message {
+	if !m.frozen {
+		m.encSize = m.EncodedSize()
+		m.encOnce = new(sync.Once)
+		m.frozen = true
+	}
+	return m
+}
+
+// Frozen reports whether the message is sealed.
+func (m *Message) Frozen() bool { return m.frozen }
+
+// CachedEncoding returns the frozen message's cached wire encoding,
+// invoking encode at most once over the message's lifetime (package wire
+// supplies the codec; message does not depend on it). Concurrent callers
+// are safe: all but the first block until the encoding is published. It
+// returns nil for unfrozen messages, whose bytes are not stable enough
+// to cache.
+func (m *Message) CachedEncoding(encode func(*Message) []byte) []byte {
+	if !m.frozen {
+		return nil
+	}
+	m.encOnce.Do(func() { m.enc = encode(m) })
+	return m.enc
+}
+
+// mustBeMutable panics when op is attempted on a frozen message.
+func (m *Message) mustBeMutable(op string) {
+	if m.frozen {
+		panic("message: " + op + " on frozen message " + m.ID)
+	}
+}
+
 // SetText makes the message a TextMessage with the given payload.
 func (m *Message) SetText(s string) {
+	m.mustBeMutable("SetText")
 	m.bodyKind = TextBody
 	m.text = s
 }
@@ -189,6 +254,7 @@ func (m *Message) BytesPayload() []byte { return m.bytes }
 
 // SetBytes makes the message a BytesMessage with payload b (not copied).
 func (m *Message) SetBytes(b []byte) {
+	m.mustBeMutable("SetBytes")
 	m.bodyKind = BytesBody
 	m.bytes = b
 }
@@ -196,12 +262,14 @@ func (m *Message) SetBytes(b []byte) {
 // SetObject makes the message an ObjectMessage whose serialized form is b.
 // The broker treats the payload as opaque, as JMS providers do.
 func (m *Message) SetObject(b []byte) {
+	m.mustBeMutable("SetObject")
 	m.bodyKind = ObjectBody
 	m.bytes = b
 }
 
 // StreamAppend appends a value to a StreamMessage body.
 func (m *Message) StreamAppend(v Value) {
+	m.mustBeMutable("StreamAppend")
 	m.bodyKind = StreamBody
 	m.stream = append(m.stream, v)
 }
@@ -212,6 +280,7 @@ func (m *Message) Stream() []Value { return m.stream }
 // SetProperty sets a user property. Setting a property that already exists
 // overwrites it in place.
 func (m *Message) SetProperty(name string, v Value) {
+	m.mustBeMutable("SetProperty")
 	if m.props == nil {
 		m.props = make(map[string]Value)
 	}
@@ -269,6 +338,7 @@ func (m *Message) SelectorField(name string) (Value, bool) {
 // MapSet sets a named value in a MapMessage body. It panics when the
 // message is not a MapMessage: mixing body kinds is a programming error.
 func (m *Message) MapSet(name string, v Value) {
+	m.mustBeMutable("MapSet")
 	if m.bodyKind != MapBody {
 		panic(fmt.Sprintf("message: MapSet on %v", m.bodyKind))
 	}
@@ -290,10 +360,17 @@ func (m *Message) MapNames() []string { return m.mapNames }
 // MapLen reports the number of entries in a MapMessage body.
 func (m *Message) MapLen() int { return len(m.mapVals) }
 
-// Clone returns a deep copy. The broker clones a published message per
-// matching subscriber so consumer-side mutation cannot alias.
+// Clone returns a deep, mutable copy. Since frozen messages are fanned
+// out by reference, cloning is reserved for the paths that truly need a
+// private copy — e.g. expanding a payload before re-publishing, or a
+// redelivery that must flip Redelivered without aliasing live deliveries.
+// A clone of a frozen message is unfrozen and carries no cached encoding.
 func (m *Message) Clone() *Message {
 	c := *m
+	c.frozen = false
+	c.encSize = 0
+	c.encOnce = nil
+	c.enc = nil
 	if m.props != nil {
 		c.props = make(map[string]Value, len(m.props))
 		for k, v := range m.props {
@@ -319,8 +396,12 @@ func (m *Message) Clone() *Message {
 
 // EncodedSize estimates the wire size of the message in bytes: fixed
 // header fields, property table and body. It matches the wire codec's
-// actual output size.
+// actual output size. Frozen messages return the size cached at freeze
+// time without recomputing.
 func (m *Message) EncodedSize() int {
+	if m.frozen {
+		return m.encSize
+	}
 	n := 1 + // body kind
 		4 + len(m.ID) +
 		1 + 4 + len(m.Dest.Name) +

@@ -182,6 +182,18 @@ func (c *Client) clientIn(f wire.Frame) {
 				c.OnDeliver(v)
 			}
 			c.acknowledge(v)
+		case *wire.Deliver:
+			// The broker's pooled fan-out frames arrive by pointer over
+			// the simulated (by-reference) transport. Dispatch a value
+			// copy so listeners keep their existing signature. The frame
+			// is NOT returned to the pool here: unreliable transports may
+			// still retransmit it, so the simulator leaves reclamation to
+			// the GC.
+			c.received++
+			if c.OnDeliver != nil {
+				c.OnDeliver(*v)
+			}
+			c.acknowledge(*v)
 		}
 	})
 }

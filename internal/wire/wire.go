@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"gridmon/internal/message"
 )
@@ -147,6 +148,30 @@ type BrokerSub struct {
 	BrokerID string
 	Topic    string
 	Add      bool
+}
+
+// deliverPool recycles Deliver frames on the broker's fan-out hot path:
+// a 1000-subscriber publish needs 1000 Deliver values, and boxing each
+// one into the Frame interface would otherwise allocate per delivery.
+// The broker takes frames with GetDeliver; the transport that consumes a
+// frame (e.g. the TCP writer, after encoding it) returns it with
+// PutDeliver. Holders that never release — test environments recording
+// frames, simulator event queues — simply leave their frames to the GC,
+// which is always safe; releasing a frame someone still references is
+// not.
+var deliverPool = sync.Pool{New: func() any { return new(Deliver) }}
+
+// GetDeliver returns a zeroed Deliver frame from the pool. Both Deliver
+// and *Deliver implement Frame; pooled frames travel as *Deliver.
+func GetDeliver() *Deliver {
+	return deliverPool.Get().(*Deliver)
+}
+
+// PutDeliver returns a Deliver frame to the pool. Only the frame's final
+// consumer may call it, exactly once.
+func PutDeliver(d *Deliver) {
+	*d = Deliver{}
+	deliverPool.Put(d)
 }
 
 // Type implementations.
@@ -340,8 +365,29 @@ func readDest(r *reader) message.Destination {
 	return message.Destination{Kind: k, Name: r.str()}
 }
 
-// WriteMessage appends the codec form of m to the writer.
+// writeMessage appends the codec form of m to the writer. Frozen
+// messages splice in their cached encoding, computed at most once per
+// message, so fanning one publish out to N subscribers costs one encode
+// plus N memcpys; the spliced bytes are exactly what writeMessageFields
+// would produce. Unfrozen messages (client-side publishes, unit tests)
+// are encoded field by field as before.
 func writeMessage(w *writer, m *message.Message) {
+	if m.Frozen() {
+		w.buf = append(w.buf, m.CachedEncoding(encodeMessage)...)
+		return
+	}
+	writeMessageFields(w, m)
+}
+
+// encodeMessage produces the standalone codec form of m in an exactly
+// sized buffer; it backs the frozen-message encoding cache.
+func encodeMessage(m *message.Message) []byte {
+	w := &writer{buf: make([]byte, 0, m.EncodedSize())}
+	writeMessageFields(w, m)
+	return w.buf
+}
+
+func writeMessageFields(w *writer, m *message.Message) {
 	w.u8(uint8(m.BodyKind()))
 	w.str(m.ID)
 	writeDest(w, m.Dest)
@@ -465,9 +511,10 @@ func MarshalAppend(dst []byte, f Frame) []byte {
 	case PubAck:
 		w.u64(uint64(v.Seq))
 	case Deliver:
-		w.u64(uint64(v.SubID))
-		w.u64(uint64(v.Tag))
-		writeMessage(w, v.Msg)
+		writeDeliver(w, v)
+	case *Deliver:
+		// Pooled fan-out frames travel as pointers; same bytes as Deliver.
+		writeDeliver(w, *v)
 	case Ack:
 		w.u64(uint64(v.SubID))
 		w.u32(uint32(len(v.Tags)))
@@ -492,6 +539,14 @@ func MarshalAppend(dst []byte, f Frame) []byte {
 		panic(fmt.Sprintf("wire: marshal of unknown frame %T", f))
 	}
 	return w.buf
+}
+
+// writeDeliver encodes a Deliver frame body; Deliver and *Deliver share
+// it so the two marshal cases cannot drift.
+func writeDeliver(w *writer, v Deliver) {
+	w.u64(uint64(v.SubID))
+	w.u64(uint64(v.Tag))
+	writeMessage(w, v.Msg)
 }
 
 // Unmarshal decodes a frame from bytes.
@@ -572,6 +627,8 @@ func Size(f Frame) int {
 		n += 8 + v.Msg.EncodedSize()
 	case Deliver:
 		n += 16 + v.Msg.EncodedSize()
+	case *Deliver:
+		n += 16 + v.Msg.EncodedSize()
 	case Ack:
 		n += 8 + 4 + 8*len(v.Tags)
 	case Close:
@@ -617,7 +674,9 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from a stream.
+// ReadFrame reads one length-prefixed frame from a stream. It allocates
+// a fresh body buffer per frame; loops reading many frames should use a
+// FrameReader, which reuses one.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -632,4 +691,48 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return nil, err
 	}
 	return Unmarshal(body)
+}
+
+// maxRetainedReadBuf caps the body buffer a FrameReader keeps between
+// frames; an occasional oversized frame must not pin its buffer for the
+// connection's lifetime.
+const maxRetainedReadBuf = 64 << 10
+
+// FrameReader reads length-prefixed frames from a stream, reusing one
+// body buffer across frames. Reuse is safe because Unmarshal copies
+// every variable-length field (strings, byte payloads) out of the input
+// buffer. Not safe for concurrent use; each connection's read loop owns
+// one.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for pooled-buffer frame reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+// Read decodes the next frame from the stream.
+func (fr *FrameReader) Read() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return nil, err
+	}
+	f, err := Unmarshal(body)
+	if cap(fr.buf) > maxRetainedReadBuf {
+		fr.buf = make([]byte, 0, 4096)
+	}
+	return f, err
 }

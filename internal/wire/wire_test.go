@@ -261,6 +261,95 @@ func TestPropertyAckRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFrozenSpliceByteIdentical proves the zero-copy splice path: a
+// frozen message's cached-encoding output must be byte-for-byte what the
+// field-by-field encoder produces, for every frame kind that carries a
+// message and for both value and pointer Deliver forms.
+func TestFrozenSpliceByteIdentical(t *testing.T) {
+	msgs := []*message.Message{sampleMessage(), message.NewText("hello"), message.NewBytes([]byte{1, 2, 3}), message.New()}
+	for _, m := range msgs {
+		m.ID = "ID:splice"
+		m.Dest = message.Topic("power")
+		frames := func(mm *message.Message) []Frame {
+			return []Frame{
+				Deliver{SubID: 3, Tag: 77, Msg: mm},
+				&Deliver{SubID: 3, Tag: 77, Msg: mm},
+				BrokerForward{Origin: "hydra5", Msg: mm},
+				Publish{Seq: 9, Msg: mm},
+			}
+		}
+		full := frames(m)
+		want := make([][]byte, len(full))
+		for i, f := range full {
+			want[i] = Marshal(f) // unfrozen: field-by-field encoding
+		}
+		frozen := frames(m.Freeze())
+		for i, f := range frozen {
+			got := Marshal(f) // frozen: cached-encoding splice
+			if !bytes.Equal(got, want[i]) {
+				t.Errorf("%T: splice output differs from full encoding\n got %x\nwant %x", f, got, want[i])
+			}
+			if len(got) != Size(f) {
+				t.Errorf("%T: Size %d != marshal len %d", f, Size(f), len(got))
+			}
+			// And the spliced bytes must still decode to an equal message.
+			rt, err := Unmarshal(got)
+			if err != nil {
+				t.Fatalf("%T: unmarshal spliced frame: %v", f, err)
+			}
+			switch v := rt.(type) {
+			case Deliver:
+				if !v.Msg.Equal(m) {
+					t.Errorf("%T: spliced round trip message differs", f)
+				}
+			case Publish:
+				if !v.Msg.Equal(m) {
+					t.Errorf("%T: spliced round trip message differs", f)
+				}
+			case BrokerForward:
+				if !v.Msg.Equal(m) {
+					t.Errorf("%T: spliced round trip message differs", f)
+				}
+			}
+		}
+	}
+}
+
+// TestDeliverPoolRoundTrip checks pooled frames reset cleanly.
+func TestDeliverPoolRoundTrip(t *testing.T) {
+	d := GetDeliver()
+	d.SubID, d.Tag, d.Msg = 1, 2, sampleMessage()
+	PutDeliver(d)
+	d2 := GetDeliver()
+	if d2.SubID != 0 || d2.Tag != 0 || d2.Msg != nil {
+		t.Fatalf("pooled Deliver not zeroed: %+v", d2)
+	}
+	PutDeliver(d2)
+}
+
+func TestFrameReaderMatchesReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	frames := allFrames()
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write %v: %v", f.Type(), err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for _, want := range frames {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !framesEqual(want, got) {
+			t.Fatalf("FrameReader round trip mismatch for %v", want.Type())
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
 func BenchmarkMarshalPublish(b *testing.B) {
 	p := Publish{Seq: 1, Msg: sampleMessage()}
 	b.ReportAllocs()
