@@ -5,6 +5,12 @@
 // Usage:
 //
 //	naradad [-listen :7672] [-id broker-1] [-max-conn-mem 0]
+//	        [-shards 0] [-serial]
+//
+// By default the broker core is sharded across the CPUs (publishes to
+// different topics run in parallel); -serial restores the single
+// event-loop dispatch as an A/B baseline for load tests, -shards pins
+// the destination-shard count.
 package main
 
 import (
@@ -24,10 +30,15 @@ func main() {
 	id := flag.String("id", "naradad", "broker identifier")
 	maxConnMem := flag.Int64("max-conn-mem", 0, "per-connection memory budget in bytes (0 = unlimited); reproduces the paper's admission cliff")
 	statsEvery := flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
+	shards := flag.Int("shards", 0, "destination shard count (0 = one per CPU)")
+	serial := flag.Bool("serial", false, "single event-loop dispatch (pre-shard baseline)")
 	flag.Parse()
 
+	cfg := broker.DefaultConfig(*id)
+	cfg.Shards = *shards
+	cfg.SerialCore = *serial
 	srv, err := jms.ListenAndServe(*listen, jms.ServerConfig{
-		Broker:        broker.DefaultConfig(*id),
+		Broker:        cfg,
 		MaxConnMemory: *maxConnMem,
 	})
 	if err != nil {

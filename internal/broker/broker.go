@@ -14,6 +14,53 @@
 // as the paper's broker "ran out of memory to create new threads to serve
 // more incoming connections".
 //
+// # Three layers
+//
+// The core is split into three explicit layers:
+//
+//   - The session layer (sessions.go) owns the connection table,
+//     per-connection subscription registries, per-subscription ack
+//     bookkeeping, and admission/memory accounting (OnConnOpen /
+//     OnConnClose / handleSubscribe / handleAck).
+//   - The destination layer (shard.go, topics.go, queues.go,
+//     durables.go) owns topic, queue and durable state. It is
+//     partitioned into Config.Shards lock-guarded shards keyed by
+//     destination-name hash; each shard owns the subscription indexes
+//     and backlogs of its destinations, so publishes to destinations on
+//     different shards execute concurrently on different cores.
+//   - The egress layer (stats.go) emits Deliver frames and keeps all
+//     counters in atomics, so Stats() and PendingCount() are safe to
+//     call from any goroutine at any time.
+//
+// # Concurrency contract
+//
+// The broker takes its internal locks unconditionally, so OnFrame,
+// OnConnOpen and OnConnClose are safe to call from any number of
+// goroutines provided (a) the Env implementation is itself safe for
+// concurrent use and (b) frames of one connection are delivered by a
+// single goroutine at a time (every transport reads a connection with
+// one reader). Lock order is durableMu → shard.mu → conn.mu; Env
+// methods are invoked with broker locks held and must not call back
+// into the broker synchronously (bindings that need to drop a
+// connection from inside Env.Send defer the OnConnClose to another
+// goroutine).
+//
+// With a single calling goroutine — the discrete-event simulator's
+// kernel, or a binding in Config.SerialCore mode — execution is
+// bit-for-bit identical for any shard count, which is what keeps the
+// paper reproduction (TestExperimentDeterminism) byte-identical: the
+// shards are lock domains, not worker goroutines, so parallelism only
+// arises when multiple callers actually overlap.
+//
+// Shard-safe API (callable from any goroutine in sharded use): OnFrame,
+// OnConnOpen, OnConnClose, InjectForwarded, CountForwardOut, Stats,
+// PendingCount, Topics, TopicSubscribers, TopicSelectorGroups, ShardOf.
+// Serial-only (single caller required): SetForwarder/forwarder
+// callbacks, SetInterestFunc/interest callbacks (both fire with broker
+// locks held and touch unsynchronized observer state, see brokernet),
+// and Config.LegacyLinearScan routing, which scans the global durable
+// table without shard partitioning.
+//
 // # Subscription index
 //
 // The publish hot path is indexed rather than scanned. Each topic
@@ -38,27 +85,30 @@
 // and queue backlogs all share it, so a 1000-subscriber fan-out costs
 // zero message copies instead of 1000 deep clones. Deliver frames come
 // from a pool (wire.GetDeliver) and are returned by the transport that
-// consumes them. Clone is reserved for paths that genuinely need a
-// private mutable copy. Config.CloneDeliveries restores the per-delivery
-// deep copy as a baseline for the zero-copy benchmarks.
+// consumes them; transports that cannot guarantee consume-exactly-once
+// (the simulator, whose unreliable transports retransmit frames) set
+// Config.DisableDeliverPool and receive GC-managed frames instead.
+// Clone is reserved for paths that genuinely need a private mutable
+// copy. Config.CloneDeliveries restores the per-delivery deep copy as a
+// baseline for the zero-copy benchmarks.
 package broker
 
 import (
 	"errors"
-	"fmt"
 	"sort"
+	"sync"
 
 	"gridmon/internal/message"
-	"gridmon/internal/selector"
 	"gridmon/internal/wire"
 )
 
-// ConnID identifies a client connection within one broker.
-type ConnID int64
-
-// Env abstracts the resources a broker consumes. Implementations must be
-// single-threaded with respect to the broker (the sim kernel and the TCP
-// binding's event loop both guarantee this).
+// Env abstracts the resources a broker consumes. With a serial binding
+// (the sim kernel, or a TCP binding in Config.SerialCore mode) the
+// implementation may be single-threaded; a binding that calls the broker
+// from multiple goroutines must provide an Env that is safe for
+// concurrent use. Send/Alloc/Free/Now are called with broker shard locks
+// held and must not call back into the broker synchronously; AllocConn
+// and FreeConn are serialized by the broker's session lock.
 type Env interface {
 	// Now returns the current time in nanoseconds (virtual or wall).
 	Now() int64
@@ -95,12 +145,33 @@ type Config struct {
 	// MaxDurableBacklog bounds messages stored for a disconnected
 	// durable subscriber; 0 means unbounded (memory still applies).
 	MaxDurableBacklog int
+	// Shards partitions the destination layer into this many
+	// lock-guarded shards keyed by destination-name hash. 0 and 1 both
+	// mean a single shard — the serial core, the default for the
+	// deterministic simulation. Sharding changes which publishes can
+	// proceed concurrently, never what any single operation does: with
+	// one calling goroutine the broker behaves identically for any S.
+	Shards int
+	// SerialCore restores the pre-shard architecture as an A/B
+	// baseline (same pattern as LegacyLinearScan/CloneDeliveries): it
+	// forces a single shard, and bindings that honour it (internal/jms)
+	// funnel every frame through one event-loop goroutine instead of
+	// dispatching reader goroutines straight into the shards.
+	SerialCore bool
+	// DisableDeliverPool makes the broker emit GC-managed Deliver
+	// frames instead of pooled ones (wire.GetDeliver). Pooled frames
+	// require a transport that consumes each frame exactly once and
+	// then releases it; transports that may retransmit or indefinitely
+	// hold frames — the simulator's unreliable datagram channels — set
+	// this and leave reclamation to the garbage collector.
+	DisableDeliverPool bool
 	// LegacyLinearScan restores the pre-index publish path: a linear
 	// scan over every topic subscription with tree-walking selector
 	// evaluation per candidate, and a scan over every durable in the
 	// system. It exists as the measured baseline for the fan-out
 	// benchmarks and for index-equivalence tests; production
-	// configurations leave it false.
+	// configurations leave it false. Serial-only: the durable scan
+	// reads the global durable table without shard partitioning.
 	LegacyLinearScan bool
 	// CloneDeliveries restores the pre-zero-copy fan-out: a private deep
 	// copy of the published message per delivery and per stored backlog
@@ -125,99 +196,9 @@ func DefaultConfig(id string) Config {
 // resource budget (thread stacks, on the paper's testbed) is exhausted.
 var ErrConnRefused = errors.New("broker: connection refused (out of memory)")
 
-// Stats counts broker activity.
-type Stats struct {
-	Connections      int
-	PeakConnections  int
-	Published        uint64
-	Delivered        uint64
-	Acked            uint64
-	SelectorRejected uint64 // deliveries suppressed by selectors
-	Expired          uint64
-	DroppedOOM       uint64 // deliveries dropped because memory ran out
-	DroppedBacklog   uint64 // stored messages dropped at backlog caps
-	ForwardedOut     uint64 // messages forwarded to peer brokers
-	ForwardedIn      uint64 // messages received from peer brokers
-	RefusedConns     uint64
-}
-
-type pendingDelivery struct {
-	tag  int64
-	cost int64 // heap bytes charged
-}
-
-type subscription struct {
-	conn        *conn
-	id          int64
-	dest        message.Destination
-	sel         *selector.Selector
-	ackMode     message.AckMode
-	durableName string
-	nextTag     int64
-	pending     map[int64]pendingDelivery
-}
-
-type conn struct {
-	id       ConnID
-	clientID string
-	subs     map[int64]*subscription
-}
-
-type storedMsg struct {
-	msg  *message.Message
-	cost int64
-}
-
-// selGroup collects the topic subscriptions sharing one selector source
-// text. The group's compiled program is evaluated once per published
-// message and its verdict applied to every member. Grouping is textual:
-// semantically equivalent but differently written selectors ("id<10" vs
-// "id < 10") land in separate groups and are evaluated separately.
-type selGroup struct {
-	key  string // verbatim selector source
-	prog *selector.Program
-	subs []*subscription // subscribe order
-}
-
-// topicState indexes a topic's subscriptions for publish fan-out. In the
-// default indexed mode, fast holds subscriptions delivered without
-// selector evaluation and groups holds the selector-bearing ones,
-// deduplicated by selector source. In legacy mode every subscription
-// lives in the legacy set — an unordered map, exactly the structure the
-// pre-index broker scanned.
-type topicState struct {
-	name   string
-	fast   []*subscription      // always-true selectors, subscribe order
-	groups []*selGroup          // first-appearance order
-	byKey  map[string]*selGroup // selector source -> group
-	legacy map[*subscription]struct{}
-}
-
-func (t *topicState) subCount() int {
-	n := len(t.fast) + len(t.legacy)
-	for _, g := range t.groups {
-		n += len(g.subs)
-	}
-	return n
-}
-
-type queueState struct {
-	name    string
-	subs    []*subscription // round-robin order
-	rrNext  int
-	backlog []storedMsg
-}
-
-type durableState struct {
-	name    string
-	topic   string
-	sel     *selector.Selector
-	active  *subscription // nil while disconnected
-	backlog []storedMsg
-}
-
 // Forwarder lets a broker-network layer observe local publishes and inject
-// remote ones; see package brokernet.
+// remote ones; see package brokernet. Serial-only: the forwarder runs on
+// the publisher's goroutine without broker synchronization.
 type Forwarder interface {
 	// OnLocalPublish is invoked for every message accepted from a local
 	// client, before local delivery.
@@ -226,25 +207,31 @@ type Forwarder interface {
 
 // Broker is the sans-I/O broker core.
 type Broker struct {
-	env   Env
-	cfg   Config
-	conns map[ConnID]*conn
+	env Env
+	cfg Config
 
-	topics   map[string]*topicState
-	queues   map[string]*queueState
-	durables map[string]*durableState
-	// durablesByTopic indexes durables by their topic (in creation
-	// order) so publish touches only the durables of the published
-	// topic. Unused in legacy mode, which scans the durables map.
-	durablesByTopic map[string][]*durableState
+	// Session layer: connection table and per-conn subscriptions.
+	sessions sessionTable
+
+	// Destination layer: topics/queues/durable indexes partitioned into
+	// lock-guarded shards by destination-name hash.
+	shards []*shard
+
+	// Durable directory: name → state, spanning shards (a durable can be
+	// recreated on a topic that hashes elsewhere). durableMu serializes
+	// attach/detach/destroy; the state itself is guarded by the shard of
+	// its current topic. Lock order: durableMu before any shard.mu.
+	durableMu sync.Mutex
+	durables  map[string]*durableState
+
+	// Egress layer: atomic counters (stats.go).
+	stats statCounters
 
 	forwarder Forwarder
 
 	// TopicInterest observers (brokernet uses these to propagate
-	// subscription info for TREE routing).
+	// subscription info for TREE routing). Serial-only.
 	onInterest func(topic string, add bool)
-
-	stats Stats
 }
 
 // New returns a broker core using env for I/O and resources.
@@ -252,38 +239,42 @@ func New(env Env, cfg Config) *Broker {
 	if cfg.ID == "" {
 		cfg.ID = "broker"
 	}
-	return &Broker{
-		env:             env,
-		cfg:             cfg,
-		conns:           make(map[ConnID]*conn),
-		topics:          make(map[string]*topicState),
-		queues:          make(map[string]*queueState),
-		durables:        make(map[string]*durableState),
-		durablesByTopic: make(map[string][]*durableState),
+	n := cfg.Shards
+	if cfg.SerialCore || n < 1 {
+		n = 1
 	}
+	b := &Broker{env: env, cfg: cfg, durables: make(map[string]*durableState)}
+	b.sessions.init()
+	b.shards = make([]*shard, n)
+	for i := range b.shards {
+		b.shards[i] = newShard()
+	}
+	return b
 }
 
 // ID returns the broker's identifier.
 func (b *Broker) ID() string { return b.cfg.ID }
 
-// Stats returns a snapshot of broker counters.
-func (b *Broker) Stats() Stats {
-	s := b.stats
-	s.Connections = len(b.conns)
-	return s
-}
+// Config returns the broker's effective configuration (bindings force
+// some fields, e.g. the simulator host disables the Deliver-frame pool).
+func (b *Broker) Config() Config { return b.cfg }
 
-// SetForwarder installs the broker-network hook.
+// SetForwarder installs the broker-network hook. Serial-only.
 func (b *Broker) SetForwarder(f Forwarder) { b.forwarder = f }
 
 // SetInterestFunc installs a callback fired when the broker gains or
-// loses its last local subscription on a topic.
+// loses its last local subscription on a topic. The callback runs with
+// the topic's shard lock held and must not call back into the broker.
+// Serial-only.
 func (b *Broker) SetInterestFunc(fn func(topic string, add bool)) { b.onInterest = fn }
 
 // TopicSubscribers reports how many local subscriptions a topic has
-// (bindings use it to charge selector-matching CPU time).
+// (bindings use it to charge selector-matching CPU time). Shard-safe.
 func (b *Broker) TopicSubscribers(name string) int {
-	if t := b.topics[name]; t != nil {
+	sh := b.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.topics[name]; t != nil {
 		return t.subCount()
 	}
 	return 0
@@ -295,8 +286,12 @@ func (b *Broker) TopicSubscribers(name string) int {
 // does NOT use this: it charges selector CPU per subscriber, modelling
 // the paper's linear-scan Java broker. This accessor exists for bindings
 // (and tests) that want to model or observe the indexed broker itself.
+// Shard-safe.
 func (b *Broker) TopicSelectorGroups(name string) int {
-	if t := b.topics[name]; t != nil {
+	sh := b.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.topics[name]; t != nil {
 		if b.cfg.LegacyLinearScan {
 			return len(t.legacy)
 		}
@@ -306,65 +301,46 @@ func (b *Broker) TopicSelectorGroups(name string) int {
 }
 
 // Topics returns the names of topics with at least one local subscriber,
-// sorted for deterministic iteration by callers.
+// sorted for deterministic iteration by callers. Shard-safe (each shard
+// is snapshotted in turn; concurrent subscribes may land between
+// snapshots).
 func (b *Broker) Topics() []string {
 	var out []string
-	for name, t := range b.topics {
-		if t.subCount() > 0 {
-			out = append(out, name)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for name, t := range sh.topics {
+			if t.subCount() > 0 {
+				out = append(out, name)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// OnConnOpen admits a new client connection, charging its memory cost.
-// The binding must call this before delivering any frames for the
-// connection and must close the transport if an error is returned.
-func (b *Broker) OnConnOpen(id ConnID) error {
-	if _, dup := b.conns[id]; dup {
-		panic(fmt.Sprintf("broker: duplicate conn id %d", id))
-	}
-	if err := b.env.AllocConn(); err != nil {
-		b.stats.RefusedConns++
-		return fmt.Errorf("%w: %v", ErrConnRefused, err)
-	}
-	b.conns[id] = &conn{id: id, subs: make(map[int64]*subscription)}
-	if n := len(b.conns); n > b.stats.PeakConnections {
-		b.stats.PeakConnections = n
-	}
-	return nil
-}
-
-// OnConnClose releases a connection and all its subscriptions. Durable
-// subscriptions revert to the disconnected state and begin buffering.
-func (b *Broker) OnConnClose(id ConnID) {
-	c, ok := b.conns[id]
-	if !ok {
-		return
-	}
-	for _, sub := range c.subs {
-		b.dropSubscription(sub, false)
-	}
-	delete(b.conns, id)
-	b.env.FreeConn()
-}
-
 // OnFrame processes one protocol frame from a client connection. Unknown
-// connections are ignored (the binding may race a close).
+// connections are ignored (the binding may race a close). Shard-safe,
+// provided each connection's frames arrive from one goroutine at a time.
 func (b *Broker) OnFrame(id ConnID, f wire.Frame) {
-	c, ok := b.conns[id]
-	if !ok {
+	c := b.sessions.lookup(id)
+	if c == nil {
 		return
 	}
 	switch v := f.(type) {
 	case wire.Connect:
+		c.mu.Lock()
 		c.clientID = v.ClientID
+		c.mu.Unlock()
 		b.env.Send(id, wire.Connected{BrokerID: b.cfg.ID})
 	case wire.Subscribe:
 		b.handleSubscribe(c, v)
 	case wire.Unsubscribe:
-		if sub, ok := c.subs[v.SubID]; ok {
+		c.mu.Lock()
+		sub := c.subs[v.SubID]
+		delete(c.subs, v.SubID)
+		c.mu.Unlock()
+		if sub != nil {
 			b.dropSubscription(sub, true)
 		}
 	case wire.Publish:
@@ -382,264 +358,13 @@ func (b *Broker) OnFrame(id ConnID, f wire.Frame) {
 	}
 }
 
-func (b *Broker) handleSubscribe(c *conn, v wire.Subscribe) {
-	if _, dup := c.subs[v.SubID]; dup {
-		// Protocol violation; drop the connection.
-		b.OnConnClose(c.id)
-		b.env.CloseConn(c.id)
-		return
-	}
-	sel, err := selector.Parse(v.Selector)
-	if err != nil {
-		// JMS raises InvalidSelectorException at subscribe time; the
-		// protocol surfaces it by closing the subscription attempt. We
-		// signal with SubOK carrying a negative id.
-		b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
-		return
-	}
-	ackMode := v.AckMode
-	if ackMode == 0 {
-		ackMode = message.AutoAck
-	}
-	sub := &subscription{
-		conn:        c,
-		id:          v.SubID,
-		dest:        v.Dest,
-		sel:         sel,
-		ackMode:     ackMode,
-		durableName: v.DurableName,
-		pending:     make(map[int64]pendingDelivery),
-	}
-	switch v.Dest.Kind {
-	case message.TopicKind:
-		if v.Durable && v.DurableName != "" {
-			if !b.attachDurable(sub) {
-				b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
-				return
-			}
-		}
-		t := b.topics[v.Dest.Name]
-		if t == nil {
-			t = &topicState{name: v.Dest.Name, byKey: make(map[string]*selGroup)}
-			b.topics[v.Dest.Name] = t
-		}
-		wasEmpty := t.subCount() == 0
-		b.addTopicSub(t, sub)
-		if wasEmpty && b.onInterest != nil {
-			b.onInterest(t.name, true)
-		}
-	case message.QueueKind:
-		q := b.queues[v.Dest.Name]
-		if q == nil {
-			q = &queueState{name: v.Dest.Name}
-			b.queues[v.Dest.Name] = q
-		}
-		q.subs = append(q.subs, sub)
-	default:
-		b.env.Send(c.id, wire.SubOK{SubID: -v.SubID})
-		return
-	}
-	c.subs[v.SubID] = sub
-	b.env.Send(c.id, wire.SubOK{SubID: v.SubID})
-	// Deliver any backlog the subscription is entitled to.
-	if v.Dest.Kind == message.QueueKind {
-		b.drainQueue(b.queues[v.Dest.Name])
-	} else if v.Durable && v.DurableName != "" {
-		b.drainDurable(b.durables[v.DurableName], sub)
-	}
-}
-
-// addTopicSub places a subscription into the topic's index: the fast set
-// when its selector provably matches everything, otherwise the selector
-// group for its selector source (created on first use). Legacy mode
-// appends to the flat scan list instead.
-func (b *Broker) addTopicSub(t *topicState, sub *subscription) {
-	if b.cfg.LegacyLinearScan {
-		if t.legacy == nil {
-			t.legacy = make(map[*subscription]struct{})
-		}
-		t.legacy[sub] = struct{}{}
-		return
-	}
-	if sub.sel.AlwaysTrue() {
-		t.fast = append(t.fast, sub)
-		return
-	}
-	key := sub.sel.String()
-	g := t.byKey[key]
-	if g == nil {
-		g = &selGroup{key: key, prog: sub.sel.Compiled()}
-		t.byKey[key] = g
-		t.groups = append(t.groups, g)
-	}
-	g.subs = append(g.subs, sub)
-}
-
-// removeTopicSub removes a subscription from the topic's index,
-// preserving the order of the remaining entries. Emptied selector groups
-// are dropped.
-func (b *Broker) removeTopicSub(t *topicState, sub *subscription) {
-	if b.cfg.LegacyLinearScan {
-		delete(t.legacy, sub)
-		return
-	}
-	if sub.sel.AlwaysTrue() {
-		t.fast = removeSub(t.fast, sub)
-		return
-	}
-	key := sub.sel.String()
-	g := t.byKey[key]
-	if g == nil {
-		return
-	}
-	g.subs = removeSub(g.subs, sub)
-	if len(g.subs) == 0 {
-		delete(t.byKey, key)
-		for i, og := range t.groups {
-			if og == g {
-				copy(t.groups[i:], t.groups[i+1:])
-				t.groups[len(t.groups)-1] = nil // don't pin the dead group
-				t.groups = t.groups[:len(t.groups)-1]
-				break
-			}
-		}
-	}
-}
-
-// removeSub deletes sub from the slice, preserving order and niling the
-// vacated tail slot so the backing array does not pin the dead
-// subscription (and the pending-delivery map hanging off it).
-func removeSub(subs []*subscription, sub *subscription) []*subscription {
-	for i, s := range subs {
-		if s == sub {
-			copy(subs[i:], subs[i+1:])
-			subs[len(subs)-1] = nil
-			return subs[:len(subs)-1]
-		}
-	}
-	return subs
-}
-
-// attachDurable binds a subscription to its durable state, creating it on
-// first use. It fails when the durable name is already active on another
-// subscription (JMS allows one active consumer per durable subscription).
-func (b *Broker) attachDurable(sub *subscription) bool {
-	d := b.durables[sub.durableName]
-	if d == nil {
-		d = &durableState{name: sub.durableName, topic: sub.dest.Name, sel: sub.sel}
-		b.durables[sub.durableName] = d
-		b.durablesByTopic[d.topic] = append(b.durablesByTopic[d.topic], d)
-	}
-	if d.active != nil {
-		return false
-	}
-	// JMS: changing topic or selector on a durable name recreates it.
-	if d.topic != sub.dest.Name || d.sel.String() != sub.sel.String() {
-		for _, sm := range d.backlog {
-			b.env.Free(sm.cost)
-		}
-		d.backlog = nil
-		if d.topic != sub.dest.Name {
-			b.unindexDurable(d)
-			d.topic = sub.dest.Name
-			b.durablesByTopic[d.topic] = append(b.durablesByTopic[d.topic], d)
-		}
-		d.sel = sub.sel
-	}
-	d.active = sub
-	return true
-}
-
-// unindexDurable removes a durable from the by-topic index, preserving
-// the order of the remaining entries.
-func (b *Broker) unindexDurable(d *durableState) {
-	ds := b.durablesByTopic[d.topic]
-	for i, od := range ds {
-		if od == d {
-			copy(ds[i:], ds[i+1:])
-			ds[len(ds)-1] = nil // don't pin the dead durable's backlog
-			ds = ds[:len(ds)-1]
-			break
-		}
-	}
-	if len(ds) == 0 {
-		delete(b.durablesByTopic, d.topic)
-	} else {
-		b.durablesByTopic[d.topic] = ds
-	}
-}
-
-func (b *Broker) drainDurable(d *durableState, sub *subscription) {
-	if d == nil {
-		return
-	}
-	backlog := d.backlog
-	d.backlog = nil
-	for _, sm := range backlog {
-		b.env.Free(sm.cost)
-		b.deliverTo(sub, sm.msg)
-	}
-}
-
-// dropSubscription removes a subscription from its destination.
-// unsubscribe distinguishes a client Unsubscribe (which also destroys
-// durable state) from a connection close (which keeps it buffering).
-func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
-	for _, pd := range sub.pending {
-		b.env.Free(pd.cost)
-	}
-	sub.pending = make(map[int64]pendingDelivery)
-	delete(sub.conn.subs, sub.id)
-	switch sub.dest.Kind {
-	case message.TopicKind:
-		if t := b.topics[sub.dest.Name]; t != nil {
-			b.removeTopicSub(t, sub)
-			if t.subCount() == 0 {
-				if b.onInterest != nil {
-					b.onInterest(t.name, false)
-				}
-				delete(b.topics, sub.dest.Name)
-			}
-		}
-		if sub.durableName != "" {
-			if d := b.durables[sub.durableName]; d != nil && d.active == sub {
-				d.active = nil
-				if unsubscribe {
-					for _, sm := range d.backlog {
-						b.env.Free(sm.cost)
-					}
-					delete(b.durables, sub.durableName)
-					b.unindexDurable(d)
-				}
-			}
-		}
-	case message.QueueKind:
-		if q := b.queues[sub.dest.Name]; q != nil {
-			for i, s := range q.subs {
-				if s == sub {
-					copy(q.subs[i:], q.subs[i+1:])
-					q.subs[len(q.subs)-1] = nil // don't pin the dead subscription
-					q.subs = q.subs[:len(q.subs)-1]
-					if q.rrNext > i {
-						q.rrNext--
-					}
-					break
-				}
-			}
-			if len(q.subs) == 0 && len(q.backlog) == 0 {
-				delete(b.queues, sub.dest.Name)
-			}
-		}
-	}
-}
-
 func (b *Broker) handlePublish(c *conn, v wire.Publish) {
 	// The broker owns the message from here on: freeze it so the one
 	// value can be shared by reference across forwarding, every local
 	// delivery, and every stored backlog entry. (Freezing before the
 	// forwarder runs means peer brokers receive the sealed message too.)
 	m := v.Msg.Freeze()
-	b.stats.Published++
+	b.stats.published.Add(1)
 	if b.forwarder != nil {
 		b.forwarder.OnLocalPublish(m)
 	}
@@ -648,218 +373,12 @@ func (b *Broker) handlePublish(c *conn, v wire.Publish) {
 }
 
 // InjectForwarded delivers a message that arrived from a peer broker to
-// local subscribers only (no re-forwarding).
+// local subscribers only (no re-forwarding). Shard-safe.
 func (b *Broker) InjectForwarded(m *message.Message) {
-	b.stats.ForwardedIn++
+	b.stats.forwardedIn.Add(1)
 	b.routeLocal(m.Freeze())
 }
 
 // CountForwardOut records that the network layer forwarded a message to a
-// peer (for stats parity between routing modes).
-func (b *Broker) CountForwardOut() { b.stats.ForwardedOut++ }
-
-func (b *Broker) routeLocal(m *message.Message) {
-	if m.Expiration > 0 && b.env.Now() > m.Expiration {
-		b.stats.Expired++
-		return
-	}
-	switch m.Dest.Kind {
-	case message.TopicKind:
-		if b.cfg.LegacyLinearScan {
-			b.routeTopicLegacy(m)
-			return
-		}
-		t := b.topics[m.Dest.Name]
-		durables := b.durablesByTopic[m.Dest.Name]
-		if t == nil && len(durables) == 0 {
-			return
-		}
-		// The message's encoded size (hence its delivery memory cost) is
-		// identical for every subscriber: compute it once per publish.
-		cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
-		if t != nil {
-			// Fast set: selectors that provably accept everything are
-			// delivered without evaluation.
-			for _, sub := range t.fast {
-				b.deliverCost(sub, m, cost)
-			}
-			// Selector groups: one compiled evaluation per distinct
-			// selector, applied to every subscriber sharing it.
-			for _, g := range t.groups {
-				if g.prog.Matches(m) {
-					for _, sub := range g.subs {
-						b.deliverCost(sub, m, cost)
-					}
-				} else {
-					b.stats.SelectorRejected += uint64(len(g.subs))
-				}
-			}
-		}
-		// Durable subscribers currently offline buffer the message; only
-		// this topic's durables are touched.
-		for _, d := range durables {
-			if d.active == nil && d.sel.Matches(m) {
-				b.storeDurable(d, m, cost)
-			}
-		}
-	case message.QueueKind:
-		q := b.queues[m.Dest.Name]
-		if q == nil {
-			q = &queueState{name: m.Dest.Name}
-			b.queues[m.Dest.Name] = q
-		}
-		b.enqueue(q, m)
-		b.drainQueue(q)
-	}
-}
-
-// routeTopicLegacy is the pre-index publish path, kept as the measured
-// baseline: every topic subscription is visited with a tree-walking
-// selector evaluation per candidate, and every durable in the broker is
-// scanned regardless of its topic.
-func (b *Broker) routeTopicLegacy(m *message.Message) {
-	if t := b.topics[m.Dest.Name]; t != nil {
-		for sub := range t.legacy {
-			if sub.sel.EvalInterpreted(m) == selector.TriTrue {
-				b.deliverTo(sub, m)
-			} else {
-				b.stats.SelectorRejected++
-			}
-		}
-	}
-	for _, d := range b.durables {
-		if d.active == nil && d.topic == m.Dest.Name && d.sel.EvalInterpreted(m) == selector.TriTrue {
-			b.storeDurable(d, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
-		}
-	}
-}
-
-// shareOrClone returns the message to hand to a delivery or backlog
-// entry: the frozen message itself on the default zero-copy path, or a
-// private deep copy when Config.CloneDeliveries restores the old
-// behaviour as a benchmark baseline.
-func (b *Broker) shareOrClone(m *message.Message) *message.Message {
-	if b.cfg.CloneDeliveries {
-		return m.Clone()
-	}
-	return m
-}
-
-func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
-	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
-		b.stats.DroppedBacklog++
-		return
-	}
-	if err := b.env.Alloc(cost); err != nil {
-		b.stats.DroppedOOM++
-		return
-	}
-	d.backlog = append(d.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
-}
-
-func (b *Broker) enqueue(q *queueState, m *message.Message) {
-	if b.cfg.MaxQueueBacklog > 0 && len(q.backlog) >= b.cfg.MaxQueueBacklog {
-		b.stats.DroppedBacklog++
-		return
-	}
-	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
-	if err := b.env.Alloc(cost); err != nil {
-		b.stats.DroppedOOM++
-		return
-	}
-	q.backlog = append(q.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
-}
-
-// drainQueue hands queued messages to consumers round-robin, honouring
-// selectors: a message goes to the next consumer whose selector accepts
-// it; messages no consumer accepts stay queued. The backlog is filtered
-// in place — undelivered messages shift down within the same backing
-// array — so a drain allocates nothing, and when no consumer matches
-// anything the backlog is left untouched.
-func (b *Broker) drainQueue(q *queueState) {
-	if len(q.subs) == 0 || len(q.backlog) == 0 {
-		return
-	}
-	kept := 0
-	for _, sm := range q.backlog {
-		delivered := false
-		for i := 0; i < len(q.subs); i++ {
-			sub := q.subs[(q.rrNext+i)%len(q.subs)]
-			if sub.sel.Matches(sm.msg) {
-				q.rrNext = (q.rrNext + i + 1) % len(q.subs)
-				b.env.Free(sm.cost)
-				b.deliverTo(sub, sm.msg)
-				delivered = true
-				break
-			}
-		}
-		if !delivered {
-			q.backlog[kept] = sm
-			kept++
-		}
-	}
-	if kept == len(q.backlog) {
-		return // nothing delivered; backlog unchanged
-	}
-	// Zero the vacated tail so delivered messages don't stay pinned by
-	// the backing array.
-	for i := kept; i < len(q.backlog); i++ {
-		q.backlog[i] = storedMsg{}
-	}
-	q.backlog = q.backlog[:kept]
-}
-
-// deliverTo sends a message to one subscription, tracking it as pending
-// until acknowledged.
-func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
-	b.deliverCost(sub, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
-}
-
-// deliverCost is deliverTo with the delivery's memory cost precomputed,
-// so a topic fan-out prices the message once instead of per subscriber.
-// The frozen message is shared by reference across all deliveries; the
-// Deliver frame itself comes from a pool, returned by whichever
-// transport consumes it.
-func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) {
-	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
-		b.stats.DroppedBacklog++
-		return
-	}
-	if err := b.env.Alloc(cost); err != nil {
-		b.stats.DroppedOOM++
-		return
-	}
-	sub.nextTag++
-	tag := sub.nextTag
-	sub.pending[tag] = pendingDelivery{tag: tag, cost: cost}
-	b.stats.Delivered++
-	d := wire.GetDeliver()
-	d.SubID, d.Tag, d.Msg = sub.id, tag, b.shareOrClone(m)
-	b.env.Send(sub.conn.id, d)
-}
-
-func (b *Broker) handleAck(c *conn, v wire.Ack) {
-	sub, ok := c.subs[v.SubID]
-	if !ok {
-		return
-	}
-	for _, tag := range v.Tags {
-		if pd, ok := sub.pending[tag]; ok {
-			b.env.Free(pd.cost)
-			delete(sub.pending, tag)
-			b.stats.Acked++
-		}
-	}
-}
-
-// PendingCount reports unacknowledged deliveries across all subscriptions
-// (for tests and monitoring).
-func (b *Broker) PendingCount() int {
-	n := 0
-	for _, c := range b.conns {
-		for _, sub := range c.subs {
-			n += len(sub.pending)
-		}
-	}
-	return n
-}
+// peer (for stats parity between routing modes). Shard-safe.
+func (b *Broker) CountForwardOut() { b.stats.forwardedOut.Add(1) }

@@ -1,0 +1,103 @@
+// Destination layer, part 4: durable subscriptions. The name → state
+// directory lives on the Broker (a durable can be recreated on a topic
+// that hashes to a different shard), serialized by durableMu; the state
+// itself — backlog, active consumer, by-topic index membership — is
+// guarded by the shard of the durable's current topic.
+
+package broker
+
+import (
+	"gridmon/internal/message"
+	"gridmon/internal/selector"
+)
+
+type durableState struct {
+	name    string
+	topic   string
+	sel     *selector.Selector
+	active  *subscription // nil while disconnected
+	backlog []storedMsg
+}
+
+// attachDurable resolves (creating on first use) the durable state for a
+// subscription, applying the JMS recreate-on-change rule: a durable
+// resubscribed with a different topic or selector drops its backlog and,
+// on a topic change, moves to the new topic's shard. It fails when the
+// durable name is already active on another subscription (JMS allows one
+// active consumer per durable subscription). The caller holds durableMu
+// and, on success, sets d.active under the topic shard's lock — until
+// then the durable keeps buffering, so no message is lost in between.
+func (b *Broker) attachDurable(sub *subscription) (*durableState, bool) {
+	d := b.durables[sub.durableName]
+	if d == nil {
+		d = &durableState{name: sub.durableName, topic: sub.dest.Name, sel: sub.sel}
+		b.durables[sub.durableName] = d
+		sh := b.shardFor(d.topic)
+		sh.mu.Lock()
+		sh.durablesByTopic[d.topic] = append(sh.durablesByTopic[d.topic], d)
+		sh.mu.Unlock()
+		return d, true
+	}
+	sh := b.shardFor(d.topic)
+	sh.mu.Lock()
+	if d.active != nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	// JMS: changing topic or selector on a durable name recreates it.
+	if d.topic != sub.dest.Name || d.sel.String() != sub.sel.String() {
+		for _, sm := range d.backlog {
+			b.env.Free(sm.cost)
+		}
+		d.backlog = nil
+		if d.topic != sub.dest.Name {
+			b.unindexDurable(sh, d)
+			sh.mu.Unlock()
+			// Unreachable from any shard index here; only the directory
+			// (which we hold via durableMu) still points at d.
+			d.topic = sub.dest.Name
+			d.sel = sub.sel
+			nsh := b.shardFor(d.topic)
+			nsh.mu.Lock()
+			nsh.durablesByTopic[d.topic] = append(nsh.durablesByTopic[d.topic], d)
+			nsh.mu.Unlock()
+			return d, true
+		}
+		d.sel = sub.sel
+	}
+	sh.mu.Unlock()
+	return d, true
+}
+
+// unindexDurable removes a durable from its shard's by-topic index,
+// preserving the order of the remaining entries. Shard lock held.
+func (b *Broker) unindexDurable(sh *shard, d *durableState) {
+	ds := sh.durablesByTopic[d.topic]
+	for i, od := range ds {
+		if od == d {
+			copy(ds[i:], ds[i+1:])
+			ds[len(ds)-1] = nil // don't pin the dead durable's backlog
+			ds = ds[:len(ds)-1]
+			break
+		}
+	}
+	if len(ds) == 0 {
+		delete(sh.durablesByTopic, d.topic)
+	} else {
+		sh.durablesByTopic[d.topic] = ds
+	}
+}
+
+// storeDurable buffers a message for a disconnected durable subscriber.
+// Shard lock held.
+func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
+	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
+		b.stats.droppedBacklog.Add(1)
+		return
+	}
+	if err := b.env.Alloc(cost); err != nil {
+		b.stats.droppedOOM.Add(1)
+		return
+	}
+	d.backlog = append(d.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
+}

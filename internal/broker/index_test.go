@@ -192,7 +192,7 @@ func TestIndexDurableReattach(t *testing.T) {
 // deliveries (the fake env has no other live allocations in these tests).
 func pendingHeapUsed(b *Broker) int64 {
 	var n int64
-	for _, c := range b.conns {
+	for _, c := range b.sessions.conns {
 		for _, sub := range c.subs {
 			for _, pd := range sub.pending {
 				n += pd.cost

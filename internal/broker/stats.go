@@ -1,0 +1,128 @@
+// Egress layer: Deliver-frame emission and broker counters. Counters
+// are atomics, so Stats() and PendingCount() are safe to call from any
+// goroutine while shards run publishes in parallel; deliverCost is the
+// single funnel every delivery passes through, called with the owning
+// shard's lock held.
+
+package broker
+
+import (
+	"sync/atomic"
+
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// Stats counts broker activity.
+type Stats struct {
+	Connections      int
+	PeakConnections  int
+	Published        uint64
+	Delivered        uint64
+	Acked            uint64
+	SelectorRejected uint64 // deliveries suppressed by selectors
+	Expired          uint64
+	DroppedOOM       uint64 // deliveries dropped because memory ran out
+	DroppedBacklog   uint64 // stored messages dropped at backlog caps
+	ForwardedOut     uint64 // messages forwarded to peer brokers
+	ForwardedIn      uint64 // messages received from peer brokers
+	RefusedConns     uint64
+}
+
+// statCounters is the atomic backing store for Stats, plus the live
+// pending-delivery gauge behind PendingCount.
+type statCounters struct {
+	connections      atomic.Int64
+	peakConnections  atomic.Int64
+	pending          atomic.Int64
+	published        atomic.Uint64
+	delivered        atomic.Uint64
+	acked            atomic.Uint64
+	selectorRejected atomic.Uint64
+	expired          atomic.Uint64
+	droppedOOM       atomic.Uint64
+	droppedBacklog   atomic.Uint64
+	forwardedOut     atomic.Uint64
+	forwardedIn      atomic.Uint64
+	refusedConns     atomic.Uint64
+}
+
+// Stats returns a snapshot of broker counters. Shard-safe: callable from
+// any goroutine at any time; under concurrent load the fields are
+// individually (not mutually) consistent.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Connections:      int(b.stats.connections.Load()),
+		PeakConnections:  int(b.stats.peakConnections.Load()),
+		Published:        b.stats.published.Load(),
+		Delivered:        b.stats.delivered.Load(),
+		Acked:            b.stats.acked.Load(),
+		SelectorRejected: b.stats.selectorRejected.Load(),
+		Expired:          b.stats.expired.Load(),
+		DroppedOOM:       b.stats.droppedOOM.Load(),
+		DroppedBacklog:   b.stats.droppedBacklog.Load(),
+		ForwardedOut:     b.stats.forwardedOut.Load(),
+		ForwardedIn:      b.stats.forwardedIn.Load(),
+		RefusedConns:     b.stats.refusedConns.Load(),
+	}
+}
+
+// PendingCount reports unacknowledged deliveries across all
+// subscriptions (for tests and monitoring). Shard-safe: the gauge is
+// maintained atomically at delivery, acknowledgement and subscription
+// teardown.
+func (b *Broker) PendingCount() int {
+	return int(b.stats.pending.Load())
+}
+
+// shareOrClone returns the message to hand to a delivery or backlog
+// entry: the frozen message itself on the default zero-copy path, or a
+// private deep copy when Config.CloneDeliveries restores the old
+// behaviour as a benchmark baseline.
+func (b *Broker) shareOrClone(m *message.Message) *message.Message {
+	if b.cfg.CloneDeliveries {
+		return m.Clone()
+	}
+	return m
+}
+
+// getDeliver acquires a Deliver frame under the ownership rule of
+// Config.DisableDeliverPool: pooled when the binding's transport
+// consumes each frame exactly once, GC-managed when it may retransmit
+// or hold frames (the simulator).
+func (b *Broker) getDeliver() *wire.Deliver {
+	if b.cfg.DisableDeliverPool {
+		return new(wire.Deliver)
+	}
+	return wire.GetDeliver()
+}
+
+// deliverTo sends a message to one subscription, tracking it as pending
+// until acknowledged. Shard lock held.
+func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
+	b.deliverCost(sub, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
+}
+
+// deliverCost is deliverTo with the delivery's memory cost precomputed,
+// so a topic fan-out prices the message once instead of per subscriber.
+// The frozen message is shared by reference across all deliveries; the
+// Deliver frame itself comes from a pool (unless the binding opted out),
+// returned by whichever transport consumes it. Shard lock held.
+func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) {
+	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
+		b.stats.droppedBacklog.Add(1)
+		return
+	}
+	if err := b.env.Alloc(cost); err != nil {
+		b.stats.droppedOOM.Add(1)
+		return
+	}
+	sub.nextTag++
+	tag := sub.nextTag
+	sub.pending[tag] = pendingDelivery{tag: tag, cost: cost}
+	b.stats.delivered.Add(1)
+	b.stats.pending.Add(1)
+	d := b.getDeliver()
+	d.SubID, d.Tag, d.Msg = sub.id, tag, b.shareOrClone(m)
+	b.env.Send(sub.conn.id, d)
+}

@@ -1,0 +1,175 @@
+// Destination layer, part 2: topics. Each topic owns the subscription
+// index described in the package comment (fast set + selector groups,
+// or the flat legacy scan set). All topicState access happens with the
+// owning shard's lock held.
+
+package broker
+
+import (
+	"gridmon/internal/message"
+	"gridmon/internal/selector"
+)
+
+// selGroup collects the topic subscriptions sharing one selector source
+// text. The group's compiled program is evaluated once per published
+// message and its verdict applied to every member. Grouping is textual:
+// semantically equivalent but differently written selectors ("id<10" vs
+// "id < 10") land in separate groups and are evaluated separately.
+type selGroup struct {
+	key  string // verbatim selector source
+	prog *selector.Program
+	subs []*subscription // subscribe order
+}
+
+// topicState indexes a topic's subscriptions for publish fan-out. In the
+// default indexed mode, fast holds subscriptions delivered without
+// selector evaluation and groups holds the selector-bearing ones,
+// deduplicated by selector source. In legacy mode every subscription
+// lives in the legacy set — an unordered map, exactly the structure the
+// pre-index broker scanned.
+type topicState struct {
+	name   string
+	fast   []*subscription      // always-true selectors, subscribe order
+	groups []*selGroup          // first-appearance order
+	byKey  map[string]*selGroup // selector source -> group
+	legacy map[*subscription]struct{}
+}
+
+func (t *topicState) subCount() int {
+	n := len(t.fast) + len(t.legacy)
+	for _, g := range t.groups {
+		n += len(g.subs)
+	}
+	return n
+}
+
+// addTopicSub places a subscription into the topic's index: the fast set
+// when its selector provably matches everything, otherwise the selector
+// group for its selector source (created on first use). Legacy mode
+// appends to the flat scan list instead. Shard lock held.
+func (b *Broker) addTopicSub(t *topicState, sub *subscription) {
+	if b.cfg.LegacyLinearScan {
+		if t.legacy == nil {
+			t.legacy = make(map[*subscription]struct{})
+		}
+		t.legacy[sub] = struct{}{}
+		return
+	}
+	if sub.sel.AlwaysTrue() {
+		t.fast = append(t.fast, sub)
+		return
+	}
+	key := sub.sel.String()
+	g := t.byKey[key]
+	if g == nil {
+		g = &selGroup{key: key, prog: sub.sel.Compiled()}
+		t.byKey[key] = g
+		t.groups = append(t.groups, g)
+	}
+	g.subs = append(g.subs, sub)
+}
+
+// removeTopicSub removes a subscription from the topic's index,
+// preserving the order of the remaining entries. Emptied selector groups
+// are dropped. Shard lock held.
+func (b *Broker) removeTopicSub(t *topicState, sub *subscription) {
+	if b.cfg.LegacyLinearScan {
+		delete(t.legacy, sub)
+		return
+	}
+	if sub.sel.AlwaysTrue() {
+		t.fast = removeSub(t.fast, sub)
+		return
+	}
+	key := sub.sel.String()
+	g := t.byKey[key]
+	if g == nil {
+		return
+	}
+	g.subs = removeSub(g.subs, sub)
+	if len(g.subs) == 0 {
+		delete(t.byKey, key)
+		for i, og := range t.groups {
+			if og == g {
+				copy(t.groups[i:], t.groups[i+1:])
+				t.groups[len(t.groups)-1] = nil // don't pin the dead group
+				t.groups = t.groups[:len(t.groups)-1]
+				break
+			}
+		}
+	}
+}
+
+// removeSub deletes sub from the slice, preserving order and niling the
+// vacated tail slot so the backing array does not pin the dead
+// subscription (and the pending-delivery map hanging off it).
+func removeSub(subs []*subscription, sub *subscription) []*subscription {
+	for i, s := range subs {
+		if s == sub {
+			copy(subs[i:], subs[i+1:])
+			subs[len(subs)-1] = nil
+			return subs[:len(subs)-1]
+		}
+	}
+	return subs
+}
+
+// routeTopic is the indexed topic fan-out. Shard lock held.
+func (b *Broker) routeTopic(sh *shard, m *message.Message) {
+	t := sh.topics[m.Dest.Name]
+	durables := sh.durablesByTopic[m.Dest.Name]
+	if t == nil && len(durables) == 0 {
+		return
+	}
+	// The message's encoded size (hence its delivery memory cost) is
+	// identical for every subscriber: compute it once per publish.
+	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+	if t != nil {
+		// Fast set: selectors that provably accept everything are
+		// delivered without evaluation.
+		for _, sub := range t.fast {
+			b.deliverCost(sub, m, cost)
+		}
+		// Selector groups: one compiled evaluation per distinct
+		// selector, applied to every subscriber sharing it.
+		for _, g := range t.groups {
+			if g.prog.Matches(m) {
+				for _, sub := range g.subs {
+					b.deliverCost(sub, m, cost)
+				}
+			} else {
+				b.stats.selectorRejected.Add(uint64(len(g.subs)))
+			}
+		}
+	}
+	// Durable subscribers currently offline buffer the message; only
+	// this topic's durables are touched.
+	for _, d := range durables {
+		if d.active == nil && d.sel.Matches(m) {
+			b.storeDurable(d, m, cost)
+		}
+	}
+}
+
+// routeTopicLegacy is the pre-index publish path, kept as the measured
+// baseline: every topic subscription is visited with a tree-walking
+// selector evaluation per candidate, and every durable in the broker is
+// scanned regardless of its topic. Serial-only: the durable scan reads
+// the global directory without taking durableMu (lock order forbids it
+// here), which is safe only with a single calling goroutine.
+func (b *Broker) routeTopicLegacy(sh *shard, m *message.Message) {
+	if t := sh.topics[m.Dest.Name]; t != nil {
+		for sub := range t.legacy {
+			if sub.sel.EvalInterpreted(m) == selector.TriTrue {
+				b.deliverTo(sub, m)
+			} else {
+				b.stats.selectorRejected.Add(1)
+			}
+		}
+	}
+	for _, d := range b.durables {
+		if d.active == nil && d.topic == m.Dest.Name && d.sel.EvalInterpreted(m) == selector.TriTrue {
+			b.storeDurable(d, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
+		}
+	}
+}

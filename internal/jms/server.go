@@ -5,11 +5,22 @@
 // serves real sockets here, so everything validated by the simulation —
 // selectors, acknowledgement bookkeeping, durable subscriptions — holds
 // on the wire.
+//
+// By default the server dispatches each connection's reader goroutine
+// straight into the broker core: the core's destination layer is
+// partitioned into lock-guarded shards (broker.Config.Shards, defaulted
+// here to GOMAXPROCS), so publishes to different topics execute
+// concurrently on different cores and the single-event-loop ceiling of
+// the paper's broker is gone. broker.Config.SerialCore restores that
+// pre-shard architecture — every frame funnelled through one event-loop
+// goroutine — as the measured baseline for the parallel-publish
+// benchmarks.
 package jms
 
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,7 +31,9 @@ import (
 
 // ServerConfig tunes the TCP broker server.
 type ServerConfig struct {
-	// Broker configures the wrapped core; zero value gets defaults.
+	// Broker configures the wrapped core; zero value gets defaults with
+	// one destination shard per CPU. Set Broker.SerialCore for the
+	// single-event-loop baseline, Broker.Shards to pin the shard count.
 	Broker broker.Config
 	// MaxConnMemory bounds simulated per-connection memory, reproducing
 	// the paper's admission cliff on real sockets too (0 = unlimited).
@@ -31,15 +44,17 @@ type ServerConfig struct {
 	WriteBuffer int
 }
 
-// Server runs a broker core behind a TCP listener. All core access is
-// serialized through one event-loop goroutine; per-connection reader and
-// writer goroutines shuttle frames in and out.
+// Server runs a broker core behind a TCP listener. Per-connection reader
+// goroutines feed the sharded core directly (or a single event-loop
+// goroutine in SerialCore mode); per-connection writer goroutines
+// shuttle frames out.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
-	b   *broker.Broker
+	cfg    ServerConfig
+	ln     net.Listener
+	b      *broker.Broker
+	serial bool
 
-	events chan func()
+	events chan func() // SerialCore only
 	done   chan struct{}
 
 	mu      sync.Mutex
@@ -47,8 +62,8 @@ type Server struct {
 	nextID  broker.ConnID
 	closed  bool
 
-	native *simproc.Heap
-	heap   *simproc.Heap
+	native *simproc.SharedHeap
+	heap   *simproc.SharedHeap
 }
 
 type connWriter struct {
@@ -60,8 +75,19 @@ type connWriter struct {
 // NewServer starts a broker server on the given listener. Close releases
 // it.
 func NewServer(ln net.Listener, cfg ServerConfig) *Server {
-	if cfg.Broker.ID == "" {
+	if cfg.Broker == (broker.Config{}) {
 		cfg.Broker = broker.DefaultConfig("naradad")
+	} else if cfg.Broker.ID == "" {
+		cfg.Broker.ID = "naradad"
+	}
+	if cfg.Broker.LegacyLinearScan {
+		// The legacy scan is a serial-only baseline (it walks the global
+		// durable table without shard partitioning); never combine it
+		// with concurrent reader dispatch.
+		cfg.Broker.SerialCore = true
+	}
+	if !cfg.Broker.SerialCore && cfg.Broker.Shards <= 0 {
+		cfg.Broker.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.WriteBuffer <= 0 {
 		cfg.WriteBuffer = 256
@@ -72,14 +98,17 @@ func NewServer(ln net.Listener, cfg ServerConfig) *Server {
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
-		events:  make(chan func(), 1024),
+		serial:  cfg.Broker.SerialCore,
 		done:    make(chan struct{}),
 		writers: make(map[broker.ConnID]*connWriter),
-		native:  simproc.NewHeap("server-native", cfg.MaxConnMemory, 0),
-		heap:    simproc.NewHeap("server-heap", 0, 0),
+		native:  simproc.NewSharedHeap("server-native", cfg.MaxConnMemory, 0),
+		heap:    simproc.NewSharedHeap("server-heap", 0, 0),
 	}
 	s.b = broker.New((*serverEnv)(s), cfg.Broker)
-	go s.loop()
+	if s.serial {
+		s.events = make(chan func(), 1024)
+		go s.loop()
+	}
 	go s.accept()
 	return s
 }
@@ -107,18 +136,14 @@ func (s *Server) Close() {
 	close(s.done)
 }
 
-// Stats proxies the broker core's counters (evaluated on the event loop).
+// Stats proxies the broker core's counters. The core keeps them in
+// atomics, so this is safe from any goroutine in both dispatch modes.
 func (s *Server) Stats() broker.Stats {
-	ch := make(chan broker.Stats, 1)
-	select {
-	case s.events <- func() { ch <- s.b.Stats() }:
-		return <-ch
-	case <-s.done:
-		return broker.Stats{}
-	}
+	return s.b.Stats()
 }
 
-// loop is the single goroutine that owns the broker core.
+// loop is the SerialCore event-loop goroutine: the single owner of all
+// frame processing, reproducing the pre-shard architecture.
 func (s *Server) loop() {
 	for {
 		select {
@@ -130,7 +155,7 @@ func (s *Server) loop() {
 	}
 }
 
-// post runs fn on the event loop (dropped after Close).
+// post runs fn on the event loop (dropped after Close). SerialCore only.
 func (s *Server) post(fn func()) {
 	select {
 	case s.events <- fn:
@@ -156,21 +181,14 @@ func (s *Server) accept() {
 		s.writers[id] = w
 		s.mu.Unlock()
 
-		admitted := make(chan bool, 1)
-		s.post(func() { admitted <- s.b.OnConnOpen(id) == nil })
-		go func() {
-			ok := false
-			select {
-			case ok = <-admitted:
-			case <-s.done:
-			}
-			if !ok {
-				s.dropConn(id, w, false)
-				return
-			}
-			go w.run()
-			s.read(id, w)
-		}()
+		// Admission runs on the accept goroutine; the broker's session
+		// layer serializes it internally.
+		if s.b.OnConnOpen(id) != nil {
+			s.dropConn(id, w, false)
+			continue
+		}
+		go w.run()
+		go s.read(id, w)
 	}
 }
 
@@ -253,6 +271,10 @@ func (w *connWriter) run() {
 	}
 }
 
+// read pumps one connection's frames into the core: directly in sharded
+// mode (reads of different connections then execute concurrently,
+// serialized only where they meet on a destination shard), via the
+// event loop in SerialCore mode.
 func (s *Server) read(id broker.ConnID, w *connWriter) {
 	fr := wire.NewFrameReader(w.conn)
 	for {
@@ -261,25 +283,38 @@ func (s *Server) read(id broker.ConnID, w *connWriter) {
 			s.dropConn(id, w, true)
 			return
 		}
-		s.post(func() { s.b.OnFrame(id, f) })
+		if s.serial {
+			s.post(func() { s.b.OnFrame(id, f) })
+		} else {
+			s.b.OnFrame(id, f)
+		}
 	}
 }
 
-// dropConn tears down one connection; notify releases core state.
+// dropConn tears down one connection; notify releases core state. The
+// first dropper wins: later calls for the same id are no-ops.
 func (s *Server) dropConn(id broker.ConnID, w *connWriter, notify bool) {
 	s.mu.Lock()
-	if _, ok := s.writers[id]; ok {
+	_, live := s.writers[id]
+	if live {
 		delete(s.writers, id)
 		close(w.done)
 	}
 	s.mu.Unlock()
 	_ = w.conn.Close()
-	if notify {
-		s.post(func() { s.b.OnConnClose(id) })
+	if notify && live {
+		// Always on a fresh goroutine: Send may drop a slow consumer
+		// from inside a delivery — while its shard lock is held (shard
+		// mode) or on the event-loop goroutine itself (SerialCore mode,
+		// where posting back to a full events queue would deadlock the
+		// loop). OnConnClose is safe from any goroutine in both modes.
+		go s.b.OnConnClose(id)
 	}
 }
 
-// serverEnv implements broker.Env on the event loop.
+// serverEnv implements broker.Env. All methods are safe for concurrent
+// use: frame queues are per-connection channels behind the writers
+// mutex, memory accounting is atomic (simproc.SharedHeap).
 type serverEnv Server
 
 func (e *serverEnv) Now() int64 { return time.Now().UnixNano() }
@@ -296,7 +331,7 @@ func (e *serverEnv) Send(id broker.ConnID, f wire.Frame) {
 	case w.out <- f:
 	default:
 		// Slow consumer: drop the connection rather than block the
-		// broker loop (NaradaBrokering-era brokers did the same).
+		// broker (NaradaBrokering-era brokers did the same).
 		s.dropConn(id, w, true)
 	}
 }

@@ -40,7 +40,15 @@ type hostLink struct {
 }
 
 // NewHost creates a broker on the given simulated node.
+//
+// The simulated transports carry frames by reference and may hold a
+// Deliver frame indefinitely (unreliable transports keep it queued for
+// retransmission until acked or abandoned), so the consume-exactly-once
+// ownership rule of the wire frame pool cannot hold here. The host
+// therefore opts the broker out of the pool: sim deliveries are
+// GC-managed, and wire.PutDeliver is never called on them.
 func NewHost(net *simnet.Network, node *simnet.Node, cfg broker.Config, costs Costs) *Host {
+	cfg.DisableDeliverPool = true
 	h := &Host{
 		net:    net,
 		k:      net.Kernel(),

@@ -1,0 +1,95 @@
+package simproc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SharedHeap is the concurrency-safe counterpart of Heap: a bounded
+// allocator whose Alloc/Free are lock-free (CAS on the usage counter),
+// for bindings that account memory from many goroutines at once — the
+// sharded TCP broker charges delivery memory from every shard and
+// connection admission from the accept loop concurrently. Heap itself
+// stays single-threaded for the deterministic simulator, where atomic
+// ordering would only obscure the model.
+type SharedHeap struct {
+	name  string
+	limit int64
+	base  int64 // resident baseline (middleware itself), reported in Used
+	used  atomic.Int64
+	peak  atomic.Int64
+	fails atomic.Uint64
+}
+
+// NewSharedHeap returns a shared heap with the given byte limit (0 means
+// unlimited) and a resident baseline counted against the limit
+// immediately.
+func NewSharedHeap(name string, limit, baseline int64) *SharedHeap {
+	h := &SharedHeap{name: name, limit: limit, base: baseline}
+	h.used.Store(baseline)
+	h.peak.Store(baseline)
+	return h
+}
+
+// Alloc reserves n bytes. It fails with ErrOutOfMemory when the limit
+// would be exceeded, leaving usage unchanged. The limit check and the
+// reservation are one atomic step, so concurrent allocators can never
+// jointly overshoot the limit.
+func (h *SharedHeap) Alloc(n int64) error {
+	if n < 0 {
+		panic("simproc: negative allocation")
+	}
+	if h.limit <= 0 {
+		// Unlimited heap: no limit check to make atomic, so a plain
+		// add avoids the CAS retry loop on the delivery hot path.
+		h.raisePeak(h.used.Add(n))
+		return nil
+	}
+	for {
+		cur := h.used.Load()
+		if h.limit > 0 && cur+n > h.limit {
+			h.fails.Add(1)
+			return fmt.Errorf("%w: %s: %d + %d > limit %d", ErrOutOfMemory, h.name, cur, n, h.limit)
+		}
+		if h.used.CompareAndSwap(cur, cur+n) {
+			h.raisePeak(cur + n)
+			return nil
+		}
+	}
+}
+
+func (h *SharedHeap) raisePeak(used int64) {
+	for {
+		p := h.peak.Load()
+		if used <= p || h.peak.CompareAndSwap(p, used) {
+			return
+		}
+	}
+}
+
+// Free releases n bytes. Freeing below the resident baseline panics: it
+// indicates unbalanced accounting in a binding.
+func (h *SharedHeap) Free(n int64) {
+	if n < 0 {
+		panic("simproc: negative free")
+	}
+	if after := h.used.Add(-n); after < h.base {
+		panic(fmt.Sprintf("simproc: heap %s freed below baseline (%d < %d)", h.name, after, h.base))
+	}
+}
+
+// Used reports current usage including the baseline.
+func (h *SharedHeap) Used() int64 { return h.used.Load() }
+
+// Peak reports the highest usage observed.
+func (h *SharedHeap) Peak() int64 { return h.peak.Load() }
+
+// Limit reports the configured limit (0 = unlimited).
+func (h *SharedHeap) Limit() int64 { return h.limit }
+
+// Failures reports how many allocations were refused.
+func (h *SharedHeap) Failures() uint64 { return h.fails.Load() }
+
+// Consumption reports peak minus baseline — the paper's "memory
+// consumption ... difference between peak and bottom values".
+func (h *SharedHeap) Consumption() int64 { return h.peak.Load() - h.base }

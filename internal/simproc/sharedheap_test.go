@@ -1,0 +1,68 @@
+package simproc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSharedHeapBasics(t *testing.T) {
+	h := NewSharedHeap("t", 100, 10)
+	if h.Used() != 10 || h.Peak() != 10 || h.Limit() != 100 {
+		t.Fatalf("baseline state: used=%d peak=%d limit=%d", h.Used(), h.Peak(), h.Limit())
+	}
+	if err := h.Alloc(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(20); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over-limit alloc err = %v", err)
+	}
+	if h.Failures() != 1 {
+		t.Fatalf("failures = %d", h.Failures())
+	}
+	h.Free(80)
+	if h.Used() != 10 || h.Peak() != 90 || h.Consumption() != 80 {
+		t.Fatalf("after free: used=%d peak=%d consumption=%d", h.Used(), h.Peak(), h.Consumption())
+	}
+}
+
+func TestSharedHeapFreeBelowBaselinePanics(t *testing.T) {
+	h := NewSharedHeap("t", 0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free below baseline did not panic")
+		}
+	}()
+	h.Free(1)
+}
+
+// TestSharedHeapConcurrentNeverOvershoots hammers Alloc/Free from many
+// goroutines and checks the atomic limit invariant: no interleaving may
+// push usage past the limit, and balanced alloc/free pairs must return
+// usage exactly to the baseline.
+func TestSharedHeapConcurrentNeverOvershoots(t *testing.T) {
+	const limit, workers, rounds = 1000, 8, 2000
+	h := NewSharedHeap("t", limit, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := h.Alloc(n); err == nil {
+					if u := h.Used(); u > limit {
+						t.Errorf("used %d exceeds limit %d", u, limit)
+					}
+					h.Free(n)
+				}
+			}
+		}(int64(50 + 10*w))
+	}
+	wg.Wait()
+	if h.Used() != 0 {
+		t.Fatalf("unbalanced accounting: used=%d", h.Used())
+	}
+	if h.Peak() > limit {
+		t.Fatalf("peak %d exceeds limit %d", h.Peak(), limit)
+	}
+}

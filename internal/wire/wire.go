@@ -155,10 +155,17 @@ type BrokerSub struct {
 // one into the Frame interface would otherwise allocate per delivery.
 // The broker takes frames with GetDeliver; the transport that consumes a
 // frame (e.g. the TCP writer, after encoding it) returns it with
-// PutDeliver. Holders that never release — test environments recording
-// frames, simulator event queues — simply leave their frames to the GC,
-// which is always safe; releasing a frame someone still references is
-// not.
+// PutDeliver.
+//
+// Ownership rule: a pooled frame must have exactly one consumer, and
+// only that consumer may release it, exactly once, when no other holder
+// can still reference it. Transports that cannot guarantee this —
+// anything that retransmits, fans a frame out to several holders, or
+// parks frames in queues with independent lifetimes — must not use the
+// pool at all: the simulator's by-reference transports opt the broker
+// out via broker.Config.DisableDeliverPool and leave their frames to
+// the GC, which is always safe; releasing a frame someone still
+// references is not.
 var deliverPool = sync.Pool{New: func() any { return new(Deliver) }}
 
 // GetDeliver returns a zeroed Deliver frame from the pool. Both Deliver

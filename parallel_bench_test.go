@@ -1,0 +1,283 @@
+package gridmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// Parallel-publish benchmarks for the sharded broker core: P publisher
+// goroutines on P distinct topics (each with subsPer no-selector
+// subscribers) drive OnFrame concurrently. In sharded mode each
+// publisher runs the whole publish→deliver→ack cycle inline on its own
+// goroutine, meeting the others only on shard locks — on an N-core box,
+// publishes to different topics execute on different cores. In
+// SerialCore mode the same frames funnel through a single event-loop
+// goroutine, reproducing the pre-shard architecture as the measured
+// baseline (broker.Config.SerialCore, same A/B pattern as
+// LegacyLinearScan/CloneDeliveries).
+//
+// `go test -bench ParallelPublish -cpu 1,4,8` runs the matrix;
+// `BENCH_PARALLEL_OUT=BENCH_parallel.json go test -run
+// TestWriteParallelBench .` times every cell across GOMAXPROCS values
+// and writes the scaling curve.
+
+// parAckPair is one recorded delivery awaiting acknowledgement.
+type parAckPair struct {
+	sub, tag int64
+}
+
+// parConnRec accumulates deliveries per subscriber connection. With one
+// publisher per topic the owning publisher is the only goroutine that
+// ever touches its topic's record (deliveries happen inline during its
+// OnFrame call), so the mutex is uncontended; it exists for the serial
+// funnel, where the loop goroutine does the writing.
+type parConnRec struct {
+	mu    sync.Mutex
+	pairs []parAckPair
+}
+
+// parEnv is a thread-safe broker.Env for the benchmark: unlimited
+// memory, deliveries recorded for ack feedback, pooled frames released
+// like a real transport would.
+type parEnv struct {
+	recs      map[broker.ConnID]*parConnRec // fixed key set after setup
+	delivered atomic.Uint64
+}
+
+func (e *parEnv) Now() int64 { return 0 }
+func (e *parEnv) Send(c broker.ConnID, f wire.Frame) {
+	if d, ok := f.(*wire.Deliver); ok {
+		e.delivered.Add(1)
+		if r := e.recs[c]; r != nil {
+			r.mu.Lock()
+			r.pairs = append(r.pairs, parAckPair{sub: d.SubID, tag: d.Tag})
+			r.mu.Unlock()
+		}
+		wire.PutDeliver(d)
+	}
+}
+func (e *parEnv) CloseConn(broker.ConnID) {}
+func (e *parEnv) AllocConn() error        { return nil }
+func (e *parEnv) FreeConn()               {}
+func (e *parEnv) Alloc(int64) error       { return nil }
+func (e *parEnv) Free(int64)              {}
+
+// parTopicNames picks one topic name per shard-distinct slot so the P
+// topics occupy P distinct lock domains (hash collisions would silently
+// serialize two publishers and understate scaling).
+func parTopicNames(b *broker.Broker, n int) []string {
+	names := make([]string, 0, n)
+	used := map[int]bool{}
+	for i := 0; len(names) < n; i++ {
+		name := fmt.Sprintf("par.%d", i)
+		s := b.ShardOf(name)
+		if b.NumShards() >= n && used[s] {
+			continue
+		}
+		used[s] = true
+		names = append(names, name)
+	}
+	return names
+}
+
+func parMessage(topic string, i int) *message.Message {
+	m := message.NewText("reading")
+	m.ID = "ID:bench/1"
+	m.Dest = message.Topic(topic)
+	m.SetProperty("id", message.Int(int32(i)))
+	m.SetProperty("load", message.Double(400))
+	return m
+}
+
+// benchmarkParallelPublish times b.N publishes spread across `pubs`
+// publisher goroutines on `pubs` shard-distinct topics, each with
+// subsPer subscribers; every publish feeds its deliveries' acks back,
+// as a live broker would see them.
+func benchmarkParallelPublish(b *testing.B, pubs, subsPer int, serial bool) {
+	env := &parEnv{recs: make(map[broker.ConnID]*parConnRec)}
+	cfg := broker.DefaultConfig("bench")
+	cfg.SerialCore = serial
+	if !serial {
+		cfg.Shards = pubs
+	}
+	br := broker.New(env, cfg)
+	topics := parTopicNames(br, pubs)
+
+	subConn := func(t int) broker.ConnID { return broker.ConnID(10_000 + t) }
+	pubConn := func(p int) broker.ConnID { return broker.ConnID(20_000 + p) }
+	for t := 0; t < pubs; t++ {
+		id := subConn(t)
+		env.recs[id] = &parConnRec{}
+		if err := br.OnConnOpen(id); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < subsPer; s++ {
+			br.OnFrame(id, wire.Subscribe{SubID: int64(s + 1), Dest: message.Topic(topics[t])})
+		}
+	}
+	for p := 0; p < pubs; p++ {
+		if err := br.OnConnOpen(pubConn(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// drainAcks feeds the recorded deliveries of topic t back as acks,
+	// reusing the caller's scratch buffers across iterations.
+	drainAcks := func(t int, scratch *[]parAckPair, ack *wire.Ack) {
+		r := env.recs[subConn(t)]
+		r.mu.Lock()
+		*scratch = append((*scratch)[:0], r.pairs...)
+		r.pairs = r.pairs[:0]
+		r.mu.Unlock()
+		for _, pr := range *scratch {
+			ack.SubID = pr.sub
+			ack.Tags = append(ack.Tags[:0], pr.tag)
+			br.OnFrame(subConn(t), ack)
+		}
+	}
+
+	var funnel chan func()
+	var loopWG sync.WaitGroup
+	if serial {
+		// The pre-shard architecture: one event-loop goroutine owns all
+		// frame processing; publisher goroutines only enqueue.
+		funnel = make(chan func(), 256)
+		loopWG.Add(1)
+		go func() {
+			defer loopWG.Done()
+			for fn := range funnel {
+				fn()
+			}
+		}()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next int64
+	var pending sync.WaitGroup
+	pending.Add(b.N)
+	var workers sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			t := p % pubs
+			scratch := make([]parAckPair, 0, subsPer)
+			var ack wire.Ack
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i > int64(b.N) {
+					return
+				}
+				m := parMessage(topics[t], int(i))
+				pub := wire.Publish{Seq: i, Msg: m}
+				if serial {
+					funnel <- func() {
+						br.OnFrame(pubConn(p), pub)
+						drainAcks(t, &scratch, &ack)
+						pending.Done()
+					}
+				} else {
+					br.OnFrame(pubConn(p), pub)
+					drainAcks(t, &scratch, &ack)
+					pending.Done()
+				}
+			}
+		}(p)
+	}
+	workers.Wait()
+	pending.Wait()
+	b.StopTimer()
+	if serial {
+		close(funnel)
+		loopWG.Wait()
+	}
+	b.ReportMetric(float64(env.delivered.Load())/float64(b.N), "deliveries/op")
+}
+
+func BenchmarkParallelPublish(b *testing.B) {
+	for _, pubs := range []int{1, 8} {
+		for _, mode := range []string{"sharded", "serial"} {
+			b.Run(fmt.Sprintf("pubs=%d/topics=%d/subs=100/%s", pubs, pubs, mode), func(b *testing.B) {
+				benchmarkParallelPublish(b, pubs, 100, mode == "serial")
+			})
+		}
+	}
+}
+
+// parallelResult is one cell of BENCH_parallel.json.
+type parallelResult struct {
+	CPUs           int     `json:"gomaxprocs"`
+	Publishers     int     `json:"publishers"`
+	Topics         int     `json:"topics"`
+	Subscribers    int     `json:"subscribers_per_topic"`
+	ShardedNsOp    float64 `json:"sharded_ns_per_publish"`
+	SerialNsOp     float64 `json:"serial_ns_per_publish"`
+	ShardedPubSec  float64 `json:"sharded_publishes_per_sec"`
+	SerialPubSec   float64 `json:"serial_publishes_per_sec"`
+	Speedup        float64 `json:"speedup_vs_serial_core"`
+	ShardedAllocOp float64 `json:"sharded_allocs_per_publish"`
+}
+
+// TestWriteParallelBench times the sharded core against the SerialCore
+// event-loop baseline across GOMAXPROCS values and writes
+// BENCH_parallel.json. Gated behind an env var so the regular test run
+// stays fast: BENCH_PARALLEL_OUT=BENCH_parallel.json go test -run
+// TestWriteParallelBench .
+func TestWriteParallelBench(t *testing.T) {
+	out := os.Getenv("BENCH_PARALLEL_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PARALLEL_OUT to write the parallel benchmark file")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var results []parallelResult
+	for _, cpus := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(cpus)
+		const pubs, subs = 8, 100
+		cell := parallelResult{CPUs: cpus, Publishers: pubs, Topics: pubs, Subscribers: subs}
+		for _, serial := range []bool{false, true} {
+			serial := serial
+			r := testing.Benchmark(func(b *testing.B) {
+				benchmarkParallelPublish(b, pubs, subs, serial)
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if serial {
+				cell.SerialNsOp = ns
+				cell.SerialPubSec = 1e9 / ns
+			} else {
+				cell.ShardedNsOp = ns
+				cell.ShardedPubSec = 1e9 / ns
+				cell.ShardedAllocOp = float64(r.AllocsPerOp())
+			}
+		}
+		cell.Speedup = cell.SerialNsOp / cell.ShardedNsOp
+		results = append(results, cell)
+		t.Logf("gomaxprocs=%d: sharded %.0f ns/publish, serial-core %.0f ns/publish, speedup %.2fx",
+			cpus, cell.ShardedNsOp, cell.SerialNsOp, cell.Speedup)
+	}
+	runtime.GOMAXPROCS(prev)
+	buf, err := json.MarshalIndent(map[string]any{
+		"benchmark": "parallel publish: sharded destination layer vs SerialCore single event loop",
+		"description": "8 publisher goroutines on 8 shard-distinct topics, 100 subscribers each; ns per publish incl. " +
+			"delivery + ack processing. Speedup above 1x requires real cores: on a single-core host all GOMAXPROCS " +
+			"values time-share one CPU and the sharded and serial figures converge.",
+		"host_cpus": runtime.NumCPU(),
+		"results":   results,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
