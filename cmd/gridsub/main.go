@@ -6,6 +6,13 @@
 //
 //	gridsub [-broker localhost:7672] [-topic power.monitoring]
 //	        [-selector "id<10000"] [-report 10s]
+//	        [-n 0] [-timeout 0] [-quiet]
+//
+// Scripted runs (CI smoke tests, DBN topology checks) use -n to exit 0
+// after exactly N messages, -timeout to exit 1 when they don't arrive in
+// time, and -quiet to suppress the periodic reports:
+//
+//	gridsub -broker localhost:7773 -topic power -n 10 -timeout 30s -quiet
 package main
 
 import (
@@ -26,6 +33,9 @@ func main() {
 	topic := flag.String("topic", "power.monitoring", "topic to subscribe to")
 	selector := flag.String("selector", "id<10000", "JMS message selector")
 	report := flag.Duration("report", 10*time.Second, "statistics reporting interval")
+	n := flag.Int64("n", 0, "exit 0 after receiving this many messages (0 = run until interrupted)")
+	timeout := flag.Duration("timeout", 0, "exit 1 if -n messages have not arrived within this duration (0 = no limit)")
+	quiet := flag.Bool("quiet", false, "suppress periodic reports (final summary still printed)")
 	flag.Parse()
 
 	conn, err := jms.Dial(*addr, "gridsub")
@@ -36,31 +46,68 @@ func main() {
 
 	var mu sync.Mutex
 	var rtt metrics.RTT
+	done := make(chan struct{})
+	var doneOnce sync.Once
 	if _, err := conn.Subscribe(message.Topic(*topic), *selector, func(m *message.Message) {
 		ms := float64(time.Now().UnixNano()-m.Timestamp) / 1e6
 		mu.Lock()
 		rtt.Add(ms)
+		count := rtt.Count()
 		mu.Unlock()
+		if *n > 0 && int64(count) >= *n {
+			doneOnce.Do(func() { close(done) })
+		}
 	}); err != nil {
 		log.Fatalf("gridsub: subscribe: %v", err)
 	}
-	log.Printf("gridsub: subscribed to %s with selector %q on %s", *topic, *selector, conn.BrokerID())
+	if !*quiet {
+		log.Printf("gridsub: subscribed to %s with selector %q on %s", *topic, *selector, conn.BrokerID())
+	}
 
-	tick := time.Tick(*report)
+	summary := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if rtt.Count() > 0 {
+			log.Printf("received=%d mean=%.2fms stddev=%.2fms p99=%.2fms max=%.2fms",
+				rtt.Count(), rtt.Mean(), rtt.Stddev(), rtt.Percentile(99), rtt.Max())
+		} else {
+			log.Printf("received=0")
+		}
+	}
+
+	var tick <-chan time.Time
+	if !*quiet {
+		tick = time.Tick(*report)
+	}
+	var deadline <-chan time.Time
+	if *timeout > 0 {
+		deadline = time.After(*timeout)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	for {
 		select {
 		case <-tick:
+			summary()
+		case <-done:
+			summary()
+			return
+		case <-deadline:
+			summary()
 			mu.Lock()
-			if rtt.Count() > 0 {
-				log.Printf("received=%d mean=%.2fms stddev=%.2fms p99=%.2fms max=%.2fms",
-					rtt.Count(), rtt.Mean(), rtt.Stddev(), rtt.Percentile(99), rtt.Max())
-			} else {
-				log.Printf("received=0")
-			}
+			got := rtt.Count()
 			mu.Unlock()
+			// The nth message and the deadline can be ready in the same
+			// select; a run that met its target is a success regardless
+			// of which channel won. With no -n target the deadline is
+			// just a run-duration limit.
+			if *n > 0 && int64(got) < *n {
+				log.Printf("gridsub: timeout after %v with %d/%d messages", *timeout, got, *n)
+				os.Exit(1)
+			}
+			return
 		case <-sig:
+			summary()
 			return
 		}
 	}

@@ -6,11 +6,21 @@
 //
 //	naradad [-listen :7672] [-id broker-1] [-max-conn-mem 0]
 //	        [-shards 0] [-serial]
+//	        [-routing broadcast|tree] [-peer host:port]...
 //
 // By default the broker core is sharded across the CPUs (publishes to
 // different topics run in parallel); -serial restores the single
 // event-loop dispatch as an A/B baseline for load tests, -shards pins
 // the destination-shard count.
+//
+// Several naradad processes form the paper's Distributed Broker Network
+// over real TCP: give every daemon the same -routing mode and point
+// each non-root broker at its parent with -peer (repeatable; configure
+// each link on exactly one of its ends). A three-broker tree:
+//
+//	naradad -listen :7771 -id b1 -routing tree
+//	naradad -listen :7772 -id b2 -routing tree -peer localhost:7771
+//	naradad -listen :7773 -id b3 -routing tree -peer localhost:7772
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"time"
 
 	"gridmon/internal/broker"
+	"gridmon/internal/brokernet"
 	"gridmon/internal/jms"
 )
 
@@ -32,7 +43,17 @@ func main() {
 	statsEvery := flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
 	shards := flag.Int("shards", 0, "destination shard count (0 = one per CPU)")
 	serial := flag.Bool("serial", false, "single event-loop dispatch (pre-shard baseline)")
+	routing := flag.String("routing", "", "join a distributed broker network with this routing mode (broadcast or tree)")
+	var peers []string
+	flag.Func("peer", "peer broker address to link to (repeatable; requires -routing)", func(v string) error {
+		peers = append(peers, v)
+		return nil
+	})
 	flag.Parse()
+
+	if len(peers) > 0 && *routing == "" {
+		log.Fatal("naradad: -peer requires -routing (broadcast or tree)")
+	}
 
 	cfg := broker.DefaultConfig(*id)
 	cfg.Shards = *shards
@@ -46,12 +67,26 @@ func main() {
 	}
 	log.Printf("naradad %q listening on %s", *id, srv.Addr())
 
+	if *routing != "" {
+		mode, err := brokernet.ParseRoutingMode(*routing)
+		if err != nil {
+			log.Fatalf("naradad: %v", err)
+		}
+		if _, err := srv.JoinNetwork(mode); err != nil {
+			log.Fatalf("naradad: %v", err)
+		}
+		log.Printf("naradad %q joined broker network (%s routing)", *id, mode)
+		for _, addr := range peers {
+			go maintainPeer(srv, *id, addr)
+		}
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				s := srv.Stats()
-				log.Printf("stats: conns=%d (peak %d) published=%d delivered=%d acked=%d refused=%d",
-					s.Connections, s.PeakConnections, s.Published, s.Delivered, s.Acked, s.RefusedConns)
+				log.Printf("stats: conns=%d (peak %d) published=%d delivered=%d acked=%d forwarded-out=%d forwarded-in=%d refused=%d",
+					s.Connections, s.PeakConnections, s.Published, s.Delivered, s.Acked, s.ForwardedOut, s.ForwardedIn, s.RefusedConns)
 			}
 		}()
 	}
@@ -62,4 +97,30 @@ func main() {
 	fmt.Println()
 	log.Print("naradad: shutting down")
 	srv.Close()
+}
+
+// maintainPeer supervises one configured peer link for the daemon's
+// lifetime: it dials (retrying while the peer daemon is still starting
+// up — broker trees launch as independent processes) and, whenever an
+// established link later dies, withdraws to the dial loop and relinks,
+// so a transient TCP failure cannot permanently partition the network.
+func maintainPeer(srv *jms.Server, id, addr string) {
+	logged := false
+	for {
+		peerID, err := srv.DialPeer(addr)
+		if err != nil {
+			if !logged {
+				log.Printf("naradad %q: peer %s not linked yet (retrying): %v", id, addr, err)
+				logged = true
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		logged = false
+		log.Printf("naradad %q linked to peer %q at %s", id, peerID, addr)
+		for srv.Member().HasPeer(peerID) {
+			time.Sleep(time.Second)
+		}
+		log.Printf("naradad %q: link to peer %q at %s died, redialing", id, peerID, addr)
+	}
 }

@@ -1,0 +1,235 @@
+package gridmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/brokernet"
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// DBN routing benchmarks: the same publish workload through a broker
+// network under broadcast (the paper's v1.1.3 flood) and tree
+// (interest-pruned) routing. ns/publish covers forwarding plus every
+// remote delivery; forwards/op and pruned/op expose how much wire work
+// each mode performs.
+//
+// `go test -bench DBNForward .` runs the matrix;
+// `BENCH_DBN_OUT=BENCH_dbn.json go test -run TestWriteDBNBench .`
+// writes the checked-in comparison file.
+
+// dbnQueuedFrame is one in-flight inter-broker frame of the bench net.
+type dbnQueuedFrame struct {
+	to, from string
+	f        wire.Frame
+}
+
+// dbnNet is a single-threaded in-process broker network with queued
+// (asynchronous, per the LinkSender contract) links and an explicit
+// pump, so a benchmark iteration drives one publish to quiescence.
+type dbnNet struct {
+	members map[string]*brokernet.Member
+	envs    map[string]*parEnv
+	queue   []dbnQueuedFrame
+}
+
+func newDBNNet(mode brokernet.RoutingMode, links [][2]string, ids ...string) *dbnNet {
+	tn := &dbnNet{members: make(map[string]*brokernet.Member), envs: make(map[string]*parEnv)}
+	for _, id := range ids {
+		env := &parEnv{recs: make(map[broker.ConnID]*parConnRec)}
+		tn.envs[id] = env
+		tn.members[id] = brokernet.NewMember(broker.New(env, broker.DefaultConfig(id)), mode)
+	}
+	for _, l := range links {
+		a, b := l[0], l[1]
+		tn.members[a].AddPeer(b, func(f wire.Frame) {
+			tn.queue = append(tn.queue, dbnQueuedFrame{to: b, from: a, f: f})
+		})
+		tn.members[b].AddPeer(a, func(f wire.Frame) {
+			tn.queue = append(tn.queue, dbnQueuedFrame{to: a, from: b, f: f})
+		})
+	}
+	tn.pump()
+	return tn
+}
+
+func (tn *dbnNet) pump() {
+	for i := 0; i < len(tn.queue); i++ {
+		q := tn.queue[i]
+		tn.members[q.to].OnPeerFrame(q.from, q.f)
+	}
+	tn.queue = tn.queue[:0]
+}
+
+// dbnScenario is one benchmark topology + placement.
+type dbnScenario struct {
+	name  string
+	links [][2]string
+	ids   []string
+	// subAt names the brokers with one subscriber each on the topic.
+	subAt []string
+	pubAt string
+}
+
+var dbnScenarios = []dbnScenario{
+	{
+		// The paper's star: hub publishes, one leaf subscribes. Tree
+		// routing prunes the two uninterested leaves; broadcast floods
+		// all three.
+		name:  "star4/sub-at-1-leaf",
+		links: [][2]string{{"hub", "l1"}, {"hub", "l2"}, {"hub", "l3"}},
+		ids:   []string{"hub", "l1", "l2", "l3"},
+		subAt: []string{"l1"},
+		pubAt: "hub",
+	},
+	{
+		// Chatter on a topic nobody watches: broadcast still pays three
+		// forwards per publish, tree pays none.
+		name:  "star4/unwatched",
+		links: [][2]string{{"hub", "l1"}, {"hub", "l2"}, {"hub", "l3"}},
+		ids:   []string{"hub", "l1", "l2", "l3"},
+		subAt: nil,
+		pubAt: "hub",
+	},
+	{
+		// The experiment chain: publisher and subscriber at opposite
+		// ends, every message transits the middle broker in both modes.
+		name:  "chain3/far-sub",
+		links: [][2]string{{"b1", "b2"}, {"b2", "b3"}},
+		ids:   []string{"b1", "b2", "b3"},
+		subAt: []string{"b3"},
+		pubAt: "b1",
+	},
+}
+
+// runDBNForward drives b.N publishes through the scenario and reports
+// forwarding counters per publish.
+func runDBNForward(b *testing.B, sc dbnScenario, mode brokernet.RoutingMode) {
+	tn := newDBNNet(mode, sc.links, sc.ids...)
+	const topic = "power.monitoring"
+	subConn := broker.ConnID(100)
+	for _, id := range sc.subAt {
+		br := tn.members[id].Broker()
+		tn.envs[id].recs[subConn] = &parConnRec{}
+		if err := br.OnConnOpen(subConn); err != nil {
+			b.Fatal(err)
+		}
+		br.OnFrame(subConn, wire.Subscribe{SubID: 1, Dest: message.Topic(topic)})
+	}
+	tn.pump()
+	pubConn := broker.ConnID(200)
+	pb := tn.members[sc.pubAt].Broker()
+	if err := pb.OnConnOpen(pubConn); err != nil {
+		b.Fatal(err)
+	}
+
+	// drainAcks feeds recorded deliveries back as acks so broker-side
+	// pending state stays flat across iterations.
+	var scratch []parAckPair
+	var ack wire.Ack
+	drainAcks := func() {
+		for _, id := range sc.subAt {
+			r := tn.envs[id].recs[subConn]
+			r.mu.Lock()
+			scratch = append(scratch[:0], r.pairs...)
+			r.pairs = r.pairs[:0]
+			r.mu.Unlock()
+			br := tn.members[id].Broker()
+			for _, pr := range scratch {
+				ack.SubID = pr.sub
+				ack.Tags = append(ack.Tags[:0], pr.tag)
+				br.OnFrame(subConn, &ack)
+			}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := parMessage(topic, i)
+		pb.OnFrame(pubConn, wire.Publish{Seq: int64(i), Msg: m})
+		tn.pump()
+		drainAcks()
+	}
+	b.StopTimer()
+	var sent, pruned uint64
+	for _, id := range sc.ids {
+		s, _, p := tn.members[id].Stats()
+		sent += s
+		pruned += p
+	}
+	b.ReportMetric(float64(sent)/float64(b.N), "forwards/op")
+	b.ReportMetric(float64(pruned)/float64(b.N), "pruned/op")
+}
+
+func BenchmarkDBNForward(b *testing.B) {
+	for _, sc := range dbnScenarios {
+		for _, mode := range []brokernet.RoutingMode{brokernet.RoutingBroadcast, brokernet.RoutingTree} {
+			sc, mode := sc, mode
+			b.Run(fmt.Sprintf("%s/%s", sc.name, mode), func(b *testing.B) {
+				runDBNForward(b, sc, mode)
+			})
+		}
+	}
+}
+
+// dbnResult is one row of BENCH_dbn.json.
+type dbnResult struct {
+	Scenario       string  `json:"scenario"`
+	Mode           string  `json:"mode"`
+	NsPerPublish   float64 `json:"ns_per_publish"`
+	ForwardsPerOp  float64 `json:"forwarded_frames_per_publish"`
+	PrunedPerOp    float64 `json:"pruned_forwards_per_publish"`
+	AllocsPerOp    float64 `json:"allocs_per_publish"`
+	PublishesPerSs float64 `json:"publishes_per_sec"`
+}
+
+// TestWriteDBNBench times broadcast vs tree routing across the DBN
+// scenarios and writes BENCH_dbn.json. Gated behind an env var so the
+// regular test run stays fast: BENCH_DBN_OUT=BENCH_dbn.json go test
+// -run TestWriteDBNBench .
+func TestWriteDBNBench(t *testing.T) {
+	out := os.Getenv("BENCH_DBN_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DBN_OUT to write the DBN benchmark file")
+	}
+	var results []dbnResult
+	for _, sc := range dbnScenarios {
+		for _, mode := range []brokernet.RoutingMode{brokernet.RoutingBroadcast, brokernet.RoutingTree} {
+			sc, mode := sc, mode
+			r := testing.Benchmark(func(b *testing.B) { runDBNForward(b, sc, mode) })
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			row := dbnResult{
+				Scenario:       sc.name,
+				Mode:           mode.String(),
+				NsPerPublish:   ns,
+				ForwardsPerOp:  r.Extra["forwards/op"],
+				PrunedPerOp:    r.Extra["pruned/op"],
+				AllocsPerOp:    float64(r.AllocsPerOp()),
+				PublishesPerSs: 1e9 / ns,
+			}
+			results = append(results, row)
+			t.Logf("%s/%s: %.0f ns/publish, %.1f forwards/op, %.1f pruned/op",
+				sc.name, mode, ns, row.ForwardsPerOp, row.PrunedPerOp)
+		}
+	}
+	buf, err := json.MarshalIndent(map[string]any{
+		"benchmark": "DBN forwarding: broadcast flood vs interest-pruned tree routing",
+		"description": "One publish driven to quiescence through an in-process broker network per op, including " +
+			"every remote delivery and ack. forwards/op counts BrokerForward frames crossing links; tree routing " +
+			"should eliminate them entirely on unwatched topics and prune uninterested star leaves.",
+		"host_cpus": runtime.NumCPU(),
+		"results":   results,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -54,12 +54,16 @@
 //
 // Shard-safe API (callable from any goroutine in sharded use): OnFrame,
 // OnConnOpen, OnConnClose, InjectForwarded, CountForwardOut, Stats,
-// PendingCount, Topics, TopicSubscribers, TopicSelectorGroups, ShardOf.
-// Serial-only (single caller required): SetForwarder/forwarder
-// callbacks, SetInterestFunc/interest callbacks (both fire with broker
-// locks held and touch unsynchronized observer state, see brokernet),
-// and Config.LegacyLinearScan routing, which scans the global durable
-// table without shard partitioning.
+// PendingCount, Topics, TopicSubscribers, TopicSelectorGroups, ShardOf,
+// SetForwarder, SetInterestFunc. The forwarding seam is shard-safe:
+// registration is atomic, and both callbacks fire under the destination
+// shard's lock (lock order durableMu → shard.mu), so an observer that
+// guards its own state with a lock *below* the shard locks — acquired
+// under them, never holding it while calling back into the broker's
+// locked paths — composes race-free (package brokernet is the reference
+// observer). The only remaining serial-only path is
+// Config.LegacyLinearScan routing, which scans the global durable table
+// without shard partitioning.
 //
 // # Subscription index
 //
@@ -97,6 +101,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gridmon/internal/message"
 	"gridmon/internal/wire"
@@ -197,11 +202,17 @@ func DefaultConfig(id string) Config {
 var ErrConnRefused = errors.New("broker: connection refused (out of memory)")
 
 // Forwarder lets a broker-network layer observe local publishes and inject
-// remote ones; see package brokernet. Serial-only: the forwarder runs on
-// the publisher's goroutine without broker synchronization.
+// remote ones; see package brokernet. Shard-safe: OnLocalPublish runs on
+// the publishing goroutine under the destination shard's lock, so peer
+// fan-out for one destination is totally ordered with that destination's
+// local deliveries. The implementation must not call back into the
+// broker's locked paths (OnFrame/OnConnOpen/OnConnClose/InjectForwarded)
+// from inside the callback; atomic counter methods (CountForwardOut,
+// Stats) are fine.
 type Forwarder interface {
-	// OnLocalPublish is invoked for every message accepted from a local
-	// client, before local delivery.
+	// OnLocalPublish is invoked for every unexpired message accepted
+	// from a local client, before local delivery, under the destination
+	// shard's lock.
 	OnLocalPublish(m *message.Message)
 }
 
@@ -227,11 +238,12 @@ type Broker struct {
 	// Egress layer: atomic counters (stats.go).
 	stats statCounters
 
-	forwarder Forwarder
-
-	// TopicInterest observers (brokernet uses these to propagate
-	// subscription info for TREE routing). Serial-only.
-	onInterest func(topic string, add bool)
+	// Forwarding seam (shard-safe): the broker-network hook and the
+	// topic-interest observer, registered atomically so bindings may
+	// install them while frames are already flowing. Both fire under
+	// shard locks; see Forwarder and SetInterestFunc for the contract.
+	forwarder  atomic.Pointer[Forwarder]
+	onInterest atomic.Pointer[func(topic string, add bool)]
 }
 
 // New returns a broker core using env for I/O and resources.
@@ -259,14 +271,38 @@ func (b *Broker) ID() string { return b.cfg.ID }
 // some fields, e.g. the simulator host disables the Deliver-frame pool).
 func (b *Broker) Config() Config { return b.cfg }
 
-// SetForwarder installs the broker-network hook. Serial-only.
-func (b *Broker) SetForwarder(f Forwarder) { b.forwarder = f }
+// SetForwarder installs the broker-network hook. Shard-safe:
+// registration is atomic and takes effect for every publish that
+// acquires its destination shard lock afterwards; see Forwarder for the
+// callback contract.
+func (b *Broker) SetForwarder(f Forwarder) {
+	if f == nil {
+		b.forwarder.Store(nil)
+		return
+	}
+	b.forwarder.Store(&f)
+}
 
 // SetInterestFunc installs a callback fired when the broker gains or
-// loses its last local subscription on a topic. The callback runs with
-// the topic's shard lock held and must not call back into the broker.
-// Serial-only.
-func (b *Broker) SetInterestFunc(fn func(topic string, add bool)) { b.onInterest = fn }
+// loses its last local subscription on a topic. Shard-safe: registration
+// is atomic; the callback runs with the topic's shard lock held and must
+// not call back into the broker's locked paths. Interest transitions on
+// topics of different shards may fire concurrently, so the observer
+// guards its own state (with a lock ordered below the shard locks).
+func (b *Broker) SetInterestFunc(fn func(topic string, add bool)) {
+	if fn == nil {
+		b.onInterest.Store(nil)
+		return
+	}
+	b.onInterest.Store(&fn)
+}
+
+// notifyInterest fires the interest observer, if any. Shard lock held.
+func (b *Broker) notifyInterest(topic string, add bool) {
+	if fn := b.onInterest.Load(); fn != nil {
+		(*fn)(topic, add)
+	}
+}
 
 // TopicSubscribers reports how many local subscriptions a topic has
 // (bindings use it to charge selector-matching CPU time). Shard-safe.
@@ -361,22 +397,21 @@ func (b *Broker) OnFrame(id ConnID, f wire.Frame) {
 func (b *Broker) handlePublish(c *conn, v wire.Publish) {
 	// The broker owns the message from here on: freeze it so the one
 	// value can be shared by reference across forwarding, every local
-	// delivery, and every stored backlog entry. (Freezing before the
-	// forwarder runs means peer brokers receive the sealed message too.)
+	// delivery, and every stored backlog entry. (routeLocal runs the
+	// broker-network forwarder under the destination shard's lock, so
+	// peer brokers receive the sealed message too.)
 	m := v.Msg.Freeze()
 	b.stats.published.Add(1)
-	if b.forwarder != nil {
-		b.forwarder.OnLocalPublish(m)
-	}
-	b.routeLocal(m)
+	b.routeLocal(m, true)
 	b.env.Send(c.id, wire.PubAck{Seq: v.Seq})
 }
 
 // InjectForwarded delivers a message that arrived from a peer broker to
-// local subscribers only (no re-forwarding). Shard-safe.
+// local subscribers only (no re-forwarding: the network layer floods
+// onward itself, away from the incoming link). Shard-safe.
 func (b *Broker) InjectForwarded(m *message.Message) {
 	b.stats.forwardedIn.Add(1)
-	b.routeLocal(m.Freeze())
+	b.routeLocal(m.Freeze(), false)
 }
 
 // CountForwardOut records that the network layer forwarded a message to a

@@ -191,16 +191,14 @@ func (b *Broker) subscribeTopic(c *conn, sub *subscription, v wire.Subscribe) {
 	}
 	wasEmpty := t.subCount() == 0
 	b.addTopicSub(t, sub)
-	if wasEmpty && b.onInterest != nil {
-		b.onInterest(t.name, true)
+	if wasEmpty {
+		b.notifyInterest(t.name, true)
 	}
 	if !b.registerSub(c, sub) {
 		// The connection closed mid-subscribe: undo the installation.
 		b.removeTopicSub(t, sub)
 		if t.subCount() == 0 {
-			if b.onInterest != nil {
-				b.onInterest(t.name, false)
-			}
+			b.notifyInterest(t.name, false)
 			delete(sh.topics, t.name)
 		}
 		if d != nil {
@@ -275,9 +273,7 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 		if t := sh.topics[sub.dest.Name]; t != nil {
 			b.removeTopicSub(t, sub)
 			if t.subCount() == 0 {
-				if b.onInterest != nil {
-					b.onInterest(t.name, false)
-				}
+				b.notifyInterest(t.name, false)
 				delete(sh.topics, sub.dest.Name)
 			}
 		}

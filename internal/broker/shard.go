@@ -66,8 +66,13 @@ func (b *Broker) ShardOf(name string) int {
 func (b *Broker) NumShards() int { return len(b.shards) }
 
 // routeLocal fans a frozen message out to the local subscribers of its
-// destination, under the destination shard's lock.
-func (b *Broker) routeLocal(m *message.Message) {
+// destination, under the destination shard's lock. With forward set (a
+// local publish, not an injected peer message) the broker-network
+// forwarder runs first, under the same lock hold, so peer fan-out for a
+// destination is totally ordered with its local deliveries — the
+// shard-safe forwarding seam. Expired messages are dropped before
+// forwarding: a message no peer could deliver is not worth wire time.
+func (b *Broker) routeLocal(m *message.Message, forward bool) {
 	if m.Expiration > 0 && b.env.Now() > m.Expiration {
 		b.stats.expired.Add(1)
 		return
@@ -75,6 +80,11 @@ func (b *Broker) routeLocal(m *message.Message) {
 	sh := b.shardFor(m.Dest.Name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if forward {
+		if fw := b.forwarder.Load(); fw != nil {
+			(*fw).OnLocalPublish(m)
+		}
+	}
 	switch m.Dest.Kind {
 	case message.TopicKind:
 		if b.cfg.LegacyLinearScan {

@@ -15,9 +15,18 @@
 // pre-shard architecture — every frame funnelled through one event-loop
 // goroutine — as the measured baseline for the parallel-publish
 // benchmarks.
+//
+// Servers also peer with each other over the same listener, forming the
+// paper's Distributed Broker Network on real TCP: JoinNetwork attaches
+// the broker to a brokernet.Member, DialPeer opens an inter-broker link
+// (a BROKER_LINK handshake on an ordinary connection upgrades it), and
+// forwarded frames ride the same per-connection batching writers as
+// client deliveries — a BrokerForward splices the frozen message's
+// cached encoding, so relaying costs no re-encode.
 package jms
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"gridmon/internal/broker"
+	"gridmon/internal/brokernet"
 	"gridmon/internal/simproc"
 	"gridmon/internal/wire"
 )
@@ -42,6 +52,12 @@ type ServerConfig struct {
 	MemPerConn int64
 	// WriteBuffer is the per-connection outbound frame queue length.
 	WriteBuffer int
+	// PeerWriteBuffer is the outbound frame queue length for
+	// broker-to-broker links (default 4096). Peer links absorb the
+	// aggregated forward traffic of a whole broker, so they get a much
+	// deeper queue than client connections; a peer that still overflows
+	// it is dropped like any slow consumer.
+	PeerWriteBuffer int
 }
 
 // Server runs a broker core behind a TCP listener. Per-connection reader
@@ -61,6 +77,12 @@ type Server struct {
 	writers map[broker.ConnID]*connWriter
 	nextID  broker.ConnID
 	closed  bool
+
+	// member is the broker-network attachment (nil until JoinNetwork).
+	// Written once under mu; read lock-free on the peer hot path is safe
+	// because JoinNetwork must precede any peer link.
+	member  *brokernet.Member
+	routing brokernet.RoutingMode
 
 	native *simproc.SharedHeap
 	heap   *simproc.SharedHeap
@@ -91,6 +113,9 @@ func NewServer(ln net.Listener, cfg ServerConfig) *Server {
 	}
 	if cfg.WriteBuffer <= 0 {
 		cfg.WriteBuffer = 256
+	}
+	if cfg.PeerWriteBuffer <= 0 {
+		cfg.PeerWriteBuffer = 4096
 	}
 	if cfg.MemPerConn <= 0 {
 		cfg.MemPerConn = 256 << 10
@@ -277,10 +302,24 @@ func (w *connWriter) run() {
 // event loop in SerialCore mode.
 func (s *Server) read(id broker.ConnID, w *connWriter) {
 	fr := wire.NewFrameReader(w.conn)
-	for {
+	for first := true; ; first = false {
 		f, err := fr.Read()
 		if err != nil {
 			s.dropConn(id, w, true)
+			return
+		}
+		if bl, ok := f.(wire.BrokerLink); ok {
+			// A dialing peer broker, not a client: convert the
+			// connection into an inter-broker link and hand the read
+			// loop over to the broker network. Only the connection's
+			// first frame may do this — the upgrade path assumes a
+			// session with no subscriptions and an empty write queue,
+			// so a mid-session BrokerLink is a protocol violation.
+			if first {
+				s.handlePeerLink(id, w, bl, fr)
+			} else {
+				s.dropConn(id, w, true)
+			}
 			return
 		}
 		if s.serial {
@@ -291,11 +330,196 @@ func (s *Server) read(id broker.ConnID, w *connWriter) {
 	}
 }
 
+// --- broker-to-broker links ---
+
+// Errors returned by the peering API.
+var (
+	ErrNotJoined     = errors.New("jms: JoinNetwork before peering")
+	ErrAlreadyJoined = errors.New("jms: JoinNetwork called twice")
+)
+
+// JoinNetwork makes the server's broker a member of a Distributed Broker
+// Network with the given routing mode. It must be called once, before
+// any peer links are dialed or accepted.
+func (s *Server) JoinNetwork(mode brokernet.RoutingMode) (*brokernet.Member, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.member != nil {
+		return nil, ErrAlreadyJoined
+	}
+	s.member = brokernet.NewMember(s.b, mode)
+	s.routing = mode
+	return s.member, nil
+}
+
+// Member returns the broker-network member (nil before JoinNetwork).
+func (s *Server) Member() *brokernet.Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.member
+}
+
+// newPeerWriter registers a deep-buffered connWriter for a peer link and
+// starts its writer goroutine. With old == nil a fresh id is allocated
+// (outbound dial); otherwise old's registration is atomically replaced
+// and old's writer goroutine stopped (inbound upgrade — old's queue is
+// empty by construction: a connection whose first frame was the peer
+// handshake was never sent anything).
+func (s *Server) newPeerWriter(id broker.ConnID, old *connWriter, conn net.Conn) (broker.ConnID, *connWriter, error) {
+	w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.PeerWriteBuffer), done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed || (old != nil && s.writers[id] != old) {
+		s.mu.Unlock()
+		return 0, nil, errors.New("jms: server closed")
+	}
+	if old == nil {
+		s.nextID++
+		id = s.nextID
+	}
+	s.writers[id] = w
+	s.mu.Unlock()
+	if old != nil {
+		close(old.done)
+	}
+	go w.run()
+	return id, w, nil
+}
+
+// peerSender builds the brokernet.LinkSender for one peer link: a
+// non-blocking enqueue onto the link's writer channel. Enqueue-only is
+// the LinkSender contract (the caller holds member and shard locks), and
+// non-blocking keeps a stalled peer from wedging publishers: on
+// overflow the TCP connection is closed, the link's read loop observes
+// the error on its own goroutine and detaches the peer — the same
+// drop-the-slow-consumer policy clients get, with a much deeper queue.
+func (s *Server) peerSender(w *connWriter) brokernet.LinkSender {
+	return func(f wire.Frame) {
+		select {
+		case w.out <- f:
+		default:
+			_ = w.conn.Close()
+		}
+	}
+}
+
+// handlePeerLink upgrades an accepted client connection into a peer
+// link: release the client session the accept path admitted, answer the
+// handshake, register the link, and pump peer frames.
+func (s *Server) handlePeerLink(id broker.ConnID, w *connWriter, bl wire.BrokerLink, fr *wire.FrameReader) {
+	// The connection was admitted as a client (and has processed no
+	// other frame, so it owns no subscriptions); hand that session back.
+	s.b.OnConnClose(id)
+
+	s.mu.Lock()
+	member, routing := s.member, s.routing
+	s.mu.Unlock()
+	if member == nil || bl.Routing != uint8(routing) {
+		s.dropConn(id, w, false)
+		return
+	}
+	// Swap the accept-time writer (client-sized queue, empty: nothing
+	// was ever sent to this conn) for a peer-sized one.
+	_, pw, err := s.newPeerWriter(id, w, w.conn)
+	if err != nil {
+		_ = w.conn.Close()
+		return
+	}
+	// The success reply travels as Link's preamble: it is enqueued only
+	// after validation succeeds, atomically with registration and ahead
+	// of the interest advertisements — so a refused dialer (duplicate
+	// link, including a stale one whose death we haven't observed yet)
+	// never sees success and keeps retrying, while an accepted dialer's
+	// synchronous handshake read sees BrokerLink first.
+	reply := wire.BrokerLink{BrokerID: s.b.ID(), Routing: uint8(routing)}
+	if err := member.Link(bl.BrokerID, s.peerSender(pw), reply); err != nil {
+		s.dropConn(id, pw, false)
+		return
+	}
+	s.readPeer(id, pw, member, bl.BrokerID, fr)
+}
+
+// DialPeer connects this broker to a peer broker's listener, registers
+// the link with the broker network and returns the peer's broker id.
+// Each link should be configured on exactly one of its two ends (both
+// ends dialing each other would be rejected as a duplicate link by
+// whichever handshake lands second). Links are not supervised: a caller
+// that wants the link back after a failure watches
+// Member().HasPeer(peerID) and re-dials (cmd/naradad does).
+func (s *Server) DialPeer(addr string) (string, error) {
+	s.mu.Lock()
+	member, routing := s.member, s.routing
+	s.mu.Unlock()
+	if member == nil {
+		return "", ErrNotJoined
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return "", fmt.Errorf("jms: dial peer %s: %w", addr, err)
+	}
+	// Handshake synchronously on the dialing goroutine: our BrokerLink
+	// first, the peer's reply before anything else.
+	if err := wire.WriteFrame(conn, wire.BrokerLink{BrokerID: s.b.ID(), Routing: uint8(routing)}); err != nil {
+		_ = conn.Close()
+		return "", fmt.Errorf("jms: peer handshake %s: %w", addr, err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return "", fmt.Errorf("jms: peer handshake %s: %w", addr, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	reply, ok := f.(wire.BrokerLink)
+	if !ok {
+		_ = conn.Close()
+		return "", fmt.Errorf("jms: peer %s answered %v, want BROKER_LINK", addr, f.Type())
+	}
+	if reply.Routing != uint8(routing) {
+		_ = conn.Close()
+		return "", fmt.Errorf("jms: peer %s routes %q, this broker routes %q", addr,
+			brokernet.RoutingMode(reply.Routing), routing)
+	}
+	id, pw, err := s.newPeerWriter(0, nil, conn)
+	if err != nil {
+		_ = conn.Close()
+		return "", err
+	}
+	if err := member.Link(reply.BrokerID, s.peerSender(pw)); err != nil {
+		s.dropConn(id, pw, false)
+		return "", err
+	}
+	go s.readPeer(id, pw, member, reply.BrokerID, wire.NewFrameReader(conn))
+	return reply.BrokerID, nil
+}
+
+// readPeer pumps one peer link's frames into the broker network —
+// directly in sharded mode, via the event loop in SerialCore mode (the
+// serial architecture funnels every frame source through one goroutine).
+// On link death the peer is detached and its subtree's interest
+// withdrawn.
+func (s *Server) readPeer(id broker.ConnID, w *connWriter, member *brokernet.Member, peerID string, fr *wire.FrameReader) {
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			member.RemovePeer(peerID)
+			s.dropConn(id, w, false)
+			return
+		}
+		if s.serial {
+			s.post(func() { member.OnPeerFrame(peerID, f) })
+		} else {
+			member.OnPeerFrame(peerID, f)
+		}
+	}
+}
+
 // dropConn tears down one connection; notify releases core state. The
-// first dropper wins: later calls for the same id are no-ops.
+// first dropper wins: later calls for the same id are no-ops, as are
+// calls holding a stale writer (a client writer swapped out by a peer
+// upgrade), so w.done is closed exactly once.
 func (s *Server) dropConn(id broker.ConnID, w *connWriter, notify bool) {
 	s.mu.Lock()
-	_, live := s.writers[id]
+	live := s.writers[id] == w
 	if live {
 		delete(s.writers, id)
 		close(w.done)

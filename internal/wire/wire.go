@@ -40,6 +40,7 @@ const (
 	FTBrokerHello
 	FTBrokerForward
 	FTBrokerSub
+	FTBrokerLink
 )
 
 var frameNames = map[FrameType]string{
@@ -48,6 +49,7 @@ var frameNames = map[FrameType]string{
 	FTPubAck: "PUB_ACK", FTMessage: "MESSAGE", FTAck: "ACK", FTClose: "CLOSE",
 	FTPing: "PING", FTPong: "PONG", FTBrokerHello: "BROKER_HELLO",
 	FTBrokerForward: "BROKER_FORWARD", FTBrokerSub: "BROKER_SUB",
+	FTBrokerLink: "BROKER_LINK",
 }
 
 func (t FrameType) String() string {
@@ -150,6 +152,18 @@ type BrokerSub struct {
 	Add      bool
 }
 
+// BrokerLink is the broker-to-broker link handshake on stream
+// transports: the first frame a dialing broker sends on a fresh TCP
+// connection, answered by the acceptor's own BrokerLink. It converts an
+// ordinary client connection into a peer link. Routing carries the
+// sender's routing mode so mismatched networks (one side flooding, the
+// other pruning) are rejected at link time instead of silently
+// misrouting.
+type BrokerLink struct {
+	BrokerID string
+	Routing  uint8
+}
+
 // deliverPool recycles Deliver frames on the broker's fan-out hot path:
 // a 1000-subscriber publish needs 1000 Deliver values, and boxing each
 // one into the Frame interface would otherwise allocate per delivery.
@@ -197,6 +211,7 @@ func (Pong) Type() FrameType          { return FTPong }
 func (BrokerHello) Type() FrameType   { return FTBrokerHello }
 func (BrokerForward) Type() FrameType { return FTBrokerForward }
 func (BrokerSub) Type() FrameType     { return FTBrokerSub }
+func (BrokerLink) Type() FrameType    { return FTBrokerLink }
 
 // Errors returned by the codec.
 var (
@@ -542,6 +557,9 @@ func MarshalAppend(dst []byte, f Frame) []byte {
 		w.str(v.BrokerID)
 		w.str(v.Topic)
 		w.bool(v.Add)
+	case BrokerLink:
+		w.str(v.BrokerID)
+		w.u8(v.Routing)
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown frame %T", f))
 	}
@@ -604,6 +622,8 @@ func Unmarshal(buf []byte) (Frame, error) {
 		f = BrokerForward{Origin: r.str(), Msg: readMessage(r)}
 	case FTBrokerSub:
 		f = BrokerSub{BrokerID: r.str(), Topic: r.str(), Add: r.bool()}
+	case FTBrokerLink:
+		f = BrokerLink{BrokerID: r.str(), Routing: r.u8()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, t)
 	}
@@ -647,6 +667,8 @@ func Size(f Frame) int {
 		n += 4 + len(v.Origin) + v.Msg.EncodedSize()
 	case BrokerSub:
 		n += 4 + len(v.BrokerID) + 4 + len(v.Topic) + 1
+	case BrokerLink:
+		n += 4 + len(v.BrokerID) + 1
 	default:
 		panic(fmt.Sprintf("wire: size of unknown frame %T", f))
 	}

@@ -51,6 +51,7 @@ func allFrames() []Frame {
 		BrokerHello{BrokerID: "hydra5"},
 		BrokerForward{Origin: "hydra5", Msg: sampleMessage()},
 		BrokerSub{BrokerID: "hydra6", Topic: "power.monitoring", Add: true},
+		BrokerLink{BrokerID: "hydra6", Routing: 1},
 	}
 }
 
