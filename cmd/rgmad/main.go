@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	rgmad [-listen :8088]
+//	rgmad [-listen :8088] [-shards 0] [-serial] [-stats 1m]
+//
+// By default the service core is sharded across the CPUs (inserts into
+// different producers and pops on different consumers run in parallel);
+// -serial restores the seed's single global mutex as an A/B baseline
+// for load tests, -shards pins the lock-domain count — the same flags
+// naradad exposes for the broker core. The daemon stops cleanly on
+// SIGINT or SIGTERM (containerized runs send the latter).
 //
 // Try it:
 //
@@ -17,6 +24,7 @@
 //	curl -X POST localhost:8088/consumer/create \
 //	  -d '{"query":"SELECT * FROM generator","type":"latest"}'
 //	curl 'localhost:8088/consumer/pop?id=2'
+//	curl localhost:8088/stats
 package main
 
 import (
@@ -24,24 +32,43 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"gridmon/internal/rgmahttp"
 )
 
 func main() {
 	listen := flag.String("listen", ":8088", "HTTP listen address")
+	shards := flag.Int("shards", 0, "lock-domain shard count (0 = one per CPU)")
+	serial := flag.Bool("serial", false, "serialize every request behind one global mutex (pre-shard baseline)")
+	statsEvery := flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
 	flag.Parse()
 
-	srv := rgmahttp.NewServer()
+	srv := rgmahttp.NewServerWith(rgmahttp.Config{Shards: *shards, Serial: *serial})
 	addr, err := srv.ListenAndServe(*listen)
 	if err != nil {
 		log.Fatalf("rgmad: %v", err)
 	}
-	log.Printf("rgmad listening on %s", addr)
+	mode := "sharded"
+	if *serial {
+		mode = "serial"
+	}
+	log.Printf("rgmad listening on %s (%s, %d shards)", addr, mode, srv.NumShards())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := srv.StatsSnapshot()
+				log.Printf("stats: producers=%d consumers=%d inserts=%d pops=%d streamed=%d popped=%d",
+					s.Producers, s.Consumers, s.Inserts, s.Pops, s.TuplesStreamed, s.TuplesPopped)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	log.Print("rgmad: shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("rgmad: shutting down (%v)", got)
 	_ = srv.Close()
 }

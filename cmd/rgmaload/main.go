@@ -1,0 +1,171 @@
+// Command rgmaload load-tests a live rgmad server over HTTP, the R-GMA
+// counterpart of gridpub's load-test mode: parallel producer
+// connections publish SQL INSERTs at a controlled per-connection rate,
+// spread across several tables so the inserts land on different table
+// shards, while optional continuous consumers poll concurrently like
+// the paper's 100 ms subscriber loop.
+//
+// Usage:
+//
+//	rgmaload [-server localhost:8088] [-conns 8] [-rate 100] [-tables 8]
+//	         [-count 1000] [-consumers 0] [-poll 100ms]
+//
+// Example — 8 parallel producers at 100 inserts/s each (0 = as fast as
+// possible) round-robin onto load0 … load7, with one continuous
+// consumer per table polling every 100 ms:
+//
+//	rgmaload -conns 8 -rate 100 -tables 8 -count 1000 -consumers 8
+//
+// It reports the aggregate insert throughput achieved and, when
+// consumers run, the tuples they observed. Drive rgmad once with
+// -serial and once without to measure the sharded core's gain on your
+// hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridmon/internal/rgmahttp"
+	"gridmon/internal/sqlmini"
+)
+
+func main() {
+	server := flag.String("server", "localhost:8088", "rgmad address")
+	conns := flag.Int("conns", 8, "parallel producer connections")
+	rate := flag.Float64("rate", 0, "per-connection insert rate in tuples/s (0 = full speed)")
+	tables := flag.Int("tables", 8, "spread producers across N tables (load0 ... loadN-1)")
+	count := flag.Int("count", 1000, "inserts per connection (0 = run until interrupted)")
+	consumers := flag.Int("consumers", 0, "continuous consumers (one per table, round-robin)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "consumer poll interval (the paper's subscriber period)")
+	flag.Parse()
+
+	if *tables < 1 {
+		*tables = 1
+	}
+	c := rgmahttp.NewClient(*server)
+
+	schema := &sqlmini.Table{Columns: []sqlmini.Column{
+		{Name: "genid", Type: sqlmini.TInteger, Primary: true},
+		{Name: "seq", Type: sqlmini.TInteger},
+		{Name: "power", Type: sqlmini.TDouble},
+		{Name: "site", Type: sqlmini.TChar, Len: 20},
+	}}
+	tableName := func(i int) string { return fmt.Sprintf("load%d", i%*tables) }
+	for i := 0; i < *tables; i++ {
+		tab := *schema
+		tab.Name = tableName(i)
+		sql := fmt.Sprintf("CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, power DOUBLE PRECISION, site CHAR(20))", tab.Name)
+		if err := c.CreateTable(sql); err != nil {
+			log.Fatalf("rgmaload: create table: %v", err)
+		}
+	}
+
+	var popped atomic.Int64
+	stopPolling := make(chan struct{})
+	var pollWG sync.WaitGroup
+	for i := 0; i < *consumers; i++ {
+		cons, err := c.CreateConsumer(fmt.Sprintf("SELECT * FROM %s", tableName(i)), "continuous")
+		if err != nil {
+			log.Fatalf("rgmaload: create consumer: %v", err)
+		}
+		pollWG.Add(1)
+		go func(cons *rgmahttp.RemoteConsumer) {
+			defer pollWG.Done()
+			defer func() { _ = cons.Close() }() // leave no standing consumer on the server
+			tick := time.NewTicker(*poll)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopPolling:
+					// Final drain so late inserts are counted.
+					if tuples, err := cons.Pop(); err == nil {
+						popped.Add(int64(len(tuples)))
+					}
+					return
+				case <-tick.C:
+					tuples, err := cons.Pop()
+					if err != nil {
+						log.Printf("rgmaload: pop: %v", err)
+						return
+					}
+					popped.Add(int64(len(tuples)))
+				}
+			}
+		}(cons)
+	}
+
+	var sent, failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tab := *schema
+			tab.Name = tableName(w)
+			p, err := c.CreatePrimaryProducer(tab.Name, 30*time.Second, time.Minute)
+			if err != nil {
+				log.Printf("conn %d: %v", w, err)
+				failed.Add(1)
+				return
+			}
+			defer func() { _ = p.Close() }()
+			var tick <-chan time.Time
+			if *rate > 0 {
+				interval := time.Duration(float64(time.Second) / *rate)
+				if interval <= 0 {
+					interval = time.Nanosecond // absurd -rate: full speed
+				}
+				t := time.NewTicker(interval)
+				defer t.Stop()
+				tick = t.C
+			}
+			for seq := int64(1); *count == 0 || seq <= int64(*count); seq++ {
+				row := sqlmini.Row{
+					sqlmini.IntV(int64(w)),
+					sqlmini.IntV(seq),
+					sqlmini.FloatV(480.5),
+					sqlmini.StringV(fmt.Sprintf("site-%04d", w)),
+				}
+				if err := p.InsertRow(&tab, row); err != nil {
+					log.Printf("conn %d: insert: %v", w, err)
+					failed.Add(1)
+					return
+				}
+				sent.Add(1)
+				if tick != nil {
+					<-tick
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopPolling)
+	pollWG.Wait()
+
+	n := sent.Load()
+	log.Printf("rgmaload: %d inserts over %d conns on %d tables in %v (%.0f inserts/s aggregate)",
+		n, *conns, *tables, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if *consumers > 0 {
+		log.Printf("rgmaload: %d consumers popped %d tuples", *consumers, popped.Load())
+	}
+	if failed.Load() > 0 {
+		log.Printf("rgmaload: %d connections failed (producer create or mid-run insert)", failed.Load())
+	}
+	if st, err := c.Stats(); err == nil {
+		log.Printf("rgmaload: server stats: %+v", st)
+	}
+	// A bounded run that lost inserts must not look like a clean one to
+	// scripts: exit non-zero unless every planned insert was sent.
+	if *count > 0 && n != int64(*conns)*int64(*count) {
+		log.Printf("rgmaload: sent %d of %d planned inserts", n, int64(*conns)*int64(*count))
+		os.Exit(1)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"gridmon/internal/message"
+	"gridmon/internal/shardhash"
 )
 
 type shard struct {
@@ -33,16 +34,9 @@ func newShard() *shard {
 	}
 }
 
-// fnv1a is the 32-bit FNV-1a hash, inlined to keep destination routing
-// allocation-free.
-func fnv1a(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
+// fnv1a routes destination names to shards (the repo-wide shard hash,
+// allocation-free).
+func fnv1a(s string) uint32 { return shardhash.FNV1a(s) }
 
 // shardFor returns the shard owning a destination name.
 func (b *Broker) shardFor(name string) *shard {

@@ -166,8 +166,10 @@ type ProducerService struct {
 func (s *ProducerService) Node() *simnet.Node { return s.node }
 
 type streamAttach struct {
-	res   *consumerRes
-	query sqlmini.Select
+	res *consumerRes
+	// prog is the consumer query's WHERE predicate, compiled once at
+	// attach time; flush matching is per-tuple and runs it constantly.
+	prog *sqlmini.Program
 }
 
 type producerRes struct {
@@ -215,7 +217,7 @@ func (r *producerRes) flush() {
 		for _, att := range r.streams {
 			var matched []Tuple
 			for _, t := range batch {
-				if sqlmini.Matches(r.table, att.query, t.Row) {
+				if att.prog.Matches(t.Row) {
 					matched = append(matched, t)
 				}
 			}
@@ -262,6 +264,7 @@ type consumerRes struct {
 	regID    int64
 	table    string
 	query    sqlmini.Select
+	prog     *sqlmini.Program // query.Where compiled against the table schema
 	qtype    QueryType
 	kindPref ProducerKind
 	buffer   []StreamedTuple
@@ -303,7 +306,7 @@ func (c *consumerRes) mediate() {
 					return
 				}
 				if c.qtype == ContinuousQuery {
-					r.streams = append(r.streams, &streamAttach{res: c, query: c.query})
+					r.streams = append(r.streams, &streamAttach{res: c, prog: c.prog})
 				}
 			})
 		}
@@ -409,7 +412,7 @@ func (p *PrimaryProducer) Close() {
 	p.res.closed = true
 	p.svc.node.Heap.Free(p.d.costs.HeapPerProducer)
 	if p.res.regID != 0 {
-		p.d.registry.UnregisterProducer(p.res.regID)
+		p.d.registry.UnregisterProducerFrom(p.res.table.Name, p.res.regID)
 		delete(p.svc.resources, p.res.regID)
 	}
 }
@@ -429,7 +432,8 @@ func (d *Deployment) CreateConsumer(clientNode *simnet.Node, svc *ConsumerServic
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := d.schema[sel.Table]; !ok {
+	table, ok := d.schema[sel.Table]
+	if !ok {
 		return nil, fmt.Errorf("rgma: no such table %q", sel.Table)
 	}
 	if err := svc.node.Heap.Alloc(d.costs.HeapPerConsumer); err != nil {
@@ -440,6 +444,7 @@ func (d *Deployment) CreateConsumer(clientNode *simnet.Node, svc *ConsumerServic
 		svc:      svc,
 		table:    sel.Table,
 		query:    sel,
+		prog:     sel.Compiled(table),
 		qtype:    qtype,
 		kindPref: kindPref,
 		known:    make(map[int64]bool),
@@ -511,9 +516,9 @@ func (c *Consumer) gather(cb func([]StreamedTuple)) {
 		d.rpc(r.svc.node, 200, d.costs.ServletRequest, func() {
 			var tuples []Tuple
 			if c.res.qtype == LatestQuery {
-				tuples = r.store.Latest(d.k.Now(), c.res.query)
+				tuples = r.store.LatestCompiled(d.k.Now(), c.res.prog)
 			} else {
-				tuples = r.store.History(d.k.Now(), c.res.query)
+				tuples = r.store.HistoryCompiled(d.k.Now(), c.res.prog)
 			}
 			for _, t := range tuples {
 				out = append(out, StreamedTuple{Tuple: t, StreamedAt: now})
@@ -531,7 +536,7 @@ func (c *Consumer) Close() {
 	c.res.closed = true
 	c.svc.node.Heap.Free(c.d.costs.HeapPerConsumer)
 	if c.res.regID != 0 {
-		c.d.registry.UnregisterConsumer(c.res.regID)
+		c.d.registry.UnregisterConsumerFrom(c.res.table, c.res.regID)
 		delete(c.svc.resources, c.res.regID)
 	}
 }
@@ -666,7 +671,7 @@ func (sp *SecondaryProducer) Close() {
 	sp.res.closed = true
 	sp.res.svc.node.Heap.Free(sp.heap)
 	if sp.res.regID != 0 {
-		sp.d.registry.UnregisterProducer(sp.res.regID)
+		sp.d.registry.UnregisterProducerFrom(sp.res.table.Name, sp.res.regID)
 		delete(sp.res.svc.resources, sp.res.regID)
 	}
 	sp.cons.Close()

@@ -12,11 +12,33 @@
 // data loss of §III.F), JVM heap pressure that inflates service times as
 // the heap fills (the growth in fig. 11), and per-producer heap costs
 // that out-of-memory a single server near 800 connections.
+//
+// # Concurrency
+//
+// The package has two halves with different thread-safety contracts.
+//
+// Shard-safe (callable from any goroutine): Registry — state partitioned
+// into lock-domain shards keyed by table-name hash, counts atomic — and
+// TupleStore, whose retention sweeps, inserts, queries and stats are
+// guarded internally (stats are atomic counters). Shards are lock
+// domains, not worker goroutines: a single caller observes bit-identical
+// behaviour for any shard count, which keeps the simulated experiment
+// figures byte-identical.
+//
+// Serial-only: Deployment and everything reached through it
+// (ProducerService, ConsumerService, PrimaryProducer, Consumer,
+// Subscriber, SecondaryProducer). These run inside the deterministic
+// simulation kernel, whose event loop is the only caller; they take no
+// locks of their own. The concurrent HTTP binding lives in
+// internal/rgmahttp and composes the shard-safe half only.
 package rgma
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"gridmon/internal/sim"
 	"gridmon/internal/sqlmini"
@@ -35,13 +57,24 @@ type Tuple struct {
 // rows retained for the history retention period and a latest row per
 // primary key retained for the latest retention period, as configured by
 // the paper's tests (30 s latest, 1 min history).
+//
+// A TupleStore is shard-safe: Insert, Purge, the query methods and
+// Stats may be called from any goroutine (a mutex guards the row state;
+// counters are atomic). With a single caller the lock is uncontended
+// and behaviour is identical to the pre-concurrency store, except that
+// Latest now returns rows in deterministic primary-key order rather
+// than map order.
 type TupleStore struct {
 	table            *sqlmini.Table
 	latestRetention  sim.Time
 	historyRetention sim.Time
 
+	mu      sync.Mutex
 	history []Tuple
 	latest  map[string]Tuple
+
+	inserts atomic.Uint64
+	purged  atomic.Uint64
 }
 
 // NewTupleStore creates memory storage for one table.
@@ -73,25 +106,40 @@ func (s *TupleStore) keyOf(row sqlmini.Row) string {
 	}
 	parts := make([]string, len(pk))
 	for i, idx := range pk {
-		parts[i] = row[idx].String()
+		if idx < len(row) {
+			parts[i] = row[idx].String()
+		}
 	}
 	return strings.Join(parts, "|")
 }
 
 // Insert stores a tuple, updating the latest view.
 func (s *TupleStore) Insert(t Tuple) {
+	key := s.keyOf(t.Row)
+	s.mu.Lock()
 	s.history = append(s.history, t)
-	s.latest[s.keyOf(t.Row)] = t
+	s.latest[key] = t
+	s.mu.Unlock()
+	s.inserts.Add(1)
 }
 
-// Purge drops rows past their retention periods.
+// Purge drops rows past their retention periods. Safe from any
+// goroutine — retention sweeps may run concurrently with inserts and
+// queries.
 func (s *TupleStore) Purge(now sim.Time) {
+	s.mu.Lock()
+	s.purgeLocked(now)
+	s.mu.Unlock()
+}
+
+func (s *TupleStore) purgeLocked(now sim.Time) {
 	cut := 0
 	for cut < len(s.history) && now-s.history[cut].InsertedAt > s.historyRetention {
 		cut++
 	}
 	if cut > 0 {
 		s.history = append([]Tuple(nil), s.history[cut:]...)
+		s.purged.Add(uint64(cut))
 	}
 	for k, t := range s.latest {
 		if now-t.InsertedAt > s.latestRetention {
@@ -100,12 +148,26 @@ func (s *TupleStore) Purge(now sim.Time) {
 	}
 }
 
-// History returns retained history tuples matching the query.
+// History returns retained history tuples matching the query, via the
+// interpreted predicate path.
 func (s *TupleStore) History(now sim.Time, sel sqlmini.Select) []Tuple {
-	s.Purge(now)
+	return s.historyWith(now, func(r sqlmini.Row) bool { return sqlmini.Matches(s.table, sel, r) })
+}
+
+// HistoryCompiled returns retained history tuples accepted by a
+// compiled predicate program (nil matches every row). The program must
+// have been compiled against this store's schema.
+func (s *TupleStore) HistoryCompiled(now sim.Time, p *sqlmini.Program) []Tuple {
+	return s.historyWith(now, p.Matches)
+}
+
+func (s *TupleStore) historyWith(now sim.Time, match func(sqlmini.Row) bool) []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked(now)
 	var out []Tuple
 	for _, t := range s.history {
-		if sqlmini.Matches(s.table, sel, t.Row) {
+		if match(t.Row) {
 			out = append(out, t)
 		}
 	}
@@ -113,12 +175,31 @@ func (s *TupleStore) History(now sim.Time, sel sqlmini.Select) []Tuple {
 }
 
 // Latest returns the retained latest tuple per primary key matching the
-// query.
+// query, via the interpreted predicate path, in primary-key order.
 func (s *TupleStore) Latest(now sim.Time, sel sqlmini.Select) []Tuple {
-	s.Purge(now)
+	return s.latestWith(now, func(r sqlmini.Row) bool { return sqlmini.Matches(s.table, sel, r) })
+}
+
+// LatestCompiled returns the retained latest tuples accepted by a
+// compiled predicate program (nil matches every row), in primary-key
+// order. The program must have been compiled against this store's
+// schema.
+func (s *TupleStore) LatestCompiled(now sim.Time, p *sqlmini.Program) []Tuple {
+	return s.latestWith(now, p.Matches)
+}
+
+func (s *TupleStore) latestWith(now sim.Time, match func(sqlmini.Row) bool) []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked(now)
+	keys := make([]string, 0, len(s.latest))
+	for k := range s.latest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var out []Tuple
-	for _, t := range s.latest {
-		if sqlmini.Matches(s.table, sel, t.Row) {
+	for _, k := range keys {
+		if t := s.latest[k]; match(t.Row) {
 			out = append(out, t)
 		}
 	}
@@ -126,7 +207,32 @@ func (s *TupleStore) Latest(now sim.Time, sel sqlmini.Select) []Tuple {
 }
 
 // Len reports retained history size (after no purge; tests use it).
-func (s *TupleStore) Len() int { return len(s.history) }
+func (s *TupleStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
+// StoreStats is a TupleStore's counters, readable from any goroutine.
+type StoreStats struct {
+	Inserts uint64 // tuples ever inserted
+	Purged  uint64 // history rows dropped by retention sweeps
+	History int    // currently retained history rows
+	Latest  int    // currently retained latest rows
+}
+
+// Stats snapshots the store's counters. Shard-safe.
+func (s *TupleStore) Stats() StoreStats {
+	s.mu.Lock()
+	h, l := len(s.history), len(s.latest)
+	s.mu.Unlock()
+	return StoreStats{
+		Inserts: s.inserts.Load(),
+		Purged:  s.purged.Load(),
+		History: h,
+		Latest:  l,
+	}
+}
 
 // MonitoringTable returns the paper's R-GMA workload schema: "four
 // integer, eight double and four char (length 20) values".

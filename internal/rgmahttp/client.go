@@ -147,6 +147,15 @@ func (rc *RemoteConsumer) Close() error {
 	return rc.c.post("/consumer/close", map[string]any{"consumer": rc.ID}, nil)
 }
 
+// Stats reads the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var out Stats
+	if err := c.get("/stats", &out); err != nil {
+		return Stats{}, err
+	}
+	return out, nil
+}
+
 // RegistryCounts reports registered producers and consumers.
 func (c *Client) RegistryCounts() (producers, consumers int, err error) {
 	var out struct {

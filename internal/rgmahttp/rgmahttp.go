@@ -5,6 +5,38 @@
 // consumers create continuous/latest/history queries and poll with GET,
 // exactly like the paper's subscriber polling its consumer every 100 ms.
 //
+// # Concurrency
+//
+// The server is sharded the way the broker core is: state is
+// partitioned into lock domains, not handed to worker goroutines, so
+// request handling runs on the HTTP server's connection goroutines and
+// scales with them. Two shard families exist — table shards (schema
+// plus the per-table continuous-consumer and producer indexes, keyed by
+// table-name hash) and resource shards (producer/consumer handles keyed
+// by resource-id) — plus a per-consumer buffer lock and the internally
+// locked rgma.TupleStore and rgma.Registry. Producers inserting into
+// different producer resources and consumers popping different
+// consumers proceed fully in parallel; an insert and a pop on the same
+// continuous consumer serialize only on that consumer's buffer mutex.
+// Consumer WHERE predicates are compiled once at create time
+// (sqlmini.Program) and evaluated on the insert fast path.
+//
+// Config.Serial restores the seed architecture — one global mutex held
+// for every request — as the measured A/B baseline
+// (BenchmarkRGMAParallelInsertPop, cmd/rgmad -serial), the same pattern
+// as broker.Config.SerialCore.
+//
+// Ordering: a producer whose inserts are issued sequentially (each HTTP
+// response received before the next request — the paper's client
+// pattern) streams to every continuous consumer in insert order, and
+// its history reads in the same order. Only inserts POSTed concurrently
+// for the *same* producer resource have no defined order, and in
+// sharded mode their stream order may additionally differ from their
+// store order (store append and consumer fan-out are separate critical
+// sections); the serial baseline orders even those totally, as the seed
+// did. Inserts from different producers are never ordered relative to
+// each other.
+//
 // Endpoints (all JSON):
 //
 //	POST /schema/createTable   {"sql": "CREATE TABLE ..."}
@@ -15,6 +47,7 @@
 //	GET  /consumer/pop?id=1
 //	POST /consumer/close       {"consumer": 1}
 //	GET  /registry
+//	GET  /stats
 package rgmahttp
 
 import (
@@ -22,44 +55,103 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridmon/internal/rgma"
+	"gridmon/internal/shardhash"
 	"gridmon/internal/sim"
 	"gridmon/internal/sqlmini"
 )
 
-// Server is an R-GMA service over HTTP. All state is guarded by one
-// mutex — the workload is monitoring-rate, not OLTP.
-type Server struct {
-	mu sync.Mutex
+// Config tunes the server's concurrency architecture.
+type Config struct {
+	// Shards is the lock-domain count for the table and resource shard
+	// families (0 = GOMAXPROCS). Shard counts do not change behaviour,
+	// only contention.
+	Shards int
+	// Serial serializes every request behind one global mutex — the
+	// seed architecture, kept as the A/B baseline for load tests.
+	Serial bool
+}
 
-	schema    map[string]*sqlmini.Table
-	registry  *rgma.Registry
-	producers map[int64]*httpProducer
-	consumers map[int64]*httpConsumer
-	nextID    int64
+// Server is an R-GMA service over HTTP.
+type Server struct {
+	cfg      Config
+	serialMu sync.Mutex // held around each request when cfg.Serial
+
+	tables   []*tableShard // table-name-hash lock domains
+	res      []*resShard   // resource-id lock domains
+	registry *rgma.Registry
+	nextID   atomic.Int64
+
+	inserts        atomic.Uint64
+	pops           atomic.Uint64
+	tuplesStreamed atomic.Uint64
+	tuplesPopped   atomic.Uint64
 
 	start time.Time
 	http  *http.Server
 	ln    net.Listener
 }
 
+// tableShard owns everything about the tables that hash to it: the
+// schema entry, the table's continuous consumers (the insert-time
+// streaming index) and its producers (the latest/history gather index),
+// both in registration order.
+type tableShard struct {
+	mu         sync.RWMutex
+	tables     map[string]*sqlmini.Table
+	continuous map[string][]*httpConsumer
+	producers  map[string][]*httpProducer
+}
+
+// resShard owns the resource handles whose ids hash to it.
+type resShard struct {
+	mu        sync.RWMutex
+	producers map[int64]*httpProducer
+	consumers map[int64]*httpConsumer
+}
+
 type httpProducer struct {
-	id    int64
-	regID int64
-	table *sqlmini.Table
-	store *rgma.TupleStore
+	id        int64
+	regID     int64
+	tableName string
+	table     *sqlmini.Table
+	store     *rgma.TupleStore
 }
 
 type httpConsumer struct {
-	id     int64
-	query  sqlmini.Select
-	table  *sqlmini.Table
-	qtype  rgma.QueryType
+	id        int64
+	regID     int64
+	query     sqlmini.Select
+	prog      *sqlmini.Program // query.Where compiled against table
+	table     *sqlmini.Table
+	tableName string
+	qtype     rgma.QueryType
+
+	mu     sync.Mutex
 	buffer []popTuple
+}
+
+// push appends streamed tuples under the consumer's buffer lock.
+func (c *httpConsumer) push(t popTuple) {
+	c.mu.Lock()
+	c.buffer = append(c.buffer, t)
+	c.mu.Unlock()
+}
+
+// drain empties the buffer under the consumer's buffer lock.
+func (c *httpConsumer) drain() []popTuple {
+	c.mu.Lock()
+	out := c.buffer
+	c.buffer = nil
+	c.mu.Unlock()
+	return out
 }
 
 type popTuple struct {
@@ -67,32 +159,106 @@ type popTuple struct {
 	InsertedAt int64    `json:"insertedAtNs"`
 }
 
-// NewServer constructs an unstarted server.
-func NewServer() *Server {
-	return &Server{
-		schema:    make(map[string]*sqlmini.Table),
-		registry:  rgma.NewRegistry(),
-		producers: make(map[int64]*httpProducer),
-		consumers: make(map[int64]*httpConsumer),
-		start:     time.Now(),
+// NewServer constructs an unstarted server with the default sharded
+// configuration.
+func NewServer() *Server { return NewServerWith(Config{}) }
+
+// NewServerWith constructs an unstarted server with an explicit
+// concurrency configuration.
+func NewServerWith(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	s := &Server{
+		cfg:      cfg,
+		tables:   make([]*tableShard, cfg.Shards),
+		res:      make([]*resShard, cfg.Shards),
+		registry: rgma.NewRegistrySharded(cfg.Shards),
+		start:    time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.tables[i] = &tableShard{
+			tables:     make(map[string]*sqlmini.Table),
+			continuous: make(map[string][]*httpConsumer),
+			producers:  make(map[string][]*httpProducer),
+		}
+		s.res[i] = &resShard{
+			producers: make(map[int64]*httpProducer),
+			consumers: make(map[int64]*httpConsumer),
+		}
+	}
+	return s
+}
+
+// NumShards reports the lock-domain count per shard family.
+func (s *Server) NumShards() int { return len(s.tables) }
+
+// TableShardOf reports which table shard a name routes to. Load-test
+// topologies and benchmarks use it to spread (or concentrate) tables
+// across lock domains, as broker.ShardOf does for destinations.
+func (s *Server) TableShardOf(name string) int {
+	if len(s.tables) == 1 {
+		return 0
+	}
+	return int(shardhash.FNV1a(name) % uint32(len(s.tables)))
+}
+
+func (s *Server) tableShardFor(table string) *tableShard {
+	return s.tables[s.TableShardOf(table)]
+}
+
+func (s *Server) resShardFor(id int64) *resShard {
+	if len(s.res) == 1 {
+		return s.res[0]
+	}
+	return s.res[uint64(id)%uint64(len(s.res))]
+}
+
+func (s *Server) lookupProducer(id int64) (*httpProducer, bool) {
+	sh := s.resShardFor(id)
+	sh.mu.RLock()
+	p, ok := sh.producers[id]
+	sh.mu.RUnlock()
+	return p, ok
+}
+
+func (s *Server) lookupConsumer(id int64) (*httpConsumer, bool) {
+	sh := s.resShardFor(id)
+	sh.mu.RLock()
+	c, ok := sh.consumers[id]
+	sh.mu.RUnlock()
+	return c, ok
 }
 
 // now returns virtual-ish time: nanoseconds since server start, the
 // domain the TupleStore retention logic works in.
 func (s *Server) now() sim.Time { return sim.Time(time.Since(s.start).Nanoseconds()) }
 
+// serial wraps a handler in the global mutex when the serial baseline
+// is configured; in sharded mode it is the identity.
+func (s *Server) serial(h http.HandlerFunc) http.HandlerFunc {
+	if !s.cfg.Serial {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.serialMu.Lock()
+		defer s.serialMu.Unlock()
+		h(w, r)
+	}
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /schema/createTable", s.handleCreateTable)
-	mux.HandleFunc("POST /producer/create", s.handleProducerCreate)
-	mux.HandleFunc("POST /producer/insert", s.handleInsert)
-	mux.HandleFunc("POST /producer/close", s.handleProducerClose)
-	mux.HandleFunc("POST /consumer/create", s.handleConsumerCreate)
-	mux.HandleFunc("GET /consumer/pop", s.handlePop)
-	mux.HandleFunc("POST /consumer/close", s.handleConsumerClose)
-	mux.HandleFunc("GET /registry", s.handleRegistry)
+	mux.HandleFunc("POST /schema/createTable", s.serial(s.handleCreateTable))
+	mux.HandleFunc("POST /producer/create", s.serial(s.handleProducerCreate))
+	mux.HandleFunc("POST /producer/insert", s.serial(s.handleInsert))
+	mux.HandleFunc("POST /producer/close", s.serial(s.handleProducerClose))
+	mux.HandleFunc("POST /consumer/create", s.serial(s.handleConsumerCreate))
+	mux.HandleFunc("GET /consumer/pop", s.serial(s.handlePop))
+	mux.HandleFunc("POST /consumer/close", s.serial(s.handleConsumerClose))
+	mux.HandleFunc("GET /registry", s.serial(s.handleRegistry))
+	mux.HandleFunc("GET /stats", s.serial(s.handleStats))
 	return mux
 }
 
@@ -152,9 +318,10 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected CREATE TABLE"))
 		return
 	}
-	s.mu.Lock()
-	s.schema[ct.Table.Name] = &ct.Table
-	s.mu.Unlock()
+	ts := s.tableShardFor(ct.Table.Name)
+	ts.mu.Lock()
+	ts.tables[ct.Table.Name] = &ct.Table
+	ts.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"table": ct.Table.Name})
 }
 
@@ -173,21 +340,28 @@ func (s *Server) handleProducerCreate(w http.ResponseWriter, r *http.Request) {
 	if req.HistoryRetentionSec <= 0 {
 		req.HistoryRetentionSec = 60
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	table, exists := s.schema[req.Table]
+	ts := s.tableShardFor(req.Table)
+	ts.mu.RLock()
+	table, exists := ts.tables[req.Table]
+	ts.mu.RUnlock()
 	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", req.Table))
 		return
 	}
-	s.nextID++
 	p := &httpProducer{
-		id:    s.nextID,
-		table: table,
-		store: rgma.NewTupleStore(table, sim.Time(req.LatestRetentionSec)*sim.Second, sim.Time(req.HistoryRetentionSec)*sim.Second),
+		id:        s.nextID.Add(1),
+		tableName: req.Table,
+		table:     table,
+		store:     rgma.NewTupleStore(table, sim.Time(req.LatestRetentionSec)*sim.Second, sim.Time(req.HistoryRetentionSec)*sim.Second),
 	}
 	p.regID = s.registry.RegisterProducer(rgma.ProducerEntry{Kind: rgma.PrimaryKind, Table: req.Table})
-	s.producers[p.id] = p
+	rs := s.resShardFor(p.id)
+	rs.mu.Lock()
+	rs.producers[p.id] = p
+	rs.mu.Unlock()
+	ts.mu.Lock()
+	ts.producers[req.Table] = append(ts.producers[req.Table], p)
+	ts.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]int64{"producer": p.id})
 }
 
@@ -209,9 +383,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected INSERT"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, exists := s.producers[req.Producer]
+	p, exists := s.lookupProducer(req.Producer)
 	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
 		return
@@ -224,14 +396,27 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
 	tuple := rgma.Tuple{Row: row, SentAt: now, InsertedAt: now}
 	p.store.Insert(tuple)
+	s.inserts.Add(1)
 	// Stream to matching continuous consumers immediately (the HTTP
 	// binding does not model the gLite streaming delay; the simulator
-	// covers that behaviour).
-	for _, c := range s.consumers {
-		if c.qtype == rgma.ContinuousQuery && c.table == p.table && sqlmini.Matches(p.table, c.query, row) {
-			c.buffer = append(c.buffer, toPop(tuple))
+	// covers that behaviour). The table shard's index narrows the scan
+	// to this table's continuous consumers; the compiled predicate
+	// decides per consumer; the encoded tuple is shared across buffers.
+	ts := s.tableShardFor(p.tableName)
+	var encoded popTuple
+	encodedReady := false
+	ts.mu.RLock()
+	for _, c := range ts.continuous[p.tableName] {
+		if c.table == p.table && c.prog.Matches(row) {
+			if !encodedReady {
+				encoded = toPop(tuple)
+				encodedReady = true
+			}
+			c.push(encoded)
+			s.tuplesStreamed.Add(1)
 		}
 	}
+	ts.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
 }
 
@@ -250,16 +435,32 @@ func (s *Server) handleProducerClose(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, exists := s.producers[req.Producer]
+	rs := s.resShardFor(req.Producer)
+	rs.mu.Lock()
+	p, exists := rs.producers[req.Producer]
+	if exists {
+		delete(rs.producers, req.Producer)
+	}
+	rs.mu.Unlock()
 	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
 		return
 	}
-	s.registry.UnregisterProducer(p.regID)
-	delete(s.producers, p.id)
+	s.registry.UnregisterProducerFrom(p.tableName, p.regID)
+	ts := s.tableShardFor(p.tableName)
+	ts.mu.Lock()
+	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
+	ts.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+// removeHandle deletes one handle from an index slice; slices.Delete
+// zeroes the vacated tail slot, so the handle does not leak.
+func removeHandle[T comparable](hs []T, h T) []T {
+	if i := slices.Index(hs, h); i >= 0 {
+		return slices.Delete(hs, i, i+1)
+	}
+	return hs
 }
 
 func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request) {
@@ -287,17 +488,32 @@ func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: unknown query type %q", req.Type))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	table, exists := s.schema[sel.Table]
+	ts := s.tableShardFor(sel.Table)
+	ts.mu.RLock()
+	table, exists := ts.tables[sel.Table]
+	ts.mu.RUnlock()
 	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", sel.Table))
 		return
 	}
-	s.nextID++
-	c := &httpConsumer{id: s.nextID, query: sel, table: table, qtype: qtype}
-	s.registry.RegisterConsumer(rgma.ConsumerEntry{Table: sel.Table})
-	s.consumers[c.id] = c
+	c := &httpConsumer{
+		id:        s.nextID.Add(1),
+		query:     sel,
+		prog:      sel.Compiled(table),
+		table:     table,
+		tableName: sel.Table,
+		qtype:     qtype,
+	}
+	c.regID = s.registry.RegisterConsumer(rgma.ConsumerEntry{Table: sel.Table})
+	rs := s.resShardFor(c.id)
+	rs.mu.Lock()
+	rs.consumers[c.id] = c
+	rs.mu.Unlock()
+	if qtype == rgma.ContinuousQuery {
+		ts.mu.Lock()
+		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], c)
+		ts.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]int64{"consumer": c.id})
 }
 
@@ -307,35 +523,40 @@ func (s *Server) handlePop(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: bad consumer id"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, exists := s.consumers[id]
+	c, exists := s.lookupConsumer(id)
 	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", id))
 		return
 	}
+	s.pops.Add(1)
 	var out []popTuple
 	switch c.qtype {
 	case rgma.ContinuousQuery:
-		out = c.buffer
-		c.buffer = nil
+		out = c.drain()
 	case rgma.LatestQuery, rgma.HistoryQuery:
+		// Gather from this table's producers (registration order, via
+		// the table shard's index — not a scan over every producer).
+		ts := s.tableShardFor(c.tableName)
+		ts.mu.RLock()
+		producers := append([]*httpProducer(nil), ts.producers[c.tableName]...)
+		ts.mu.RUnlock()
 		now := s.now()
-		for _, p := range s.producers {
+		for _, p := range producers {
 			if p.table != c.table {
 				continue
 			}
 			var tuples []rgma.Tuple
 			if c.qtype == rgma.LatestQuery {
-				tuples = p.store.Latest(now, c.query)
+				tuples = p.store.LatestCompiled(now, c.prog)
 			} else {
-				tuples = p.store.History(now, c.query)
+				tuples = p.store.HistoryCompiled(now, c.prog)
 			}
 			for _, t := range tuples {
 				out = append(out, toPop(t))
 			}
 		}
 	}
+	s.tuplesPopped.Add(uint64(len(out)))
 	if out == nil {
 		out = []popTuple{}
 	}
@@ -349,19 +570,59 @@ func (s *Server) handleConsumerClose(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.consumers[req.Consumer]; !exists {
+	rs := s.resShardFor(req.Consumer)
+	rs.mu.Lock()
+	c, exists := rs.consumers[req.Consumer]
+	if exists {
+		delete(rs.consumers, req.Consumer)
+	}
+	rs.mu.Unlock()
+	if !exists {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", req.Consumer))
 		return
 	}
-	delete(s.consumers, req.Consumer)
+	s.registry.UnregisterConsumerFrom(c.tableName, c.regID)
+	if c.qtype == rgma.ContinuousQuery {
+		ts := s.tableShardFor(c.tableName)
+		ts.mu.Lock()
+		ts.continuous[c.tableName] = removeHandle(ts.continuous[c.tableName], c)
+		ts.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	p, c := s.registry.Counts()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]int{"producers": p, "consumers": c})
+}
+
+// Stats is the server's atomic counter snapshot.
+type Stats struct {
+	Producers      int    `json:"producers"`
+	Consumers      int    `json:"consumers"`
+	Inserts        uint64 `json:"inserts"`
+	Pops           uint64 `json:"pops"`
+	TuplesStreamed uint64 `json:"tuplesStreamed"`
+	TuplesPopped   uint64 `json:"tuplesPopped"`
+	Shards         int    `json:"shards"`
+	Serial         bool   `json:"serial"`
+}
+
+// StatsSnapshot reads the server counters; safe from any goroutine.
+func (s *Server) StatsSnapshot() Stats {
+	p, c := s.registry.Counts()
+	return Stats{
+		Producers:      p,
+		Consumers:      c,
+		Inserts:        s.inserts.Load(),
+		Pops:           s.pops.Load(),
+		TuplesStreamed: s.tuplesStreamed.Load(),
+		TuplesPopped:   s.tuplesPopped.Load(),
+		Shards:         len(s.tables),
+		Serial:         s.cfg.Serial,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }

@@ -1,0 +1,17 @@
+// Package shardhash provides the one routing hash every sharded layer
+// in this repo uses to map names onto lock domains: the broker's
+// destination shards, the R-GMA registry's table shards and the R-GMA
+// HTTP service's table shards. Keeping it in one place means a future
+// routing change cannot leave two layers hashing the same name to
+// different shards.
+package shardhash
+
+// FNV1a is the 32-bit FNV-1a hash over a string, allocation-free.
+func FNV1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -5,6 +5,18 @@
 // queries; R-GMA's content-based filtering is exactly WHERE-predicate
 // evaluation, so this package provides the parser, the type system and
 // the predicate evaluator the rgma package builds on.
+//
+// Predicates evaluate two ways: the tree-walking Expr.Eval interpreter
+// (the reference baseline) and compiled Programs (Select.Compiled /
+// Compile) with column slots pre-resolved against the schema, constant
+// subtrees folded and comparisons fused — the same pattern
+// internal/selector applies to JMS selectors, proven equivalent by the
+// conformance suite in compile_test.go.
+//
+// Everything in the package is shard-safe in the read direction: parsed
+// statements, Tables, Rows and compiled Programs are immutable after
+// construction and may be shared freely across goroutines. There is no
+// mutable package state.
 package sqlmini
 
 import (

@@ -1,0 +1,301 @@
+package gridmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/rgmahttp"
+	"gridmon/internal/sqlmini"
+)
+
+// R-GMA service-stack benchmarks: P producer lanes — each one table on
+// its own table shard, with one producer inserting and one continuous
+// consumer popping — drive the HTTP handler concurrently, the full
+// servlet path the paper measured (JSON decode, SQL parse, typed store
+// insert, compiled-predicate streaming, buffered pop). In sharded mode
+// each lane runs the whole insert→stream→pop cycle inline on its own
+// goroutine, meeting the others only on shard locks; Config.Serial
+// funnels every request behind the seed's global mutex as the measured
+// baseline (the same A/B pattern as broker.Config.SerialCore).
+//
+// `go test -bench RGMA -cpu 1,4,8` runs the matrix;
+// `BENCH_RGMA_OUT=BENCH_rgma.json go test -run TestWriteRGMABench .`
+// times every cell across GOMAXPROCS values — including the
+// compiled-vs-interpreted predicate table — and writes the curves.
+
+// rgmaLaneNames picks one table name per shard-distinct slot, so the P
+// lanes occupy P distinct lock domains (a hash collision would silently
+// serialize two lanes and understate scaling).
+func rgmaLaneNames(s *rgmahttp.Server, n int) []string {
+	names := make([]string, 0, n)
+	used := map[int]bool{}
+	for i := 0; len(names) < n; i++ {
+		name := fmt.Sprintf("lane%d", i)
+		sh := s.TableShardOf(name)
+		if s.NumShards() >= n && used[sh] {
+			continue
+		}
+		used[sh] = true
+		names = append(names, name)
+	}
+	return names
+}
+
+// rgmaCall drives one request through the handler, failing the
+// benchmark on a non-200 status.
+func rgmaCall(b *testing.B, h http.Handler, method, target, body string) {
+	b.Helper()
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("%s %s: %d %s", method, target, w.Code, w.Body.String())
+	}
+}
+
+// benchmarkRGMAInsertPop times b.N inserts spread across `lanes`
+// concurrent lanes; every lane drains its continuous consumer each 32
+// inserts, so streamed buffers stay bounded and the pop path is in the
+// measured mix.
+func benchmarkRGMAInsertPop(b *testing.B, lanes int, serial bool) {
+	cfg := rgmahttp.Config{Serial: serial}
+	if !serial {
+		cfg.Shards = lanes
+	}
+	s := rgmahttp.NewServerWith(cfg)
+	h := s.Handler()
+	names := rgmaLaneNames(s, lanes)
+
+	producerIDs := make([]int64, lanes)
+	consumerIDs := make([]int64, lanes)
+	insertBody := make([]string, lanes)
+	for i, name := range names {
+		rgmaCall(b, h, "POST", "/schema/createTable", fmt.Sprintf(
+			`{"sql":"CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, power DOUBLE PRECISION, site CHAR(20))"}`, name))
+		req := httptest.NewRequest("POST", "/producer/create", strings.NewReader(fmt.Sprintf(`{"table":%q}`, name)))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		var pres struct {
+			Producer int64 `json:"producer"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &pres); err != nil || pres.Producer == 0 {
+			b.Fatalf("producer create: %s", w.Body.String())
+		}
+		producerIDs[i] = pres.Producer
+		req = httptest.NewRequest("POST", "/consumer/create", strings.NewReader(fmt.Sprintf(
+			`{"query":"SELECT * FROM %s WHERE genid < 1000000","type":"continuous"}`, name)))
+		w = httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		var cres struct {
+			Consumer int64 `json:"consumer"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &cres); err != nil || cres.Consumer == 0 {
+			b.Fatalf("consumer create: %s", w.Body.String())
+		}
+		consumerIDs[i] = cres.Consumer
+		insertBody[i] = fmt.Sprintf(
+			`{"producer":%d,"sql":"INSERT INTO %s (genid, seq, power, site) VALUES (%d, 1, 480.5, 'site-%04d')"}`,
+			producerIDs[i], name, i, i)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next int64
+	var workers sync.WaitGroup
+	for p := 0; p < lanes; p++ {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			popTarget := fmt.Sprintf("/consumer/pop?id=%d", consumerIDs[p])
+			since := 0
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i > int64(b.N) {
+					return
+				}
+				req := httptest.NewRequest("POST", "/producer/insert", strings.NewReader(insertBody[p]))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Errorf("insert: %d %s", w.Code, w.Body.String())
+					return
+				}
+				if since++; since >= 32 {
+					since = 0
+					req := httptest.NewRequest("GET", popTarget, nil)
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					_, _ = io.Copy(io.Discard, w.Body)
+				}
+			}
+		}(p)
+	}
+	workers.Wait()
+	b.StopTimer()
+	st := s.StatsSnapshot()
+	if st.Inserts != uint64(b.N) || st.TuplesStreamed != uint64(b.N) {
+		b.Fatalf("stats = %+v, want %d inserts streamed", st, b.N)
+	}
+}
+
+func BenchmarkRGMAParallelInsertPop(b *testing.B) {
+	for _, lanes := range []int{1, 8} {
+		for _, mode := range []string{"sharded", "serial"} {
+			b.Run(fmt.Sprintf("lanes=%d/%s", lanes, mode), func(b *testing.B) {
+				benchmarkRGMAInsertPop(b, lanes, mode == "serial")
+			})
+		}
+	}
+}
+
+// BenchmarkRGMACompiledPredicate evaluates the paper's WHERE shapes
+// over the monitoring row: compiled Program vs tree-walking Eval.
+func BenchmarkRGMACompiledPredicate(b *testing.B) {
+	tab := rgma.MonitoringTable()
+	row := rgma.MonitoringRow(7, 3)
+	for _, c := range rgmaPredicateCases() {
+		sel, err := rgma.ParseQuery(c.query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := sel.Compiled(tab)
+		b.Run(c.name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog.Matches(row)
+			}
+		})
+		b.Run(c.name+"/interpreted", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sqlmini.Matches(tab, sel, row)
+			}
+		})
+	}
+}
+
+type rgmaPredCase struct {
+	name  string
+	query string
+}
+
+func rgmaPredicateCases() []rgmaPredCase {
+	return []rgmaPredCase{
+		{"simple", "SELECT * FROM generator WHERE genid < 10000"},
+		{"string", "SELECT * FROM generator WHERE site = 'site-0007'"},
+		{"complex", "SELECT * FROM generator WHERE (genid < 100 OR status = 'RUNNING') AND power > 100 AND seq IS NOT NULL"},
+	}
+}
+
+// --- BENCH_rgma.json harness ---
+
+type rgmaParallelCell struct {
+	CPUs          int     `json:"gomaxprocs"`
+	Lanes         int     `json:"lanes"`
+	ShardedNsOp   float64 `json:"sharded_ns_per_insert"`
+	SerialNsOp    float64 `json:"serial_ns_per_insert"`
+	ShardedInsSec float64 `json:"sharded_inserts_per_sec"`
+	SerialInsSec  float64 `json:"serial_inserts_per_sec"`
+	Speedup       float64 `json:"speedup_vs_serial_mutex"`
+}
+
+type rgmaPredicateCell struct {
+	Query         string  `json:"query"`
+	InterpretedNs float64 `json:"interpreted_ns_per_row"`
+	CompiledNs    float64 `json:"compiled_ns_per_row"`
+	Speedup       float64 `json:"speedup_compiled_vs_interpreted"`
+}
+
+// TestWriteRGMABench times the sharded R-GMA service against the
+// serial global-mutex baseline across GOMAXPROCS values, plus the
+// compiled-vs-interpreted predicate table, and writes BENCH_rgma.json.
+// Gated behind an env var so the regular test run stays fast:
+// BENCH_RGMA_OUT=BENCH_rgma.json go test -run TestWriteRGMABench .
+func TestWriteRGMABench(t *testing.T) {
+	out := os.Getenv("BENCH_RGMA_OUT")
+	if out == "" {
+		t.Skip("set BENCH_RGMA_OUT to write the R-GMA benchmark file")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var parallel []rgmaParallelCell
+	for _, cpus := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(cpus)
+		const lanes = 8
+		cell := rgmaParallelCell{CPUs: cpus, Lanes: lanes}
+		for _, serial := range []bool{false, true} {
+			serial := serial
+			r := testing.Benchmark(func(b *testing.B) {
+				benchmarkRGMAInsertPop(b, lanes, serial)
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if serial {
+				cell.SerialNsOp = ns
+				cell.SerialInsSec = 1e9 / ns
+			} else {
+				cell.ShardedNsOp = ns
+				cell.ShardedInsSec = 1e9 / ns
+			}
+		}
+		cell.Speedup = cell.SerialNsOp / cell.ShardedNsOp
+		parallel = append(parallel, cell)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	tab := rgma.MonitoringTable()
+	row := rgma.MonitoringRow(7, 3)
+	var preds []rgmaPredicateCell
+	for _, c := range rgmaPredicateCases() {
+		sel, err := rgma.ParseQuery(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := sel.Compiled(tab)
+		ri := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sqlmini.Matches(tab, sel, row)
+			}
+		})
+		rc := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog.Matches(row)
+			}
+		})
+		cell := rgmaPredicateCell{
+			Query:         c.query,
+			InterpretedNs: float64(ri.T.Nanoseconds()) / float64(ri.N),
+			CompiledNs:    float64(rc.T.Nanoseconds()) / float64(rc.N),
+		}
+		cell.Speedup = cell.InterpretedNs / cell.CompiledNs
+		preds = append(preds, cell)
+	}
+
+	doc := map[string]any{
+		"benchmark":   "R-GMA service stack: sharded lock domains vs the seed's global server mutex (8 lanes of insert+continuous pop through the HTTP handler), and compiled vs interpreted WHERE predicates",
+		"description": "ns per insert includes JSON decode, SQL parse, typed store insert, compiled-predicate streaming to the lane's continuous consumer, and a pop drain every 32 inserts. Speedup above 1x requires real cores: on a single-core host all GOMAXPROCS values time-share one CPU and the sharded and serial figures converge.",
+		"host_cpus":   runtime.NumCPU(),
+		"parallel":    parallel,
+		"predicate":   preds,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+}
