@@ -1,18 +1,23 @@
-// Command rgmad serves the R-GMA virtual database over HTTP, the
-// transport the original gLite implementation used. Producers publish
-// tuples with SQL INSERT statements and consumers poll continuous,
-// latest or history SELECT queries.
+// Command rgmad serves the R-GMA virtual database over two transports
+// that share one sharded core: HTTP (the request/response binding the
+// original gLite implementation used, consumers poll) and a persistent
+// binary protocol on a second port (producers pipeline batched INSERT
+// frames, continuous consumers receive tuples by server push).
+// Producers publish tuples with SQL INSERT statements and consumers run
+// continuous, latest or history SELECT queries; a tuple inserted on
+// either port is visible to consumers on both.
 //
 // Usage:
 //
-//	rgmad [-listen :8088] [-shards 0] [-serial] [-stats 1m]
+//	rgmad [-listen :8088] [-listen-bin :8089] [-shards 0] [-serial] [-stats 1m]
 //
 // By default the service core is sharded across the CPUs (inserts into
 // different producers and pops on different consumers run in parallel);
 // -serial restores the seed's single global mutex as an A/B baseline
 // for load tests, -shards pins the lock-domain count — the same flags
-// naradad exposes for the broker core. The daemon stops cleanly on
-// SIGINT or SIGTERM (containerized runs send the latter).
+// naradad exposes for the broker core. -listen-bin "" disables the
+// binary port. The daemon stops cleanly on SIGINT or SIGTERM
+// (containerized runs send the latter).
 //
 // Try it:
 //
@@ -25,6 +30,8 @@
 //	  -d '{"query":"SELECT * FROM generator","type":"latest"}'
 //	curl 'localhost:8088/consumer/pop?id=2'
 //	curl localhost:8088/stats
+//
+// and drive the binary port with rgmaload -transport bin -server localhost:8089.
 package main
 
 import (
@@ -35,11 +42,13 @@ import (
 	"syscall"
 	"time"
 
+	"gridmon/internal/rgmabin"
 	"gridmon/internal/rgmahttp"
 )
 
 func main() {
 	listen := flag.String("listen", ":8088", "HTTP listen address")
+	listenBin := flag.String("listen-bin", ":8089", "binary transport listen address (empty disables)")
 	shards := flag.Int("shards", 0, "lock-domain shard count (0 = one per CPU)")
 	serial := flag.Bool("serial", false, "serialize every request behind one global mutex (pre-shard baseline)")
 	statsEvery := flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
@@ -56,12 +65,22 @@ func main() {
 	}
 	log.Printf("rgmad listening on %s (%s, %d shards)", addr, mode, srv.NumShards())
 
+	var binSrv *rgmabin.Server
+	if *listenBin != "" {
+		binSrv = rgmabin.NewServer(srv.Core(), rgmabin.Config{})
+		binAddr, err := binSrv.ListenAndServe(*listenBin)
+		if err != nil {
+			log.Fatalf("rgmad: binary transport: %v", err)
+		}
+		log.Printf("rgmad binary transport on %s (same core)", binAddr)
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				s := srv.StatsSnapshot()
-				log.Printf("stats: producers=%d consumers=%d inserts=%d pops=%d streamed=%d popped=%d",
-					s.Producers, s.Consumers, s.Inserts, s.Pops, s.TuplesStreamed, s.TuplesPopped)
+				log.Printf("stats: producers=%d consumers=%d inserts=%d pops=%d streamed=%d popped=%d dropped=%d",
+					s.Producers, s.Consumers, s.Inserts, s.Pops, s.TuplesStreamed, s.TuplesPopped, s.TuplesDropped)
 			}
 		}()
 	}
@@ -70,5 +89,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
 	log.Printf("rgmad: shutting down (%v)", got)
+	if binSrv != nil {
+		_ = binSrv.Close()
+	}
 	_ = srv.Close()
 }

@@ -1,25 +1,35 @@
-// Command rgmaload load-tests a live rgmad server over HTTP, the R-GMA
+// Command rgmaload load-tests a live rgmad server, the R-GMA
 // counterpart of gridpub's load-test mode: parallel producer
 // connections publish SQL INSERTs at a controlled per-connection rate,
 // spread across several tables so the inserts land on different table
-// shards, while optional continuous consumers poll concurrently like
-// the paper's 100 ms subscriber loop.
+// shards, while optional continuous consumers observe the stream.
 //
 // Usage:
 //
-//	rgmaload [-server localhost:8088] [-conns 8] [-rate 100] [-tables 8]
-//	         [-count 1000] [-consumers 0] [-poll 100ms]
+//	rgmaload [-server localhost:8088] [-transport http|bin] [-conns 8]
+//	         [-rate 100] [-tables 8] [-count 1000] [-batch 1]
+//	         [-consumers 0] [-poll 100ms]
+//
+// -transport selects the wire protocol. http is the original gLite-style
+// request/response binding: one POST per insert, consumers poll every
+// -poll (the paper's 100 ms subscriber loop). bin is the persistent
+// binary transport: producers pipeline -batch INSERT statements per
+// frame over one connection, and continuous consumers receive tuples by
+// server push the moment they are inserted — no polling at all, so
+// -poll is ignored. Point -server at the matching rgmad port (rgmad
+// -listen for http, rgmad -listen-bin for bin).
 //
 // Example — 8 parallel producers at 100 inserts/s each (0 = as fast as
 // possible) round-robin onto load0 … load7, with one continuous
-// consumer per table polling every 100 ms:
+// consumer per table:
 //
-//	rgmaload -conns 8 -rate 100 -tables 8 -count 1000 -consumers 8
+//	rgmaload -transport bin -server localhost:8089 \
+//	         -conns 8 -rate 100 -tables 8 -count 1000 -batch 16 -consumers 8
 //
 // It reports the aggregate insert throughput achieved and, when
 // consumers run, the tuples they observed. Drive rgmad once with
-// -serial and once without to measure the sharded core's gain on your
-// hardware.
+// -transport http and once with bin to measure the push transport's
+// gain on your hardware.
 package main
 
 import (
@@ -31,24 +41,165 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridmon/internal/rgmabin"
 	"gridmon/internal/rgmahttp"
 	"gridmon/internal/sqlmini"
 )
 
+// producerSession is one worker's handle on the server, whichever
+// transport carries it. flush pushes out any partial batch (a no-op
+// over HTTP, which has no batching).
+type producerSession struct {
+	send  func(sql string) error
+	flush func() error
+	close func() error
+}
+
 func main() {
-	server := flag.String("server", "localhost:8088", "rgmad address")
+	server := flag.String("server", "localhost:8088", "rgmad address (the HTTP port for -transport http, the binary port for bin)")
+	transport := flag.String("transport", "http", "wire protocol: http (request/response, polling consumers) or bin (persistent binary, push consumers)")
 	conns := flag.Int("conns", 8, "parallel producer connections")
 	rate := flag.Float64("rate", 0, "per-connection insert rate in tuples/s (0 = full speed)")
 	tables := flag.Int("tables", 8, "spread producers across N tables (load0 ... loadN-1)")
 	count := flag.Int("count", 1000, "inserts per connection (0 = run until interrupted)")
+	batch := flag.Int("batch", 1, "INSERT statements per frame on the bin transport (http always sends one per request)")
 	consumers := flag.Int("consumers", 0, "continuous consumers (one per table, round-robin)")
-	poll := flag.Duration("poll", 100*time.Millisecond, "consumer poll interval (the paper's subscriber period)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "consumer poll interval for -transport http (bin consumers are push-fed)")
 	flag.Parse()
 
 	if *tables < 1 {
 		*tables = 1
 	}
-	c := rgmahttp.NewClient(*server)
+	if *batch < 1 {
+		*batch = 1
+	}
+	tableName := func(i int) string { return fmt.Sprintf("load%d", i%*tables) }
+
+	// Transport bindings. Each branch fills in the same four hooks so
+	// the load loop below is transport-blind.
+	var (
+		createTable   func(sql string) error
+		newProducer   func(w int, table string) (producerSession, error)
+		startConsumer func(i int, popped *atomic.Int64) (stop func(), err error)
+		serverStats   func()
+	)
+	switch *transport {
+	case "http":
+		c := rgmahttp.NewClient(*server)
+		createTable = c.CreateTable
+		newProducer = func(w int, table string) (producerSession, error) {
+			p, err := c.CreatePrimaryProducer(table, 30*time.Second, time.Minute)
+			if err != nil {
+				return producerSession{}, err
+			}
+			return producerSession{
+				send:  p.Insert,
+				flush: func() error { return nil },
+				close: p.Close,
+			}, nil
+		}
+		startConsumer = func(i int, popped *atomic.Int64) (func(), error) {
+			cons, err := c.CreateConsumer(fmt.Sprintf("SELECT * FROM %s", tableName(i)), "continuous")
+			if err != nil {
+				return nil, err
+			}
+			done := make(chan struct{})
+			finished := make(chan struct{})
+			go func() {
+				defer close(finished)
+				defer func() { _ = cons.Close() }() // leave no standing consumer on the server
+				tick := time.NewTicker(*poll)
+				defer tick.Stop()
+				for {
+					select {
+					case <-done:
+						// Final drain so late inserts are counted.
+						if tuples, err := cons.Pop(); err == nil {
+							popped.Add(int64(len(tuples)))
+						}
+						return
+					case <-tick.C:
+						tuples, err := cons.Pop()
+						if err != nil {
+							log.Printf("rgmaload: pop: %v", err)
+							return
+						}
+						popped.Add(int64(len(tuples)))
+					}
+				}
+			}()
+			return func() { close(done); <-finished }, nil
+		}
+		serverStats = func() {
+			if st, err := c.Stats(); err == nil {
+				log.Printf("rgmaload: server stats: %+v", st)
+			}
+		}
+	case "bin":
+		control, err := rgmabin.Dial(*server)
+		if err != nil {
+			log.Fatalf("rgmaload: dial %s: %v", *server, err)
+		}
+		defer control.Close()
+		createTable = control.CreateTable
+		newProducer = func(w int, table string) (producerSession, error) {
+			// Each worker gets its own connection so -conns measures
+			// genuinely parallel binary sessions, like HTTP's pooled
+			// sockets.
+			pc, err := rgmabin.Dial(*server)
+			if err != nil {
+				return producerSession{}, err
+			}
+			p, err := pc.CreatePrimaryProducer(table, 30*time.Second, time.Minute)
+			if err != nil {
+				_ = pc.Close()
+				return producerSession{}, err
+			}
+			pending := make([]string, 0, *batch)
+			flush := func() error {
+				if len(pending) == 0 {
+					return nil
+				}
+				err := p.InsertBatch(pending)
+				pending = pending[:0]
+				return err
+			}
+			return producerSession{
+				send: func(sql string) error {
+					pending = append(pending, sql)
+					if len(pending) < *batch {
+						return nil
+					}
+					return flush()
+				},
+				flush: flush,
+				close: func() error {
+					err := p.Close()
+					_ = pc.Close()
+					return err
+				},
+			}, nil
+		}
+		startConsumer = func(i int, popped *atomic.Int64) (func(), error) {
+			// Push-fed: the server delivers tuples as they are
+			// inserted; the callback just counts them.
+			cons, err := control.CreateConsumer(
+				fmt.Sprintf("SELECT * FROM %s", tableName(i)), "continuous",
+				func(tuples []rgmabin.PoppedTuple) { popped.Add(int64(len(tuples))) })
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				// Grace period: pushes still in flight after the last
+				// insert ack should be counted before we unsubscribe.
+				time.Sleep(200 * time.Millisecond)
+				_ = cons.Close()
+			}, nil
+		}
+		serverStats = func() {} // stats endpoint is HTTP-only
+	default:
+		log.Fatalf("rgmaload: unknown -transport %q (want http or bin)", *transport)
+	}
 
 	schema := &sqlmini.Table{Columns: []sqlmini.Column{
 		{Name: "genid", Type: sqlmini.TInteger, Primary: true},
@@ -56,48 +207,21 @@ func main() {
 		{Name: "power", Type: sqlmini.TDouble},
 		{Name: "site", Type: sqlmini.TChar, Len: 20},
 	}}
-	tableName := func(i int) string { return fmt.Sprintf("load%d", i%*tables) }
 	for i := 0; i < *tables; i++ {
-		tab := *schema
-		tab.Name = tableName(i)
-		sql := fmt.Sprintf("CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, power DOUBLE PRECISION, site CHAR(20))", tab.Name)
-		if err := c.CreateTable(sql); err != nil {
+		sql := fmt.Sprintf("CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, power DOUBLE PRECISION, site CHAR(20))", tableName(i))
+		if err := createTable(sql); err != nil {
 			log.Fatalf("rgmaload: create table: %v", err)
 		}
 	}
 
 	var popped atomic.Int64
-	stopPolling := make(chan struct{})
-	var pollWG sync.WaitGroup
+	stops := make([]func(), 0, *consumers)
 	for i := 0; i < *consumers; i++ {
-		cons, err := c.CreateConsumer(fmt.Sprintf("SELECT * FROM %s", tableName(i)), "continuous")
+		stop, err := startConsumer(i, &popped)
 		if err != nil {
 			log.Fatalf("rgmaload: create consumer: %v", err)
 		}
-		pollWG.Add(1)
-		go func(cons *rgmahttp.RemoteConsumer) {
-			defer pollWG.Done()
-			defer func() { _ = cons.Close() }() // leave no standing consumer on the server
-			tick := time.NewTicker(*poll)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stopPolling:
-					// Final drain so late inserts are counted.
-					if tuples, err := cons.Pop(); err == nil {
-						popped.Add(int64(len(tuples)))
-					}
-					return
-				case <-tick.C:
-					tuples, err := cons.Pop()
-					if err != nil {
-						log.Printf("rgmaload: pop: %v", err)
-						return
-					}
-					popped.Add(int64(len(tuples)))
-				}
-			}
-		}(cons)
+		stops = append(stops, stop)
 	}
 
 	var sent, failed atomic.Int64
@@ -109,13 +233,13 @@ func main() {
 			defer wg.Done()
 			tab := *schema
 			tab.Name = tableName(w)
-			p, err := c.CreatePrimaryProducer(tab.Name, 30*time.Second, time.Minute)
+			p, err := newProducer(w, tab.Name)
 			if err != nil {
 				log.Printf("conn %d: %v", w, err)
 				failed.Add(1)
 				return
 			}
-			defer func() { _ = p.Close() }()
+			defer func() { _ = p.close() }()
 			var tick <-chan time.Time
 			if *rate > 0 {
 				interval := time.Duration(float64(time.Second) / *rate)
@@ -133,7 +257,7 @@ func main() {
 					sqlmini.FloatV(480.5),
 					sqlmini.StringV(fmt.Sprintf("site-%04d", w)),
 				}
-				if err := p.InsertRow(&tab, row); err != nil {
+				if err := p.send(sqlmini.FormatInsert(&tab, row)); err != nil {
 					log.Printf("conn %d: insert: %v", w, err)
 					failed.Add(1)
 					return
@@ -143,28 +267,32 @@ func main() {
 					<-tick
 				}
 			}
+			if err := p.flush(); err != nil {
+				log.Printf("conn %d: flush: %v", w, err)
+				failed.Add(1)
+			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(stopPolling)
-	pollWG.Wait()
+	for _, stop := range stops {
+		stop()
+	}
 
 	n := sent.Load()
-	log.Printf("rgmaload: %d inserts over %d conns on %d tables in %v (%.0f inserts/s aggregate)",
-		n, *conns, *tables, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	log.Printf("rgmaload: %d inserts over %d conns on %d tables in %v (%.0f inserts/s aggregate, transport %s)",
+		n, *conns, *tables, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *transport)
 	if *consumers > 0 {
-		log.Printf("rgmaload: %d consumers popped %d tuples", *consumers, popped.Load())
+		log.Printf("rgmaload: %d consumers observed %d tuples", *consumers, popped.Load())
 	}
 	if failed.Load() > 0 {
 		log.Printf("rgmaload: %d connections failed (producer create or mid-run insert)", failed.Load())
 	}
-	if st, err := c.Stats(); err == nil {
-		log.Printf("rgmaload: server stats: %+v", st)
-	}
+	serverStats()
 	// A bounded run that lost inserts must not look like a clean one to
-	// scripts: exit non-zero unless every planned insert was sent.
-	if *count > 0 && n != int64(*conns)*int64(*count) {
+	// scripts: exit non-zero unless every planned insert was sent and
+	// every batch flushed.
+	if failed.Load() > 0 || (*count > 0 && n != int64(*conns)*int64(*count)) {
 		log.Printf("rgmaload: sent %d of %d planned inserts", n, int64(*conns)*int64(*count))
 		os.Exit(1)
 	}

@@ -1,0 +1,396 @@
+// Package rgmabin serves the R-GMA virtual database over a persistent
+// binary TCP transport — the push counterpart to internal/rgmahttp's
+// request/response polling, closing the architectural gap the paper
+// measured between R-GMA (subscribers poll their consumer every 100 ms)
+// and JMS (the broker pushes). Both bindings wrap the same
+// rgmacore.Core, so a table created over one transport is visible to
+// producers and consumers on the other, and cmd/rgmad serves both
+// ports off one core.
+//
+// Protocol (internal/wire framing, big-endian, 4-byte length prefix):
+// the client's first frame is RGMAHello, answered by RGMAWelcome; after
+// that any number of requests (RGMACreateTable, RGMAProducerCreate,
+// RGMAInsert — batched, many INSERT statements per frame —
+// RGMAConsumerCreate, RGMAPop, RGMAClose) may be outstanding at once,
+// each carrying a client-assigned Seq echoed by its RGMAOK / RGMAErr /
+// RGMATuples reply. Continuous queries are push-fed: the server
+// registers a core sink at create time, and every matching insert is
+// encoded once (rgmacore.Streamed.Encoded + RGMATuples.Enc splicing,
+// shared across all subscribed connections) and pushed as an
+// unsolicited RGMATuples with Seq 0. Latest/history queries stay
+// request/response via RGMAPop, as on every transport.
+//
+// # Concurrency and ordering
+//
+// Each connection has one reader goroutine (which executes requests
+// against the shard-safe core inline) and one batching writer goroutine
+// (per-connection frame queue, coalesced into single TCP writes — the
+// same connWriter idiom as internal/jms). Requests on one connection
+// are executed in arrival order; pushes for one consumer arrive in the
+// producer's insert order (the core fans out under the table shard's
+// read lock and the writer preserves queue order). A push may overtake
+// the RGMAOK of the consumer-create that subscribed it; the client
+// buffers such early tuples and replays them to the callback in order.
+//
+// # Slow consumers
+//
+// The writer queue is bounded (Config.WriteBuffer). A connection whose
+// queue overflows — a consumer not draining its TCP socket — is dropped
+// (the R-GMA analogue of the broker's slow-consumer policy): the socket
+// is closed, the reader observes the error on its own goroutine and
+// releases the connection's producers and consumers in the core. Sinks
+// never block an inserting producer.
+package rgmabin
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/rgmacore"
+	"gridmon/internal/wire"
+)
+
+// RGMAErr codes.
+const (
+	CodeBadRequest uint8 = iota + 1
+	CodeNotFound
+	CodeConflict
+)
+
+// Config tunes the binary server.
+type Config struct {
+	// ServerID is announced in the RGMAWelcome handshake ("rgmad" if
+	// empty).
+	ServerID string
+	// WriteBuffer is the per-connection outbound frame queue (default
+	// 1024); overflow drops the connection (slow-consumer policy).
+	WriteBuffer int
+}
+
+// Server accepts binary R-GMA connections against a shared core.
+type Server struct {
+	core *rgmacore.Core
+	cfg  Config
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
+
+	slowDrops atomic.Uint64
+}
+
+// NewServer wraps a core (possibly shared with an rgmahttp.Server) in
+// an unstarted binary server.
+func NewServer(core *rgmacore.Core, cfg Config) *Server {
+	if cfg.ServerID == "" {
+		cfg.ServerID = "rgmad"
+	}
+	if cfg.WriteBuffer <= 0 {
+		cfg.WriteBuffer = 1024
+	}
+	return &Server{core: core, cfg: cfg, conns: make(map[*serverConn]struct{})}
+}
+
+// Core returns the server's service core.
+func (s *Server) Core() *rgmacore.Core { return s.core }
+
+// SlowConsumerDrops reports connections dropped for an overflowing
+// write queue.
+func (s *Server) SlowConsumerDrops() uint64 { return s.slowDrops.Load() }
+
+// ListenAndServe starts accepting on addr and returns the bound
+// address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &serverConn{
+			s:         s,
+			nc:        nc,
+			out:       make(chan wire.Frame, s.cfg.WriteBuffer),
+			done:      make(chan struct{}),
+			producers: make(map[int64]struct{}),
+			consumers: make(map[int64]struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.runWriter()
+		go c.read()
+	}
+}
+
+// Close stops accepting and drops every connection; per-connection
+// resource cleanup runs on the reader goroutines as they observe the
+// closed sockets.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.nc.Close()
+	}
+	return nil
+}
+
+// serverConn is one accepted connection: a reader goroutine executing
+// requests inline against the core, a writer goroutine coalescing the
+// outbound queue, and the producer/consumer resources the connection
+// owns (released at teardown, so a dying client cannot strand push-fed
+// consumers in the fan-out index). The resource maps are touched only
+// by the reader goroutine.
+type serverConn struct {
+	s    *Server
+	nc   net.Conn
+	out  chan wire.Frame
+	done chan struct{}
+
+	producers map[int64]struct{}
+	consumers map[int64]struct{}
+}
+
+// send enqueues a frame for the writer without blocking. A full queue
+// means the peer is not draining its socket: drop the connection (the
+// reader goroutine observes the closed socket and tears down), never
+// block the caller — send is invoked from core fan-out under a table
+// shard's read lock.
+func (c *serverConn) send(f wire.Frame) {
+	select {
+	case c.out <- f:
+	default:
+		c.s.slowDrops.Add(1)
+		_ = c.nc.Close()
+	}
+}
+
+// maxWriteBatch caps how many bytes of queued frames the writer encodes
+// into one buffer before flushing to the socket.
+const maxWriteBatch = 64 << 10
+
+// writeBufPool recycles per-connection encode buffers across connection
+// lifetimes; oversized buffers are dropped rather than pooled.
+var writeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func (c *serverConn) runWriter() {
+	bp := writeBufPool.Get().(*[]byte)
+	buf := *bp
+	defer func() {
+		if cap(buf) <= maxWriteBatch {
+			*bp = buf[:0]
+			writeBufPool.Put(bp)
+		}
+	}()
+	for {
+		select {
+		case f := <-c.out:
+			var err error
+			buf, err = wire.AppendFrame(buf[:0], f)
+			if err != nil {
+				_ = c.nc.Close()
+				return
+			}
+		coalesce:
+			for len(buf) < maxWriteBatch {
+				select {
+				case f2 := <-c.out:
+					buf, err = wire.AppendFrame(buf, f2)
+					if err != nil {
+						// Flush the frames that did encode before
+						// dropping the connection.
+						_, _ = c.nc.Write(buf)
+						_ = c.nc.Close()
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			if _, err := c.nc.Write(buf); err != nil {
+				_ = c.nc.Close()
+				return
+			}
+			// An occasional oversized frame must not pin its buffer for
+			// the connection's lifetime.
+			if cap(buf) > maxWriteBatch {
+				buf = make([]byte, 0, 4096)
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *serverConn) read() {
+	defer c.teardown()
+	fr := wire.NewFrameReader(c.nc)
+	f, err := fr.Read()
+	if err != nil {
+		return
+	}
+	if _, ok := f.(wire.RGMAHello); !ok {
+		return
+	}
+	c.send(wire.RGMAWelcome{ServerID: c.s.cfg.ServerID})
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			return
+		}
+		c.handle(f)
+	}
+}
+
+// teardown runs once, on the reader goroutine, after the read loop
+// exits (socket error, peer close, slow-consumer drop or server Close):
+// it releases the connection's core resources — unsubscribing any
+// push-fed consumers from the fan-out index — stops the writer and
+// forgets the connection.
+func (c *serverConn) teardown() {
+	_ = c.nc.Close()
+	close(c.done)
+	for id := range c.producers {
+		_ = c.s.core.CloseProducer(id)
+	}
+	for id := range c.consumers {
+		_ = c.s.core.CloseConsumer(id)
+	}
+	c.s.mu.Lock()
+	delete(c.s.conns, c)
+	c.s.mu.Unlock()
+}
+
+// errFrame maps a core error onto the wire's error vocabulary.
+func errFrame(seq int64, err error) wire.RGMAErr {
+	code := CodeBadRequest
+	switch {
+	case errors.Is(err, rgmacore.ErrNotFound):
+		code = CodeNotFound
+	case errors.Is(err, rgmacore.ErrConflict):
+		code = CodeConflict
+	}
+	return wire.RGMAErr{Seq: seq, Code: code, Msg: err.Error()}
+}
+
+// encodeTuple is the transport encoding a Streamed caches: one tuple's
+// RGMATuples body element.
+func encodeTuple(t rgmacore.PopTuple) []byte {
+	return wire.AppendRGMATuple(nil, wire.RGMATuple{Row: t.Row, InsertedAt: t.InsertedAt})
+}
+
+// pushSink is the core sink for this connection's continuous consumers:
+// it runs inline on the inserting goroutine, reuses the insert's shared
+// encoding, and enqueues without blocking.
+func (c *serverConn) pushSink(consumerID int64, st *rgmacore.Streamed) {
+	enc := st.Encoded(encodeTuple)
+	c.send(wire.RGMATuples{Consumer: consumerID, Enc: [][]byte{enc}})
+}
+
+func (c *serverConn) handle(f wire.Frame) {
+	switch v := f.(type) {
+	case wire.RGMACreateTable:
+		if _, err := c.s.core.CreateTable(v.SQL); err != nil {
+			c.send(errFrame(v.Seq, err))
+			return
+		}
+		c.send(wire.RGMAOK{Seq: v.Seq})
+	case wire.RGMAProducerCreate:
+		p, err := c.s.core.CreateProducer(v.Table,
+			rgmacore.RetentionFromSeconds(v.LatestRetentionSec),
+			rgmacore.RetentionFromSeconds(v.HistoryRetentionSec))
+		if err != nil {
+			c.send(errFrame(v.Seq, err))
+			return
+		}
+		c.producers[p.ID()] = struct{}{}
+		c.send(wire.RGMAOK{Seq: v.Seq, ID: p.ID()})
+	case wire.RGMAInsert:
+		applied := int64(0)
+		for _, q := range v.SQLs {
+			if err := c.s.core.Insert(v.Producer, q); err != nil {
+				c.send(errFrame(v.Seq, err))
+				return
+			}
+			applied++
+		}
+		c.send(wire.RGMAOK{Seq: v.Seq, ID: applied})
+	case wire.RGMAConsumerCreate:
+		qtype := rgma.QueryType(v.QType)
+		var sink rgmacore.Sink
+		switch qtype {
+		case rgma.ContinuousQuery:
+			sink = c.pushSink
+		case rgma.LatestQuery, rgma.HistoryQuery:
+		default:
+			c.send(wire.RGMAErr{Seq: v.Seq, Code: CodeBadRequest, Msg: "rgmabin: unknown query type"})
+			return
+		}
+		cn, err := c.s.core.CreateConsumer(v.Query, qtype, sink)
+		if err != nil {
+			c.send(errFrame(v.Seq, err))
+			return
+		}
+		c.consumers[cn.ID()] = struct{}{}
+		c.send(wire.RGMAOK{Seq: v.Seq, ID: cn.ID()})
+	case wire.RGMAPop:
+		tuples, err := c.s.core.Pop(v.Consumer)
+		if err != nil {
+			c.send(errFrame(v.Seq, err))
+			return
+		}
+		out := wire.RGMATuples{Seq: v.Seq, Consumer: v.Consumer, Tuples: make([]wire.RGMATuple, len(tuples))}
+		for i, t := range tuples {
+			out.Tuples[i] = wire.RGMATuple{Row: t.Row, InsertedAt: t.InsertedAt}
+		}
+		c.send(out)
+	case wire.RGMAClose:
+		var err error
+		if v.Producer {
+			err = c.s.core.CloseProducer(v.ID)
+			delete(c.producers, v.ID)
+		} else {
+			err = c.s.core.CloseConsumer(v.ID)
+			delete(c.consumers, v.ID)
+		}
+		if err != nil {
+			c.send(errFrame(v.Seq, err))
+			return
+		}
+		c.send(wire.RGMAOK{Seq: v.Seq})
+	default:
+		// Unknown or out-of-phase frame: ignore. The codec already
+		// rejected malformed bodies.
+	}
+}

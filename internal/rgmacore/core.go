@@ -1,0 +1,687 @@
+// Package rgmacore is the transport-neutral R-GMA service core: the
+// sharded schema/resource state machine that both real-network bindings
+// wrap — internal/rgmahttp (JSON request/response, the gLite servlet
+// baseline) and internal/rgmabin (persistent-connection binary framing
+// with server-push continuous queries). It composes the shard-safe half
+// of internal/rgma (Registry, TupleStore) with internal/sqlmini parsing
+// and compiled WHERE predicates.
+//
+// # Concurrency
+//
+// Everything here is shard-safe: state is partitioned into lock
+// domains, not handed to worker goroutines, so calls run on whatever
+// transport goroutine made them. Two shard families exist — table
+// shards (schema plus the per-table continuous-consumer and producer
+// indexes, keyed by table-name hash) and resource shards
+// (producer/consumer handles keyed by resource id) — plus a per-consumer
+// buffer lock and the internally locked rgma.TupleStore and
+// rgma.Registry. Producers inserting into different producer resources
+// and consumers popping different consumers proceed fully in parallel.
+//
+// Ordering: a producer whose inserts are issued sequentially (each call
+// returning before the next is made) streams to every continuous
+// consumer in insert order, and its history reads in the same order.
+// Only inserts issued concurrently for the *same* producer resource
+// have no defined order (store append and consumer fan-out are separate
+// critical sections). Inserts from different producers are never
+// ordered relative to each other.
+//
+// # Continuous delivery
+//
+// A continuous consumer is either buffered (nil sink: matching tuples
+// queue in a bounded drop-oldest buffer until Pop drains them — the
+// polling transports' model) or push-fed (non-nil sink: the sink is
+// invoked inline on the inserting goroutine for every match, and Pop is
+// refused). Sinks must not block and must not call back into the Core
+// for the same table (they run under the table shard's read lock).
+package rgmacore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/shardhash"
+	"gridmon/internal/sim"
+	"gridmon/internal/sqlmini"
+)
+
+// Sentinel error kinds transports map onto their status vocabulary
+// (HTTP: 404/409; binary: error-frame codes). Anything else a Core
+// method returns is a bad request (HTTP 400).
+var (
+	ErrNotFound = errors.New("rgma: not found")
+	ErrConflict = errors.New("rgma: conflict")
+)
+
+// Default retention periods substituted when a producer is created with
+// non-positive retention, matching the paper's test configuration
+// (30 s latest, 1 min history).
+const (
+	DefaultLatestRetention  = 30 * sim.Second
+	DefaultHistoryRetention = 60 * sim.Second
+)
+
+// DefaultMaxBuffered caps an un-popped buffered continuous consumer's
+// queue. An abandoned poller then costs at most this many tuples, not
+// the paper's §III.F unbounded-heap failure mode.
+const DefaultMaxBuffered = 16384
+
+// insertsPerSweep amortizes retention sweeps on the insert path: a
+// producer's store is purged at least every insertsPerSweep inserts and
+// whenever the sweep deadline (half the shorter retention period) has
+// passed, so stores serving only continuous consumers — the paper's
+// primary workload, which never touches the latest/history read paths —
+// still shed expired history.
+const insertsPerSweep = 64
+
+// Config tunes a Core.
+type Config struct {
+	// Shards is the lock-domain count for the table and resource shard
+	// families (0 = GOMAXPROCS). Shard counts do not change behaviour,
+	// only contention.
+	Shards int
+	// MaxBuffered caps each buffered continuous consumer's undrained
+	// tuples; when full the oldest tuple is dropped and counted. 0 means
+	// DefaultMaxBuffered; negative means unlimited (the seed behaviour).
+	MaxBuffered int
+}
+
+// Core is the shared R-GMA service state.
+type Core struct {
+	tables      []*tableShard // table-name-hash lock domains
+	res         []*resShard   // resource-id lock domains
+	registry    *rgma.Registry
+	nextID      atomic.Int64
+	maxBuffered int
+
+	inserts        atomic.Uint64
+	pops           atomic.Uint64
+	tuplesStreamed atomic.Uint64
+	tuplesPopped   atomic.Uint64
+	tuplesDropped  atomic.Uint64
+
+	start time.Time
+	// clock returns the service's notion of now (nanoseconds since
+	// start, the domain TupleStore retention works in). Tests override
+	// it to exercise retention without sleeping.
+	clock func() sim.Time
+}
+
+// tableShard owns everything about the tables that hash to it: the
+// schema entry, the table's continuous consumers (the insert-time
+// streaming index) and its producers (the latest/history gather index),
+// both in registration order.
+type tableShard struct {
+	mu         sync.RWMutex
+	tables     map[string]*sqlmini.Table
+	continuous map[string][]*Consumer
+	producers  map[string][]*Producer
+}
+
+// resShard owns the resource handles whose ids hash to it.
+type resShard struct {
+	mu        sync.RWMutex
+	producers map[int64]*Producer
+	consumers map[int64]*Consumer
+}
+
+// New constructs a Core.
+func New(cfg Config) *Core {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	maxBuffered := cfg.MaxBuffered
+	if maxBuffered == 0 {
+		maxBuffered = DefaultMaxBuffered
+	}
+	c := &Core{
+		tables:      make([]*tableShard, cfg.Shards),
+		res:         make([]*resShard, cfg.Shards),
+		registry:    rgma.NewRegistrySharded(cfg.Shards),
+		maxBuffered: maxBuffered,
+		start:       time.Now(),
+	}
+	c.clock = func() sim.Time { return sim.Time(time.Since(c.start).Nanoseconds()) }
+	for i := 0; i < cfg.Shards; i++ {
+		c.tables[i] = &tableShard{
+			tables:     make(map[string]*sqlmini.Table),
+			continuous: make(map[string][]*Consumer),
+			producers:  make(map[string][]*Producer),
+		}
+		c.res[i] = &resShard{
+			producers: make(map[int64]*Producer),
+			consumers: make(map[int64]*Consumer),
+		}
+	}
+	return c
+}
+
+// NumShards reports the lock-domain count per shard family.
+func (c *Core) NumShards() int { return len(c.tables) }
+
+// TableShardOf reports which table shard a name routes to. Load-test
+// topologies and benchmarks use it to spread (or concentrate) tables
+// across lock domains, as broker.ShardOf does for destinations.
+func (c *Core) TableShardOf(name string) int {
+	if len(c.tables) == 1 {
+		return 0
+	}
+	return int(shardhash.FNV1a(name) % uint32(len(c.tables)))
+}
+
+func (c *Core) tableShardFor(table string) *tableShard {
+	return c.tables[c.TableShardOf(table)]
+}
+
+func (c *Core) resShardFor(id int64) *resShard {
+	if len(c.res) == 1 {
+		return c.res[0]
+	}
+	return c.res[uint64(id)%uint64(len(c.res))]
+}
+
+// Now returns the core's clock reading; TupleStore retention works in
+// this domain.
+func (c *Core) Now() sim.Time { return c.clock() }
+
+// RegistryCounts reports registered producer and consumer records.
+func (c *Core) RegistryCounts() (producers, consumers int) { return c.registry.Counts() }
+
+// --- resources ---
+
+// Producer is one producer resource: a tuple store bound to a table,
+// plus the amortized-sweep bookkeeping.
+type Producer struct {
+	id        int64
+	regID     int64
+	tableName string
+	table     *sqlmini.Table
+	store     *rgma.TupleStore
+
+	// sweepInterval is half the shorter retention period: the deadline
+	// cadence for insert-path purges.
+	sweepInterval sim.Time
+	sinceSweep    atomic.Uint32
+	nextSweep     atomic.Int64
+}
+
+// ID returns the resource id.
+func (p *Producer) ID() int64 { return p.id }
+
+// Store exposes the producer's tuple store (tests and stats).
+func (p *Producer) Store() *rgma.TupleStore { return p.store }
+
+// maybeSweep runs the amortized insert-path retention sweep: purge when
+// insertsPerSweep inserts have accumulated or the deadline passed.
+// Purge is internally locked, so concurrent sweeps are merely redundant.
+func (p *Producer) maybeSweep(now sim.Time) {
+	if p.sinceSweep.Add(1) < insertsPerSweep && int64(now) < p.nextSweep.Load() {
+		return
+	}
+	p.sinceSweep.Store(0)
+	p.nextSweep.Store(int64(now + p.sweepInterval))
+	p.store.Purge(now)
+}
+
+// Sink receives pushed tuples for one push-fed continuous consumer. It
+// runs inline on the inserting goroutine under the table shard's read
+// lock: it must not block and must not call back into the Core.
+type Sink func(consumerID int64, t *Streamed)
+
+// Consumer is one consumer resource.
+type Consumer struct {
+	id        int64
+	regID     int64
+	query     sqlmini.Select
+	prog      *sqlmini.Program // query.Where compiled against table
+	table     *sqlmini.Table
+	tableName string
+	qtype     rgma.QueryType
+
+	sink Sink // non-nil: push-fed; nil: buffered
+
+	// Buffered-delivery state: a bounded ring. Until the cap is reached
+	// buf grows by append; at the cap the oldest slot is overwritten
+	// (drop-oldest), so an abandoned poller holds at most max tuples.
+	mu      sync.Mutex
+	buf     []PopTuple
+	ringAt  int // index of the oldest tuple once the ring is full
+	dropped uint64
+}
+
+// ID returns the resource id.
+func (cn *Consumer) ID() int64 { return cn.id }
+
+// Dropped reports tuples this consumer lost to the buffer cap.
+func (cn *Consumer) Dropped() uint64 {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.dropped
+}
+
+// push appends one streamed tuple under the consumer's buffer lock,
+// dropping the oldest buffered tuple when the cap is reached.
+func (cn *Consumer) push(t PopTuple, max int, coreDropped *atomic.Uint64) {
+	cn.mu.Lock()
+	if max <= 0 || len(cn.buf) < max {
+		cn.buf = append(cn.buf, t)
+	} else {
+		cn.buf[cn.ringAt] = t
+		cn.ringAt = (cn.ringAt + 1) % len(cn.buf)
+		cn.dropped++
+		coreDropped.Add(1)
+	}
+	cn.mu.Unlock()
+}
+
+// drain empties the buffer in arrival order under the buffer lock.
+func (cn *Consumer) drain() []PopTuple {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if len(cn.buf) == 0 {
+		return nil
+	}
+	var out []PopTuple
+	if cn.ringAt == 0 {
+		out = cn.buf
+	} else {
+		out = make([]PopTuple, 0, len(cn.buf))
+		out = append(out, cn.buf[cn.ringAt:]...)
+		out = append(out, cn.buf[:cn.ringAt]...)
+	}
+	cn.buf, cn.ringAt = nil, 0
+	return out
+}
+
+// PopTuple is one delivered tuple; cells are SQL literal forms. The
+// JSON field names are the rgmahttp wire contract.
+type PopTuple struct {
+	Row        []string `json:"row"`
+	InsertedAt int64    `json:"insertedAtNs"`
+}
+
+func toPop(t rgma.Tuple) PopTuple {
+	cells := make([]string, len(t.Row))
+	for i, v := range t.Row {
+		cells[i] = v.String()
+	}
+	return PopTuple{Row: cells, InsertedAt: int64(t.InsertedAt)}
+}
+
+// Streamed is one insert's delivery to however many continuous
+// consumers matched it: the cell rendering is computed once per insert,
+// and Encoded caches a transport encoding computed at most once across
+// all sinks (the rgmabin binding's encode-once path, the same pattern
+// as message.CachedEncoding).
+type Streamed struct {
+	Tuple PopTuple
+
+	once sync.Once
+	enc  []byte
+}
+
+// Encoded returns encode(Tuple), computing it on the first call and
+// returning the cached bytes to every later caller. All callers must
+// pass the same encode function; the returned slice is shared and must
+// not be mutated.
+func (s *Streamed) Encoded(encode func(PopTuple) []byte) []byte {
+	s.once.Do(func() { s.enc = encode(s.Tuple) })
+	return s.enc
+}
+
+// --- schema ---
+
+// CreateTable declares a table from a CREATE TABLE statement and
+// returns its name. Re-creating a table with an identical schema is a
+// no-op (the handle every existing producer and consumer holds stays
+// valid); re-creating with a different schema is ErrConflict. The seed
+// silently replaced the schema object, orphaning every resource created
+// earlier: their table-identity checks stopped matching resources
+// created later and streaming went dark for any old/new mix.
+func (c *Core) CreateTable(sql string) (string, error) {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	ct, isCreate := st.(sqlmini.CreateTable)
+	if !isCreate {
+		return "", fmt.Errorf("rgma: expected CREATE TABLE")
+	}
+	name := ct.Table.Name
+	ts := c.tableShardFor(name)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if old, ok := ts.tables[name]; ok {
+		if sameSchema(old, &ct.Table) {
+			return name, nil
+		}
+		return "", fmt.Errorf("%w: table %q already exists with a different schema", ErrConflict, name)
+	}
+	ts.tables[name] = &ct.Table
+	return name, nil
+}
+
+func sameSchema(a, b *sqlmini.Table) bool {
+	return a.Name == b.Name && slices.Equal(a.Columns, b.Columns)
+}
+
+// --- producers ---
+
+// CreateProducer allocates a producer resource with memory storage on
+// an existing table. Non-positive retention selects the defaults.
+func (c *Core) CreateProducer(table string, latestRetention, historyRetention sim.Time) (*Producer, error) {
+	if latestRetention <= 0 {
+		latestRetention = DefaultLatestRetention
+	}
+	if historyRetention <= 0 {
+		historyRetention = DefaultHistoryRetention
+	}
+	ts := c.tableShardFor(table)
+	ts.mu.RLock()
+	tab, exists := ts.tables[table]
+	ts.mu.RUnlock()
+	if !exists {
+		return nil, fmt.Errorf("%w: no such table %q", ErrNotFound, table)
+	}
+	p := &Producer{
+		id:            c.nextID.Add(1),
+		tableName:     table,
+		table:         tab,
+		store:         rgma.NewTupleStore(tab, latestRetention, historyRetention),
+		sweepInterval: min(latestRetention, historyRetention) / 2,
+	}
+	if p.sweepInterval <= 0 {
+		p.sweepInterval = 1
+	}
+	p.regID = c.registry.RegisterProducer(rgma.ProducerEntry{Kind: rgma.PrimaryKind, Table: table})
+	rs := c.resShardFor(p.id)
+	rs.mu.Lock()
+	rs.producers[p.id] = p
+	rs.mu.Unlock()
+	ts.mu.Lock()
+	ts.producers[table] = append(ts.producers[table], p)
+	ts.mu.Unlock()
+	return p, nil
+}
+
+// LookupProducer resolves a producer resource id.
+func (c *Core) LookupProducer(id int64) (*Producer, bool) {
+	sh := c.resShardFor(id)
+	sh.mu.RLock()
+	p, ok := sh.producers[id]
+	sh.mu.RUnlock()
+	return p, ok
+}
+
+// CloseProducer releases a producer resource.
+func (c *Core) CloseProducer(id int64) error {
+	rs := c.resShardFor(id)
+	rs.mu.Lock()
+	p, exists := rs.producers[id]
+	if exists {
+		delete(rs.producers, id)
+	}
+	rs.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("%w: no such producer %d", ErrNotFound, id)
+	}
+	c.registry.UnregisterProducerFrom(p.tableName, p.regID)
+	ts := c.tableShardFor(p.tableName)
+	ts.mu.Lock()
+	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
+	ts.mu.Unlock()
+	return nil
+}
+
+// removeHandle deletes one handle from an index slice; slices.Delete
+// zeroes the vacated tail slot, so the handle does not leak.
+func removeHandle[T comparable](hs []T, h T) []T {
+	if i := slices.Index(hs, h); i >= 0 {
+		return slices.Delete(hs, i, i+1)
+	}
+	return hs
+}
+
+// Insert parses one SQL INSERT, stores the tuple, runs the amortized
+// retention sweep, and streams the tuple to the table's matching
+// continuous consumers (buffered or push-fed). The cell rendering and
+// any transport encoding happen at most once per insert regardless of
+// how many consumers match.
+func (c *Core) Insert(producerID int64, sqlText string) error {
+	st, err := sqlmini.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	ins, isInsert := st.(sqlmini.Insert)
+	if !isInsert {
+		return fmt.Errorf("rgma: expected INSERT")
+	}
+	p, exists := c.LookupProducer(producerID)
+	if !exists {
+		return fmt.Errorf("%w: no such producer %d", ErrNotFound, producerID)
+	}
+	row, err := sqlmini.ReorderInsert(p.table, ins)
+	if err != nil {
+		return err
+	}
+	now := c.clock()
+	tuple := rgma.Tuple{Row: row, SentAt: now, InsertedAt: now}
+	p.store.Insert(tuple)
+	c.inserts.Add(1)
+	p.maybeSweep(now)
+	// Stream to matching continuous consumers immediately (the network
+	// bindings do not model the gLite streaming delay; the simulator
+	// covers that behaviour). The table shard's index narrows the scan
+	// to this table's continuous consumers; the compiled predicate
+	// decides per consumer; the one Streamed value is shared across all
+	// of them.
+	ts := c.tableShardFor(p.tableName)
+	var streamed *Streamed
+	ts.mu.RLock()
+	for _, cn := range ts.continuous[p.tableName] {
+		if cn.table == p.table && cn.prog.Matches(row) {
+			if streamed == nil {
+				streamed = &Streamed{Tuple: toPop(tuple)}
+			}
+			if cn.sink != nil {
+				cn.sink(cn.id, streamed)
+			} else {
+				cn.push(streamed.Tuple, c.maxBuffered, &c.tuplesDropped)
+			}
+			c.tuplesStreamed.Add(1)
+		}
+	}
+	ts.mu.RUnlock()
+	return nil
+}
+
+// --- consumers ---
+
+// ParseQueryType maps a transport's query-type token onto the rgma
+// enumeration ("" defaults to continuous, as the seed HTTP API did).
+func ParseQueryType(s string) (rgma.QueryType, error) {
+	switch s {
+	case "", "continuous":
+		return rgma.ContinuousQuery, nil
+	case "latest":
+		return rgma.LatestQuery, nil
+	case "history":
+		return rgma.HistoryQuery, nil
+	}
+	return 0, fmt.Errorf("rgma: unknown query type %q", s)
+}
+
+// CreateConsumer installs a SELECT query of the given type. A non-nil
+// sink makes a continuous consumer push-fed: every matching insert
+// invokes the sink inline and Pop is refused. Sinks on non-continuous
+// consumers are rejected (latest/history are request/response on every
+// transport).
+func (c *Core) CreateConsumer(query string, qtype rgma.QueryType, sink Sink) (*Consumer, error) {
+	sel, err := rgma.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil && qtype != rgma.ContinuousQuery {
+		return nil, fmt.Errorf("rgma: %v queries are request/response, not push-fed", qtype)
+	}
+	ts := c.tableShardFor(sel.Table)
+	ts.mu.RLock()
+	tab, exists := ts.tables[sel.Table]
+	ts.mu.RUnlock()
+	if !exists {
+		return nil, fmt.Errorf("%w: no such table %q", ErrNotFound, sel.Table)
+	}
+	cn := &Consumer{
+		id:        c.nextID.Add(1),
+		query:     sel,
+		prog:      sel.Compiled(tab),
+		table:     tab,
+		tableName: sel.Table,
+		qtype:     qtype,
+		sink:      sink,
+	}
+	cn.regID = c.registry.RegisterConsumer(rgma.ConsumerEntry{Table: sel.Table})
+	rs := c.resShardFor(cn.id)
+	rs.mu.Lock()
+	rs.consumers[cn.id] = cn
+	rs.mu.Unlock()
+	if qtype == rgma.ContinuousQuery {
+		ts.mu.Lock()
+		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], cn)
+		ts.mu.Unlock()
+	}
+	return cn, nil
+}
+
+// LookupConsumer resolves a consumer resource id.
+func (c *Core) LookupConsumer(id int64) (*Consumer, bool) {
+	sh := c.resShardFor(id)
+	sh.mu.RLock()
+	cn, ok := sh.consumers[id]
+	sh.mu.RUnlock()
+	return cn, ok
+}
+
+// Pop reads a consumer: a buffered continuous consumer's queued stream,
+// or a latest/history gather over the table's producers (registration
+// order, via the table shard's index). Push-fed consumers are refused —
+// their tuples travel through the sink.
+func (c *Core) Pop(consumerID int64) ([]PopTuple, error) {
+	cn, exists := c.LookupConsumer(consumerID)
+	if !exists {
+		return nil, fmt.Errorf("%w: no such consumer %d", ErrNotFound, consumerID)
+	}
+	c.pops.Add(1)
+	var out []PopTuple
+	switch cn.qtype {
+	case rgma.ContinuousQuery:
+		if cn.sink != nil {
+			return nil, fmt.Errorf("%w: consumer %d is push-fed; tuples arrive via its stream", ErrConflict, consumerID)
+		}
+		out = cn.drain()
+	case rgma.LatestQuery, rgma.HistoryQuery:
+		ts := c.tableShardFor(cn.tableName)
+		ts.mu.RLock()
+		producers := append([]*Producer(nil), ts.producers[cn.tableName]...)
+		ts.mu.RUnlock()
+		now := c.clock()
+		for _, p := range producers {
+			if p.table != cn.table {
+				continue
+			}
+			var tuples []rgma.Tuple
+			if cn.qtype == rgma.LatestQuery {
+				tuples = p.store.LatestCompiled(now, cn.prog)
+			} else {
+				tuples = p.store.HistoryCompiled(now, cn.prog)
+			}
+			for _, t := range tuples {
+				out = append(out, toPop(t))
+			}
+		}
+	}
+	c.tuplesPopped.Add(uint64(len(out)))
+	return out, nil
+}
+
+// CloseConsumer releases a consumer resource; continuous consumers stop
+// receiving streams.
+func (c *Core) CloseConsumer(id int64) error {
+	rs := c.resShardFor(id)
+	rs.mu.Lock()
+	cn, exists := rs.consumers[id]
+	if exists {
+		delete(rs.consumers, id)
+	}
+	rs.mu.Unlock()
+	if !exists {
+		return fmt.Errorf("%w: no such consumer %d", ErrNotFound, id)
+	}
+	c.registry.UnregisterConsumerFrom(cn.tableName, cn.regID)
+	if cn.qtype == rgma.ContinuousQuery {
+		ts := c.tableShardFor(cn.tableName)
+		ts.mu.Lock()
+		ts.continuous[cn.tableName] = removeHandle(ts.continuous[cn.tableName], cn)
+		ts.mu.Unlock()
+	}
+	return nil
+}
+
+// --- stats ---
+
+// Stats is the core's atomic counter snapshot.
+type Stats struct {
+	Producers      int
+	Consumers      int
+	Inserts        uint64
+	Pops           uint64
+	TuplesStreamed uint64
+	TuplesPopped   uint64
+	TuplesDropped  uint64
+}
+
+// StatsSnapshot reads the counters; safe from any goroutine.
+func (c *Core) StatsSnapshot() Stats {
+	p, cn := c.registry.Counts()
+	return Stats{
+		Producers:      p,
+		Consumers:      cn,
+		Inserts:        c.inserts.Load(),
+		Pops:           c.pops.Load(),
+		TuplesStreamed: c.tuplesStreamed.Load(),
+		TuplesPopped:   c.tuplesPopped.Load(),
+		TuplesDropped:  c.tuplesDropped.Load(),
+	}
+}
+
+// RetentionSeconds converts a client-requested retention period to the
+// whole seconds the create-producer protocol carries, rounding UP so a
+// sub-second request becomes 1 second rather than silently truncating
+// to 0 — which the server would replace with its 30 s/60 s defaults.
+// Non-positive periods are an error: a client that wants the server
+// defaults asks for them by not overriding the retention at all.
+func RetentionSeconds(d time.Duration) (int, error) {
+	if d <= 0 {
+		return 0, fmt.Errorf("rgma: retention period must be positive, got %v", d)
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	return secs, nil
+}
+
+// RetentionFromSeconds converts the protocol's whole-second retention
+// to the sim.Time domain the stores work in (0 stays 0, selecting the
+// server defaults).
+func RetentionFromSeconds(sec uint32) sim.Time { return sim.Time(sec) * sim.Second }
+
+// QueryTypeName is the transport token for a query type (inverse of
+// ParseQueryType).
+func QueryTypeName(q rgma.QueryType) string {
+	return strings.ToLower(q.String())
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"gridmon/internal/rgmacore"
 	"gridmon/internal/sqlmini"
 )
 
@@ -77,14 +78,26 @@ type RemoteProducer struct {
 }
 
 // CreatePrimaryProducer allocates a producer with memory storage.
+// Retention periods are carried as whole seconds and rounded UP, so a
+// sub-second request keeps a short retention (1 s) instead of
+// truncating to 0 and silently selecting the server's 30 s/60 s
+// defaults; non-positive periods are an error.
 func (c *Client) CreatePrimaryProducer(table string, latestRetention, historyRetention time.Duration) (*RemoteProducer, error) {
+	latestSec, err := rgmacore.RetentionSeconds(latestRetention)
+	if err != nil {
+		return nil, err
+	}
+	historySec, err := rgmacore.RetentionSeconds(historyRetention)
+	if err != nil {
+		return nil, err
+	}
 	var out struct {
 		Producer int64 `json:"producer"`
 	}
-	err := c.post("/producer/create", map[string]any{
+	err = c.post("/producer/create", map[string]any{
 		"table":               table,
-		"latestRetentionSec":  int(latestRetention.Seconds()),
-		"historyRetentionSec": int(historyRetention.Seconds()),
+		"latestRetentionSec":  latestSec,
+		"historyRetentionSec": historySec,
 	}, &out)
 	if err != nil {
 		return nil, err

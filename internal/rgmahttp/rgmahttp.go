@@ -1,41 +1,26 @@
 // Package rgmahttp serves the R-GMA virtual database over real HTTP, the
 // transport the original gLite implementation used (Java servlets on
-// Tomcat). It reuses the same registry, tuple-store and SQL components
-// the simulator validates: producers POST SQL INSERT statements,
-// consumers create continuous/latest/history queries and poll with GET,
-// exactly like the paper's subscriber polling its consumer every 100 ms.
+// Tomcat). It is a thin JSON binding over the transport-neutral
+// rgmacore.Core — the same core internal/rgmabin drives over persistent
+// binary connections — and reuses the registry, tuple-store and SQL
+// components the simulator validates: producers POST SQL INSERT
+// statements, consumers create continuous/latest/history queries and
+// poll with GET, exactly like the paper's subscriber polling its
+// consumer every 100 ms.
 //
 // # Concurrency
 //
-// The server is sharded the way the broker core is: state is
-// partitioned into lock domains, not handed to worker goroutines, so
-// request handling runs on the HTTP server's connection goroutines and
-// scales with them. Two shard families exist — table shards (schema
-// plus the per-table continuous-consumer and producer indexes, keyed by
-// table-name hash) and resource shards (producer/consumer handles keyed
-// by resource-id) — plus a per-consumer buffer lock and the internally
-// locked rgma.TupleStore and rgma.Registry. Producers inserting into
-// different producer resources and consumers popping different
-// consumers proceed fully in parallel; an insert and a pop on the same
-// continuous consumer serialize only on that consumer's buffer mutex.
-// Consumer WHERE predicates are compiled once at create time
-// (sqlmini.Program) and evaluated on the insert fast path.
+// All shared state lives in the core, which is sharded the way the
+// broker core is (lock domains, not worker goroutines), so request
+// handling runs on the HTTP server's connection goroutines and scales
+// with them; see the rgmacore package comment for the lock families and
+// the ordering contract. Consumer WHERE predicates are compiled once at
+// create time (sqlmini.Program) and evaluated on the insert fast path.
 //
 // Config.Serial restores the seed architecture — one global mutex held
 // for every request — as the measured A/B baseline
 // (BenchmarkRGMAParallelInsertPop, cmd/rgmad -serial), the same pattern
 // as broker.Config.SerialCore.
-//
-// Ordering: a producer whose inserts are issued sequentially (each HTTP
-// response received before the next request — the paper's client
-// pattern) streams to every continuous consumer in insert order, and
-// its history reads in the same order. Only inserts POSTed concurrently
-// for the *same* producer resource have no defined order, and in
-// sharded mode their stream order may additionally differ from their
-// store order (store append and consumer fan-out are separate critical
-// sections); the serial baseline orders even those totally, as the seed
-// did. Inserts from different producers are never ordered relative to
-// each other.
 //
 // Endpoints (all JSON):
 //
@@ -52,111 +37,39 @@ package rgmahttp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
-	"runtime"
-	"slices"
 	"strconv"
 	"sync"
-	"sync/atomic"
-	"time"
 
-	"gridmon/internal/rgma"
-	"gridmon/internal/shardhash"
+	"gridmon/internal/rgmacore"
 	"gridmon/internal/sim"
-	"gridmon/internal/sqlmini"
 )
 
 // Config tunes the server's concurrency architecture.
 type Config struct {
-	// Shards is the lock-domain count for the table and resource shard
-	// families (0 = GOMAXPROCS). Shard counts do not change behaviour,
-	// only contention.
+	// Shards is the lock-domain count for the core's table and resource
+	// shard families (0 = GOMAXPROCS). Shard counts do not change
+	// behaviour, only contention.
 	Shards int
 	// Serial serializes every request behind one global mutex — the
 	// seed architecture, kept as the A/B baseline for load tests.
 	Serial bool
+	// MaxBuffered caps each continuous consumer's undrained tuples
+	// (0 = rgmacore.DefaultMaxBuffered, negative = unlimited).
+	MaxBuffered int
 }
 
 // Server is an R-GMA service over HTTP.
 type Server struct {
 	cfg      Config
 	serialMu sync.Mutex // held around each request when cfg.Serial
+	core     *rgmacore.Core
 
-	tables   []*tableShard // table-name-hash lock domains
-	res      []*resShard   // resource-id lock domains
-	registry *rgma.Registry
-	nextID   atomic.Int64
-
-	inserts        atomic.Uint64
-	pops           atomic.Uint64
-	tuplesStreamed atomic.Uint64
-	tuplesPopped   atomic.Uint64
-
-	start time.Time
-	http  *http.Server
-	ln    net.Listener
-}
-
-// tableShard owns everything about the tables that hash to it: the
-// schema entry, the table's continuous consumers (the insert-time
-// streaming index) and its producers (the latest/history gather index),
-// both in registration order.
-type tableShard struct {
-	mu         sync.RWMutex
-	tables     map[string]*sqlmini.Table
-	continuous map[string][]*httpConsumer
-	producers  map[string][]*httpProducer
-}
-
-// resShard owns the resource handles whose ids hash to it.
-type resShard struct {
-	mu        sync.RWMutex
-	producers map[int64]*httpProducer
-	consumers map[int64]*httpConsumer
-}
-
-type httpProducer struct {
-	id        int64
-	regID     int64
-	tableName string
-	table     *sqlmini.Table
-	store     *rgma.TupleStore
-}
-
-type httpConsumer struct {
-	id        int64
-	regID     int64
-	query     sqlmini.Select
-	prog      *sqlmini.Program // query.Where compiled against table
-	table     *sqlmini.Table
-	tableName string
-	qtype     rgma.QueryType
-
-	mu     sync.Mutex
-	buffer []popTuple
-}
-
-// push appends streamed tuples under the consumer's buffer lock.
-func (c *httpConsumer) push(t popTuple) {
-	c.mu.Lock()
-	c.buffer = append(c.buffer, t)
-	c.mu.Unlock()
-}
-
-// drain empties the buffer under the consumer's buffer lock.
-func (c *httpConsumer) drain() []popTuple {
-	c.mu.Lock()
-	out := c.buffer
-	c.buffer = nil
-	c.mu.Unlock()
-	return out
-}
-
-type popTuple struct {
-	Row        []string `json:"row"`
-	InsertedAt int64    `json:"insertedAtNs"`
+	http *http.Server
+	ln   net.Listener
 }
 
 // NewServer constructs an unstarted server with the default sharded
@@ -166,73 +79,24 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 // NewServerWith constructs an unstarted server with an explicit
 // concurrency configuration.
 func NewServerWith(cfg Config) *Server {
-	if cfg.Shards <= 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
+	return &Server{
+		cfg:  cfg,
+		core: rgmacore.New(rgmacore.Config{Shards: cfg.Shards, MaxBuffered: cfg.MaxBuffered}),
 	}
-	s := &Server{
-		cfg:      cfg,
-		tables:   make([]*tableShard, cfg.Shards),
-		res:      make([]*resShard, cfg.Shards),
-		registry: rgma.NewRegistrySharded(cfg.Shards),
-		start:    time.Now(),
-	}
-	for i := 0; i < cfg.Shards; i++ {
-		s.tables[i] = &tableShard{
-			tables:     make(map[string]*sqlmini.Table),
-			continuous: make(map[string][]*httpConsumer),
-			producers:  make(map[string][]*httpProducer),
-		}
-		s.res[i] = &resShard{
-			producers: make(map[int64]*httpProducer),
-			consumers: make(map[int64]*httpConsumer),
-		}
-	}
-	return s
 }
 
-// NumShards reports the lock-domain count per shard family.
-func (s *Server) NumShards() int { return len(s.tables) }
+// Core exposes the transport-neutral service core, so a second binding
+// (cmd/rgmad serves rgmabin on another port) can share this server's
+// tables and resources.
+func (s *Server) Core() *rgmacore.Core { return s.core }
+
+// NumShards reports the core's lock-domain count per shard family.
+func (s *Server) NumShards() int { return s.core.NumShards() }
 
 // TableShardOf reports which table shard a name routes to. Load-test
 // topologies and benchmarks use it to spread (or concentrate) tables
 // across lock domains, as broker.ShardOf does for destinations.
-func (s *Server) TableShardOf(name string) int {
-	if len(s.tables) == 1 {
-		return 0
-	}
-	return int(shardhash.FNV1a(name) % uint32(len(s.tables)))
-}
-
-func (s *Server) tableShardFor(table string) *tableShard {
-	return s.tables[s.TableShardOf(table)]
-}
-
-func (s *Server) resShardFor(id int64) *resShard {
-	if len(s.res) == 1 {
-		return s.res[0]
-	}
-	return s.res[uint64(id)%uint64(len(s.res))]
-}
-
-func (s *Server) lookupProducer(id int64) (*httpProducer, bool) {
-	sh := s.resShardFor(id)
-	sh.mu.RLock()
-	p, ok := sh.producers[id]
-	sh.mu.RUnlock()
-	return p, ok
-}
-
-func (s *Server) lookupConsumer(id int64) (*httpConsumer, bool) {
-	sh := s.resShardFor(id)
-	sh.mu.RLock()
-	c, ok := sh.consumers[id]
-	sh.mu.RUnlock()
-	return c, ok
-}
-
-// now returns virtual-ish time: nanoseconds since server start, the
-// domain the TupleStore retention logic works in.
-func (s *Server) now() sim.Time { return sim.Time(time.Since(s.start).Nanoseconds()) }
+func (s *Server) TableShardOf(name string) int { return s.core.TableShardOf(name) }
 
 // serial wraps a handler in the global mutex when the serial baseline
 // is configured; in sharded mode it is the identity.
@@ -288,8 +152,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// statusFor maps core error kinds onto HTTP statuses; anything the core
+// rejects without a kind is a bad request.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, rgmacore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, rgmacore.ErrConflict):
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeCoreErr(w http.ResponseWriter, err error) {
+	writeErr(w, statusFor(err), err)
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -308,21 +188,12 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, err := sqlmini.Parse(req.SQL)
+	name, err := s.core.CreateTable(req.SQL)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeCoreErr(w, err)
 		return
 	}
-	ct, isCreate := st.(sqlmini.CreateTable)
-	if !isCreate {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected CREATE TABLE"))
-		return
-	}
-	ts := s.tableShardFor(ct.Table.Name)
-	ts.mu.Lock()
-	ts.tables[ct.Table.Name] = &ct.Table
-	ts.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"table": ct.Table.Name})
+	writeJSON(w, http.StatusOK, map[string]string{"table": name})
 }
 
 func (s *Server) handleProducerCreate(w http.ResponseWriter, r *http.Request) {
@@ -334,35 +205,14 @@ func (s *Server) handleProducerCreate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if req.LatestRetentionSec <= 0 {
-		req.LatestRetentionSec = 30
-	}
-	if req.HistoryRetentionSec <= 0 {
-		req.HistoryRetentionSec = 60
-	}
-	ts := s.tableShardFor(req.Table)
-	ts.mu.RLock()
-	table, exists := ts.tables[req.Table]
-	ts.mu.RUnlock()
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", req.Table))
+	p, err := s.core.CreateProducer(req.Table,
+		sim.Time(req.LatestRetentionSec)*sim.Second,
+		sim.Time(req.HistoryRetentionSec)*sim.Second)
+	if err != nil {
+		writeCoreErr(w, err)
 		return
 	}
-	p := &httpProducer{
-		id:        s.nextID.Add(1),
-		tableName: req.Table,
-		table:     table,
-		store:     rgma.NewTupleStore(table, sim.Time(req.LatestRetentionSec)*sim.Second, sim.Time(req.HistoryRetentionSec)*sim.Second),
-	}
-	p.regID = s.registry.RegisterProducer(rgma.ProducerEntry{Kind: rgma.PrimaryKind, Table: req.Table})
-	rs := s.resShardFor(p.id)
-	rs.mu.Lock()
-	rs.producers[p.id] = p
-	rs.mu.Unlock()
-	ts.mu.Lock()
-	ts.producers[req.Table] = append(ts.producers[req.Table], p)
-	ts.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]int64{"producer": p.id})
+	writeJSON(w, http.StatusOK, map[string]int64{"producer": p.ID()})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -373,59 +223,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, err := sqlmini.Parse(req.SQL)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := s.core.Insert(req.Producer, req.SQL); err != nil {
+		writeCoreErr(w, err)
 		return
 	}
-	ins, isInsert := st.(sqlmini.Insert)
-	if !isInsert {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: expected INSERT"))
-		return
-	}
-	p, exists := s.lookupProducer(req.Producer)
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
-		return
-	}
-	row, err := sqlmini.ReorderInsert(p.table, ins)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	now := s.now()
-	tuple := rgma.Tuple{Row: row, SentAt: now, InsertedAt: now}
-	p.store.Insert(tuple)
-	s.inserts.Add(1)
-	// Stream to matching continuous consumers immediately (the HTTP
-	// binding does not model the gLite streaming delay; the simulator
-	// covers that behaviour). The table shard's index narrows the scan
-	// to this table's continuous consumers; the compiled predicate
-	// decides per consumer; the encoded tuple is shared across buffers.
-	ts := s.tableShardFor(p.tableName)
-	var encoded popTuple
-	encodedReady := false
-	ts.mu.RLock()
-	for _, c := range ts.continuous[p.tableName] {
-		if c.table == p.table && c.prog.Matches(row) {
-			if !encodedReady {
-				encoded = toPop(tuple)
-				encodedReady = true
-			}
-			c.push(encoded)
-			s.tuplesStreamed.Add(1)
-		}
-	}
-	ts.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
-}
-
-func toPop(t rgma.Tuple) popTuple {
-	cells := make([]string, len(t.Row))
-	for i, v := range t.Row {
-		cells[i] = v.String()
-	}
-	return popTuple{Row: cells, InsertedAt: int64(t.InsertedAt)}
 }
 
 func (s *Server) handleProducerClose(w http.ResponseWriter, r *http.Request) {
@@ -435,32 +237,11 @@ func (s *Server) handleProducerClose(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rs := s.resShardFor(req.Producer)
-	rs.mu.Lock()
-	p, exists := rs.producers[req.Producer]
-	if exists {
-		delete(rs.producers, req.Producer)
-	}
-	rs.mu.Unlock()
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such producer %d", req.Producer))
+	if err := s.core.CloseProducer(req.Producer); err != nil {
+		writeCoreErr(w, err)
 		return
 	}
-	s.registry.UnregisterProducerFrom(p.tableName, p.regID)
-	ts := s.tableShardFor(p.tableName)
-	ts.mu.Lock()
-	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
-	ts.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
-}
-
-// removeHandle deletes one handle from an index slice; slices.Delete
-// zeroes the vacated tail slot, so the handle does not leak.
-func removeHandle[T comparable](hs []T, h T) []T {
-	if i := slices.Index(hs, h); i >= 0 {
-		return slices.Delete(hs, i, i+1)
-	}
-	return hs
 }
 
 func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request) {
@@ -471,50 +252,17 @@ func (s *Server) handleConsumerCreate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sel, err := rgma.ParseQuery(req.Query)
+	qtype, err := rgmacore.ParseQueryType(req.Type)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	var qtype rgma.QueryType
-	switch req.Type {
-	case "", "continuous":
-		qtype = rgma.ContinuousQuery
-	case "latest":
-		qtype = rgma.LatestQuery
-	case "history":
-		qtype = rgma.HistoryQuery
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: unknown query type %q", req.Type))
+	c, err := s.core.CreateConsumer(req.Query, qtype, nil)
+	if err != nil {
+		writeCoreErr(w, err)
 		return
 	}
-	ts := s.tableShardFor(sel.Table)
-	ts.mu.RLock()
-	table, exists := ts.tables[sel.Table]
-	ts.mu.RUnlock()
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such table %q", sel.Table))
-		return
-	}
-	c := &httpConsumer{
-		id:        s.nextID.Add(1),
-		query:     sel,
-		prog:      sel.Compiled(table),
-		table:     table,
-		tableName: sel.Table,
-		qtype:     qtype,
-	}
-	c.regID = s.registry.RegisterConsumer(rgma.ConsumerEntry{Table: sel.Table})
-	rs := s.resShardFor(c.id)
-	rs.mu.Lock()
-	rs.consumers[c.id] = c
-	rs.mu.Unlock()
-	if qtype == rgma.ContinuousQuery {
-		ts.mu.Lock()
-		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], c)
-		ts.mu.Unlock()
-	}
-	writeJSON(w, http.StatusOK, map[string]int64{"consumer": c.id})
+	writeJSON(w, http.StatusOK, map[string]int64{"consumer": c.ID()})
 }
 
 func (s *Server) handlePop(w http.ResponseWriter, r *http.Request) {
@@ -523,42 +271,13 @@ func (s *Server) handlePop(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rgmahttp: bad consumer id"))
 		return
 	}
-	c, exists := s.lookupConsumer(id)
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", id))
+	out, err := s.core.Pop(id)
+	if err != nil {
+		writeCoreErr(w, err)
 		return
 	}
-	s.pops.Add(1)
-	var out []popTuple
-	switch c.qtype {
-	case rgma.ContinuousQuery:
-		out = c.drain()
-	case rgma.LatestQuery, rgma.HistoryQuery:
-		// Gather from this table's producers (registration order, via
-		// the table shard's index — not a scan over every producer).
-		ts := s.tableShardFor(c.tableName)
-		ts.mu.RLock()
-		producers := append([]*httpProducer(nil), ts.producers[c.tableName]...)
-		ts.mu.RUnlock()
-		now := s.now()
-		for _, p := range producers {
-			if p.table != c.table {
-				continue
-			}
-			var tuples []rgma.Tuple
-			if c.qtype == rgma.LatestQuery {
-				tuples = p.store.LatestCompiled(now, c.prog)
-			} else {
-				tuples = p.store.HistoryCompiled(now, c.prog)
-			}
-			for _, t := range tuples {
-				out = append(out, toPop(t))
-			}
-		}
-	}
-	s.tuplesPopped.Add(uint64(len(out)))
 	if out == nil {
-		out = []popTuple{}
+		out = []rgmacore.PopTuple{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tuples": out})
 }
@@ -570,33 +289,19 @@ func (s *Server) handleConsumerClose(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rs := s.resShardFor(req.Consumer)
-	rs.mu.Lock()
-	c, exists := rs.consumers[req.Consumer]
-	if exists {
-		delete(rs.consumers, req.Consumer)
-	}
-	rs.mu.Unlock()
-	if !exists {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("rgmahttp: no such consumer %d", req.Consumer))
+	if err := s.core.CloseConsumer(req.Consumer); err != nil {
+		writeCoreErr(w, err)
 		return
-	}
-	s.registry.UnregisterConsumerFrom(c.tableName, c.regID)
-	if c.qtype == rgma.ContinuousQuery {
-		ts := s.tableShardFor(c.tableName)
-		ts.mu.Lock()
-		ts.continuous[c.tableName] = removeHandle(ts.continuous[c.tableName], c)
-		ts.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
-	p, c := s.registry.Counts()
+	p, c := s.core.RegistryCounts()
 	writeJSON(w, http.StatusOK, map[string]int{"producers": p, "consumers": c})
 }
 
-// Stats is the server's atomic counter snapshot.
+// Stats is the server's counter snapshot.
 type Stats struct {
 	Producers      int    `json:"producers"`
 	Consumers      int    `json:"consumers"`
@@ -604,21 +309,23 @@ type Stats struct {
 	Pops           uint64 `json:"pops"`
 	TuplesStreamed uint64 `json:"tuplesStreamed"`
 	TuplesPopped   uint64 `json:"tuplesPopped"`
+	TuplesDropped  uint64 `json:"tuplesDropped"`
 	Shards         int    `json:"shards"`
 	Serial         bool   `json:"serial"`
 }
 
-// StatsSnapshot reads the server counters; safe from any goroutine.
+// StatsSnapshot reads the core counters; safe from any goroutine.
 func (s *Server) StatsSnapshot() Stats {
-	p, c := s.registry.Counts()
+	cs := s.core.StatsSnapshot()
 	return Stats{
-		Producers:      p,
-		Consumers:      c,
-		Inserts:        s.inserts.Load(),
-		Pops:           s.pops.Load(),
-		TuplesStreamed: s.tuplesStreamed.Load(),
-		TuplesPopped:   s.tuplesPopped.Load(),
-		Shards:         len(s.tables),
+		Producers:      cs.Producers,
+		Consumers:      cs.Consumers,
+		Inserts:        cs.Inserts,
+		Pops:           cs.Pops,
+		TuplesStreamed: cs.TuplesStreamed,
+		TuplesPopped:   cs.TuplesPopped,
+		TuplesDropped:  cs.TuplesDropped,
+		Shards:         s.core.NumShards(),
 		Serial:         s.cfg.Serial,
 	}
 }

@@ -41,6 +41,17 @@ const (
 	FTBrokerForward
 	FTBrokerSub
 	FTBrokerLink
+	FTRGMAHello
+	FTRGMAWelcome
+	FTRGMACreateTable
+	FTRGMAProducerCreate
+	FTRGMAInsert
+	FTRGMAConsumerCreate
+	FTRGMAPop
+	FTRGMAClose
+	FTRGMAOK
+	FTRGMAErr
+	FTRGMATuples
 )
 
 var frameNames = map[FrameType]string{
@@ -50,6 +61,11 @@ var frameNames = map[FrameType]string{
 	FTPing: "PING", FTPong: "PONG", FTBrokerHello: "BROKER_HELLO",
 	FTBrokerForward: "BROKER_FORWARD", FTBrokerSub: "BROKER_SUB",
 	FTBrokerLink: "BROKER_LINK",
+	FTRGMAHello: "RGMA_HELLO", FTRGMAWelcome: "RGMA_WELCOME",
+	FTRGMACreateTable: "RGMA_CREATE_TABLE", FTRGMAProducerCreate: "RGMA_PRODUCER_CREATE",
+	FTRGMAInsert: "RGMA_INSERT", FTRGMAConsumerCreate: "RGMA_CONSUMER_CREATE",
+	FTRGMAPop: "RGMA_POP", FTRGMAClose: "RGMA_CLOSE", FTRGMAOK: "RGMA_OK",
+	FTRGMAErr: "RGMA_ERR", FTRGMATuples: "RGMA_TUPLES",
 }
 
 func (t FrameType) String() string {
@@ -560,6 +576,45 @@ func MarshalAppend(dst []byte, f Frame) []byte {
 	case BrokerLink:
 		w.str(v.BrokerID)
 		w.u8(v.Routing)
+	case RGMAHello:
+		w.str(v.ClientID)
+	case RGMAWelcome:
+		w.str(v.ServerID)
+	case RGMACreateTable:
+		w.u64(uint64(v.Seq))
+		w.str(v.SQL)
+	case RGMAProducerCreate:
+		w.u64(uint64(v.Seq))
+		w.str(v.Table)
+		w.u32(v.LatestRetentionSec)
+		w.u32(v.HistoryRetentionSec)
+	case RGMAInsert:
+		w.u64(uint64(v.Seq))
+		w.u64(uint64(v.Producer))
+		w.u32(uint32(len(v.SQLs)))
+		for _, q := range v.SQLs {
+			w.str(q)
+		}
+	case RGMAConsumerCreate:
+		w.u64(uint64(v.Seq))
+		w.str(v.Query)
+		w.u8(v.QType)
+	case RGMAPop:
+		w.u64(uint64(v.Seq))
+		w.u64(uint64(v.Consumer))
+	case RGMAClose:
+		w.u64(uint64(v.Seq))
+		w.bool(v.Producer)
+		w.u64(uint64(v.ID))
+	case RGMAOK:
+		w.u64(uint64(v.Seq))
+		w.u64(uint64(v.ID))
+	case RGMAErr:
+		w.u64(uint64(v.Seq))
+		w.u8(v.Code)
+		w.str(v.Msg)
+	case RGMATuples:
+		writeRGMATuples(w, v)
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown frame %T", f))
 	}
@@ -624,6 +679,38 @@ func Unmarshal(buf []byte) (Frame, error) {
 		f = BrokerSub{BrokerID: r.str(), Topic: r.str(), Add: r.bool()}
 	case FTBrokerLink:
 		f = BrokerLink{BrokerID: r.str(), Routing: r.u8()}
+	case FTRGMAHello:
+		f = RGMAHello{ClientID: r.str()}
+	case FTRGMAWelcome:
+		f = RGMAWelcome{ServerID: r.str()}
+	case FTRGMACreateTable:
+		f = RGMACreateTable{Seq: int64(r.u64()), SQL: r.str()}
+	case FTRGMAProducerCreate:
+		f = RGMAProducerCreate{
+			Seq:                 int64(r.u64()),
+			Table:               r.str(),
+			LatestRetentionSec:  r.u32(),
+			HistoryRetentionSec: r.u32(),
+		}
+	case FTRGMAInsert:
+		v := RGMAInsert{Seq: int64(r.u64()), Producer: int64(r.u64())}
+		n := int(r.u32())
+		for i := 0; i < n && r.err == nil; i++ {
+			v.SQLs = append(v.SQLs, r.str())
+		}
+		f = v
+	case FTRGMAConsumerCreate:
+		f = RGMAConsumerCreate{Seq: int64(r.u64()), Query: r.str(), QType: r.u8()}
+	case FTRGMAPop:
+		f = RGMAPop{Seq: int64(r.u64()), Consumer: int64(r.u64())}
+	case FTRGMAClose:
+		f = RGMAClose{Seq: int64(r.u64()), Producer: r.bool(), ID: int64(r.u64())}
+	case FTRGMAOK:
+		f = RGMAOK{Seq: int64(r.u64()), ID: int64(r.u64())}
+	case FTRGMAErr:
+		f = RGMAErr{Seq: int64(r.u64()), Code: r.u8(), Msg: r.str()}
+	case FTRGMATuples:
+		f = readRGMATuples(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, t)
 	}
@@ -669,6 +756,31 @@ func Size(f Frame) int {
 		n += 4 + len(v.BrokerID) + 4 + len(v.Topic) + 1
 	case BrokerLink:
 		n += 4 + len(v.BrokerID) + 1
+	case RGMAHello:
+		n += 4 + len(v.ClientID)
+	case RGMAWelcome:
+		n += 4 + len(v.ServerID)
+	case RGMACreateTable:
+		n += 8 + 4 + len(v.SQL)
+	case RGMAProducerCreate:
+		n += 8 + 4 + len(v.Table) + 4 + 4
+	case RGMAInsert:
+		n += 8 + 8 + 4
+		for _, q := range v.SQLs {
+			n += 4 + len(q)
+		}
+	case RGMAConsumerCreate:
+		n += 8 + 4 + len(v.Query) + 1
+	case RGMAPop:
+		n += 8 + 8
+	case RGMAClose:
+		n += 8 + 1 + 8
+	case RGMAOK:
+		n += 8 + 8
+	case RGMAErr:
+		n += 8 + 1 + 4 + len(v.Msg)
+	case RGMATuples:
+		n += sizeRGMATuples(v)
 	default:
 		panic(fmt.Sprintf("wire: size of unknown frame %T", f))
 	}

@@ -52,7 +52,38 @@ func allFrames() []Frame {
 		BrokerForward{Origin: "hydra5", Msg: sampleMessage()},
 		BrokerSub{BrokerID: "hydra6", Topic: "power.monitoring", Add: true},
 		BrokerLink{BrokerID: "hydra6", Routing: 1},
+		RGMAHello{ClientID: "rgma-gen-3"},
+		RGMAWelcome{ServerID: "rgmad"},
+		RGMACreateTable{Seq: 1, SQL: "CREATE TABLE g (genid INTEGER PRIMARY KEY)"},
+		RGMAProducerCreate{Seq: 2, Table: "g", LatestRetentionSec: 30, HistoryRetentionSec: 60},
+		RGMAInsert{Seq: 3, Producer: 7, SQLs: []string{"INSERT INTO g (genid) VALUES (1)", "INSERT INTO g (genid) VALUES (2)"}},
+		RGMAConsumerCreate{Seq: 4, Query: "SELECT * FROM g WHERE genid < 10", QType: 1},
+		RGMAPop{Seq: 5, Consumer: 8},
+		RGMAClose{Seq: 6, Producer: true, ID: 7},
+		RGMAOK{Seq: 3, ID: 2},
+		RGMAErr{Seq: 4, Code: 2, Msg: "conflict"},
+		RGMATuples{Seq: 5, Consumer: 8, Tuples: []RGMATuple{
+			{Row: []string{"1", "480.5", "'site-0001'"}, InsertedAt: 12345},
+			{Row: nil, InsertedAt: 6},
+		}},
 	}
+}
+
+func rgmaTuplesEqual(a, b []RGMATuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].InsertedAt != b[i].InsertedAt || len(a[i].Row) != len(b[i].Row) {
+			return false
+		}
+		for j := range a[i].Row {
+			if a[i].Row[j] != b[i].Row[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func framesEqual(a, b Frame) bool {
@@ -77,6 +108,20 @@ func framesEqual(a, b Frame) bool {
 	case BrokerForward:
 		bv, ok := b.(BrokerForward)
 		return ok && av.Origin == bv.Origin && av.Msg.Equal(bv.Msg)
+	case RGMAInsert:
+		bv, ok := b.(RGMAInsert)
+		if !ok || av.Seq != bv.Seq || av.Producer != bv.Producer || len(av.SQLs) != len(bv.SQLs) {
+			return false
+		}
+		for i := range av.SQLs {
+			if av.SQLs[i] != bv.SQLs[i] {
+				return false
+			}
+		}
+		return true
+	case RGMATuples:
+		bv, ok := b.(RGMATuples)
+		return ok && av.Seq == bv.Seq && av.Consumer == bv.Consumer && rgmaTuplesEqual(av.Tuples, bv.Tuples)
 	default:
 		// Remaining frames are comparable structs.
 		return a == b

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gridmon/internal/rgma"
 	"gridmon/internal/rgmahttp"
@@ -216,6 +217,16 @@ type rgmaPredicateCell struct {
 	Speedup       float64 `json:"speedup_compiled_vs_interpreted"`
 }
 
+type rgmaTransportCell struct {
+	Transport  string  `json:"transport"`
+	Mode       string  `json:"mode"`
+	PollMs     float64 `json:"poll_interval_ms,omitempty"`
+	MedianMs   float64 `json:"median_insert_to_deliver_ms"`
+	P99Ms      float64 `json:"p99_insert_to_deliver_ms"`
+	Samples    int     `json:"samples"`
+	SpeedupMed float64 `json:"median_speedup_vs_http_poll,omitempty"`
+}
+
 // TestWriteRGMABench times the sharded R-GMA service against the
 // serial global-mutex baseline across GOMAXPROCS values, plus the
 // compiled-vs-interpreted predicate table, and writes BENCH_rgma.json.
@@ -281,12 +292,41 @@ func TestWriteRGMABench(t *testing.T) {
 		preds = append(preds, cell)
 	}
 
+	// Insert→deliver latency, the paper's push-vs-poll measurement: the
+	// HTTP lane polls at the paper's 100 ms subscriber period, the
+	// binary lane receives server pushes. Both run over live TCP.
+	const latSamples = 40
+	pollInterval := 100 * time.Millisecond
+	httpLat := measureInsertDeliverLatency(t, "http", latSamples, 5*time.Millisecond, pollInterval)
+	binLat := measureInsertDeliverLatency(t, "bin", latSamples, 5*time.Millisecond, pollInterval)
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	httpCell := rgmaTransportCell{
+		Transport: "http", Mode: "poll", PollMs: ms(pollInterval),
+		MedianMs: ms(latencyQuantile(httpLat, 0.5)),
+		P99Ms:    ms(latencyQuantile(httpLat, 0.99)),
+		Samples:  len(httpLat),
+	}
+	binCell := rgmaTransportCell{
+		Transport: "bin", Mode: "push",
+		MedianMs: ms(latencyQuantile(binLat, 0.5)),
+		P99Ms:    ms(latencyQuantile(binLat, 0.99)),
+		Samples:  len(binLat),
+	}
+	binCell.SpeedupMed = httpCell.MedianMs / binCell.MedianMs
+	if binCell.SpeedupMed < 10 {
+		t.Errorf("binary push median %.3f ms is only %.1fx below the %v-poll median %.3f ms, want >= 10x",
+			binCell.MedianMs, binCell.SpeedupMed, pollInterval, httpCell.MedianMs)
+	}
+
 	doc := map[string]any{
-		"benchmark":   "R-GMA service stack: sharded lock domains vs the seed's global server mutex (8 lanes of insert+continuous pop through the HTTP handler), and compiled vs interpreted WHERE predicates",
-		"description": "ns per insert includes JSON decode, SQL parse, typed store insert, compiled-predicate streaming to the lane's continuous consumer, and a pop drain every 32 inserts. Speedup above 1x requires real cores: on a single-core host all GOMAXPROCS values time-share one CPU and the sharded and serial figures converge.",
+		"benchmark":   "R-GMA service stack: sharded lock domains vs the seed's global server mutex (8 lanes of insert+continuous pop through the HTTP handler), compiled vs interpreted WHERE predicates, and insert-to-deliver latency of the push binary transport vs the paper's 100 ms HTTP poll",
+		"description": "ns per insert includes JSON decode, SQL parse, typed store insert, compiled-predicate streaming to the lane's continuous consumer, and a pop drain every 32 inserts. Speedup above 1x requires real cores: on a single-core host all GOMAXPROCS values time-share one CPU and the sharded and serial figures converge. transport_latency times tuples end to end over live TCP: a polled tuple waits for the next consumer poll, a pushed tuple is written to subscribed connections on the insert path.",
 		"host_cpus":   runtime.NumCPU(),
 		"parallel":    parallel,
 		"predicate":   preds,
+		"transport_latency": []rgmaTransportCell{
+			httpCell, binCell,
+		},
 	}
 	f, err := os.Create(out)
 	if err != nil {
