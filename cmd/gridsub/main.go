@@ -5,8 +5,14 @@
 // Usage:
 //
 //	gridsub [-broker localhost:7672] [-topic power.monitoring]
-//	        [-selector "id<10000"] [-report 10s]
+//	        [-selector "id<10000"] [-durable NAME] [-report 10s]
 //	        [-n 0] [-timeout 0] [-quiet]
+//
+// -durable NAME makes the subscription durable under that name: the
+// broker stores matching messages while the subscriber is away and
+// replays the backlog when a gridsub reconnects with the same name.
+// Against a naradad running with -data-dir, the subscription and its
+// backlog also survive broker restarts.
 //
 // Scripted runs (CI smoke tests, DBN topology checks) use -n to exit 0
 // after exactly N messages, -timeout to exit 1 when they don't arrive in
@@ -32,6 +38,7 @@ func main() {
 	addr := flag.String("broker", "localhost:7672", "broker address")
 	topic := flag.String("topic", "power.monitoring", "topic to subscribe to")
 	selector := flag.String("selector", "id<10000", "JMS message selector")
+	durable := flag.String("durable", "", "durable subscription name (empty = non-durable)")
 	report := flag.Duration("report", 10*time.Second, "statistics reporting interval")
 	n := flag.Int64("n", 0, "exit 0 after receiving this many messages (0 = run until interrupted)")
 	timeout := flag.Duration("timeout", 0, "exit 1 if -n messages have not arrived within this duration (0 = no limit)")
@@ -48,7 +55,7 @@ func main() {
 	var rtt metrics.RTT
 	done := make(chan struct{})
 	var doneOnce sync.Once
-	if _, err := conn.Subscribe(message.Topic(*topic), *selector, func(m *message.Message) {
+	if _, err := conn.SubscribeDurable(message.Topic(*topic), *selector, *durable, func(m *message.Message) {
 		ms := float64(time.Now().UnixNano()-m.Timestamp) / 1e6
 		mu.Lock()
 		rtt.Add(ms)
@@ -61,7 +68,11 @@ func main() {
 		log.Fatalf("gridsub: subscribe: %v", err)
 	}
 	if !*quiet {
-		log.Printf("gridsub: subscribed to %s with selector %q on %s", *topic, *selector, conn.BrokerID())
+		kind := "subscribed"
+		if *durable != "" {
+			kind = "durably subscribed as " + *durable
+		}
+		log.Printf("gridsub: %s to %s with selector %q on %s", kind, *topic, *selector, conn.BrokerID())
 	}
 
 	summary := func() {

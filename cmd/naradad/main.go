@@ -5,13 +5,22 @@
 // Usage:
 //
 //	naradad [-listen :7672] [-id broker-1] [-max-conn-mem 0]
-//	        [-shards 0] [-serial]
+//	        [-shards 0] [-serial] [-data-dir DIR] [-fsync]
 //	        [-routing broadcast|tree] [-peer host:port]...
 //
 // By default the broker core is sharded across the CPUs (publishes to
 // different topics run in parallel); -serial restores the single
 // event-loop dispatch as an A/B baseline for load tests, -shards pins
 // the destination-shard count.
+//
+// -data-dir makes the broker's durable state — durable subscriptions,
+// their disconnected backlogs and queue backlogs — survive restarts: a
+// segmented write-ahead log under DIR is replayed before the listener
+// accepts, and a clean shutdown (SIGINT/SIGTERM) snapshots and marks
+// the log so the next start skips the replay scan. -fsync additionally
+// syncs every group commit, making an acknowledged publish durable
+// against power loss, not just process death. Without -data-dir the
+// broker is memory-only, exactly as before.
 //
 // Several naradad processes form the paper's Distributed Broker Network
 // over real TCP: give every daemon the same -routing mode and point
@@ -24,16 +33,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"gridmon/internal/broker"
 	"gridmon/internal/brokernet"
+	"gridmon/internal/brokerwal"
 	"gridmon/internal/jms"
+	"gridmon/internal/wal"
+	"gridmon/internal/walfs"
 )
 
 func main() {
@@ -41,8 +57,11 @@ func main() {
 	id := flag.String("id", "naradad", "broker identifier")
 	maxConnMem := flag.Int64("max-conn-mem", 0, "per-connection memory budget in bytes (0 = unlimited); reproduces the paper's admission cliff")
 	statsEvery := flag.Duration("stats", time.Minute, "stats logging interval (0 disables)")
+	statsListen := flag.String("stats-listen", "", "HTTP address serving GET /stats as JSON (empty disables)")
 	shards := flag.Int("shards", 0, "destination shard count (0 = one per CPU)")
 	serial := flag.Bool("serial", false, "single event-loop dispatch (pre-shard baseline)")
+	dataDir := flag.String("data-dir", "", "persist durable subscriptions and queues to a write-ahead log under this directory (empty = memory-only)")
+	fsync := flag.Bool("fsync", false, "fsync every WAL group commit (durable against power loss, not just crashes)")
 	routing := flag.String("routing", "", "join a distributed broker network with this routing mode (broadcast or tree)")
 	var peers []string
 	flag.Func("peer", "peer broker address to link to (repeatable; requires -routing)", func(v string) error {
@@ -58,10 +77,37 @@ func main() {
 	cfg := broker.DefaultConfig(*id)
 	cfg.Shards = *shards
 	cfg.SerialCore = *serial
-	srv, err := jms.ListenAndServe(*listen, jms.ServerConfig{
+
+	// With -data-dir, recovery runs in NewServerRestored's quiescent
+	// window: the WAL is replayed into the broker before the listener
+	// accepts its first connection.
+	var pers *brokerwal.Persister
+	var restore func(*broker.Broker) error
+	if *dataDir != "" {
+		fsys, err := walfs.Disk(*dataDir)
+		if err != nil {
+			log.Fatalf("naradad: %v", err)
+		}
+		restore = func(b *broker.Broker) error {
+			p, info, err := brokerwal.Open(fsys, wal.Options{Fsync: *fsync}, b)
+			if err != nil {
+				return err
+			}
+			pers = p
+			log.Printf("naradad %q recovered %s: %d records, %d segments, snapshot gen %d, %d torn bytes dropped, clean=%v",
+				*id, *dataDir, info.Records, info.Segments, info.SnapshotGen, info.TruncatedTail, info.CleanStart)
+			return nil
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("naradad: %v", err)
+	}
+	srv, err := jms.NewServerRestored(ln, jms.ServerConfig{
 		Broker:        cfg,
 		MaxConnMemory: *maxConnMem,
-	})
+	}, restore)
 	if err != nil {
 		log.Fatalf("naradad: %v", err)
 	}
@@ -81,22 +127,65 @@ func main() {
 		}
 	}
 
+	if *statsListen != "" {
+		go serveStats(*statsListen, srv, pers)
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				s := srv.Stats()
-				log.Printf("stats: conns=%d (peak %d) published=%d delivered=%d acked=%d forwarded-out=%d forwarded-in=%d refused=%d",
+				line := fmt.Sprintf("stats: conns=%d (peak %d) published=%d delivered=%d acked=%d forwarded-out=%d forwarded-in=%d refused=%d",
 					s.Connections, s.PeakConnections, s.Published, s.Delivered, s.Acked, s.ForwardedOut, s.ForwardedIn, s.RefusedConns)
+				if pers != nil {
+					w := pers.Stats()
+					line += fmt.Sprintf(" wal: records=%d bytes=%d fsyncs=%d snapshots=%d",
+						w.RecordsAppended, w.BytesLogged, w.Fsyncs, w.Snapshots)
+				}
+				log.Print(line)
 			}
 		}()
 	}
 
+	// SIGTERM alongside SIGINT: containerized runs (docker stop,
+	// Kubernetes) send SIGTERM, and with -data-dir a signal-driven exit
+	// is what installs the clean-shutdown marker.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
 	fmt.Println()
-	log.Print("naradad: shutting down")
+	log.Printf("naradad: shutting down (%v)", got)
 	srv.Close()
+	if pers != nil {
+		// Close dropped every connection; give their reader goroutines a
+		// moment to finish releasing broker resources so the snapshot
+		// dump runs against a quiescent core.
+		time.Sleep(200 * time.Millisecond)
+		if err := pers.CloseClean(); err != nil {
+			log.Printf("naradad: wal close: %v", err)
+		}
+	}
+}
+
+// serveStats exposes the broker and WAL counters as JSON on
+// GET /stats, the naradad counterpart of rgmad's HTTP stats endpoint.
+func serveStats(addr string, srv *jms.Server, pers *brokerwal.Persister) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := struct {
+			broker.Stats
+			WAL *wal.Stats `json:"wal,omitempty"`
+		}{Stats: srv.Stats()}
+		if pers != nil {
+			ws := pers.Stats()
+			out.WAL = &ws
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("naradad: stats endpoint: %v", err)
+	}
 }
 
 // maintainPeer supervises one configured peer link for the daemon's

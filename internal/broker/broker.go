@@ -244,6 +244,11 @@ type Broker struct {
 	// shard locks; see Forwarder and SetInterestFunc for the contract.
 	forwarder  atomic.Pointer[Forwarder]
 	onInterest atomic.Pointer[func(topic string, add bool)]
+
+	// Persistence seam (journal.go): mutation observer for durable and
+	// queue state, registered atomically like the forwarder. Nil (the
+	// default) costs one atomic load per mutation and changes nothing.
+	journal atomic.Pointer[Journal]
 }
 
 // New returns a broker core using env for I/O and resources.

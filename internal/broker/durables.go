@@ -35,6 +35,9 @@ func (b *Broker) attachDurable(sub *subscription) (*durableState, bool) {
 		sh := b.shardFor(d.topic)
 		sh.mu.Lock()
 		sh.durablesByTopic[d.topic] = append(sh.durablesByTopic[d.topic], d)
+		if j := b.loadJournal(); j != nil {
+			j.DurableSubscribed(d.name, d.topic, d.sel.String())
+		}
 		sh.mu.Unlock()
 		return d, true
 	}
@@ -60,10 +63,16 @@ func (b *Broker) attachDurable(sub *subscription) (*durableState, bool) {
 			nsh := b.shardFor(d.topic)
 			nsh.mu.Lock()
 			nsh.durablesByTopic[d.topic] = append(nsh.durablesByTopic[d.topic], d)
+			if j := b.loadJournal(); j != nil {
+				j.DurableSubscribed(d.name, d.topic, d.sel.String())
+			}
 			nsh.mu.Unlock()
 			return d, true
 		}
 		d.sel = sub.sel
+		if j := b.loadJournal(); j != nil {
+			j.DurableSubscribed(d.name, d.topic, d.sel.String())
+		}
 	}
 	sh.mu.Unlock()
 	return d, true
@@ -100,4 +109,7 @@ func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
 		return
 	}
 	d.backlog = append(d.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
+	if j := b.loadJournal(); j != nil {
+		j.DurableStored(d.name, m)
+	}
 }

@@ -29,6 +29,9 @@ func (b *Broker) enqueue(q *queueState, m *message.Message) {
 		return
 	}
 	q.backlog = append(q.backlog, storedMsg{msg: b.shareOrClone(m), cost: cost})
+	if j := b.loadJournal(); j != nil {
+		j.QueueStored(q.name, m)
+	}
 }
 
 // drainQueue hands queued messages to consumers round-robin, honouring
@@ -41,8 +44,12 @@ func (b *Broker) drainQueue(q *queueState) {
 	if len(q.subs) == 0 || len(q.backlog) == 0 {
 		return
 	}
+	// Removed-index bookkeeping is journal-only: the nil-journal drain
+	// stays allocation-free.
+	j := b.loadJournal()
+	var removed []int
 	kept := 0
-	for _, sm := range q.backlog {
+	for idx, sm := range q.backlog {
 		delivered := false
 		for i := 0; i < len(q.subs); i++ {
 			sub := q.subs[(q.rrNext+i)%len(q.subs)]
@@ -57,7 +64,12 @@ func (b *Broker) drainQueue(q *queueState) {
 		if !delivered {
 			q.backlog[kept] = sm
 			kept++
+		} else if j != nil {
+			removed = append(removed, idx)
 		}
+	}
+	if j != nil && len(removed) > 0 {
+		j.QueueDrained(q.name, removed)
 	}
 	if kept == len(q.backlog) {
 		return // nothing delivered; backlog unchanged

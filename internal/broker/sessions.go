@@ -211,6 +211,11 @@ func (b *Broker) subscribeTopic(c *conn, sub *subscription, v wire.Subscribe) {
 		// Deliver the backlog the durable buffered while disconnected.
 		backlog := d.backlog
 		d.backlog = nil
+		if len(backlog) > 0 {
+			if j := b.loadJournal(); j != nil {
+				j.DurableFlushed(d.name)
+			}
+		}
 		for _, sm := range backlog {
 			b.env.Free(sm.cost)
 			b.deliverTo(sub, sm.msg)
@@ -286,6 +291,9 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 					}
 					delete(b.durables, sub.durableName)
 					b.unindexDurable(sh, d)
+					if j := b.loadJournal(); j != nil {
+						j.DurableUnsubscribed(sub.durableName)
+					}
 				}
 			}
 		}

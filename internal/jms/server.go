@@ -97,6 +97,18 @@ type connWriter struct {
 // NewServer starts a broker server on the given listener. Close releases
 // it.
 func NewServer(ln net.Listener, cfg ServerConfig) *Server {
+	s, _ := NewServerRestored(ln, cfg, nil)
+	return s
+}
+
+// NewServerRestored builds the server but runs restore on the wrapped
+// broker core before the listener starts accepting. That window is the
+// recovery slot: no connection exists yet, so the broker is quiescent
+// and the callback may replay journaled state (Restore*), take a
+// compaction snapshot (Dump*), and attach a Journal — cmd/naradad wires
+// brokerwal through here when -data-dir is set. A restore error aborts
+// startup and closes the listener.
+func NewServerRestored(ln net.Listener, cfg ServerConfig, restore func(*broker.Broker) error) (*Server, error) {
 	if cfg.Broker == (broker.Config{}) {
 		cfg.Broker = broker.DefaultConfig("naradad")
 	} else if cfg.Broker.ID == "" {
@@ -130,16 +142,27 @@ func NewServer(ln net.Listener, cfg ServerConfig) *Server {
 		heap:    simproc.NewSharedHeap("server-heap", 0, 0),
 	}
 	s.b = broker.New((*serverEnv)(s), cfg.Broker)
+	if restore != nil {
+		if err := restore(s.b); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+	}
 	if s.serial {
 		s.events = make(chan func(), 1024)
 		go s.loop()
 	}
 	go s.accept()
-	return s
+	return s, nil
 }
 
 // Addr returns the listener address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Broker exposes the wrapped core. The broker's API is shard-safe, but
+// recovery-oriented calls (Restore*, Dump*) assume quiescence — use the
+// NewServerRestored callback or call after Close.
+func (s *Server) Broker() *broker.Broker { return s.b }
 
 // Close stops the server and drops all connections.
 func (s *Server) Close() {

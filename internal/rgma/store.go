@@ -206,6 +206,46 @@ func (s *TupleStore) latestWith(now sim.Time, match func(sqlmini.Row) bool) []Tu
 	return out
 }
 
+// Dump snapshots the store's retained tuples in replay order: latest-view
+// tuples whose history copy has already been purged (oldest first, key
+// order on ties), then the history in insert order. Re-inserting the
+// returned tuples in order — preserving their InsertedAt stamps — rebuilds
+// both views: the pre-history tuples seed latest entries that outlived
+// their history copies, and each history insert overwrites latest for its
+// key exactly as the original did. Tuples past a retention period at
+// replay time are shed by the first post-replay purge, so a replayed
+// store answers every query identically. The returned Tuples share Row
+// slices with the store; callers must not mutate them.
+func (s *TupleStore) Dump() []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	covered := make(map[string]bool, len(s.history))
+	for _, t := range s.history {
+		covered[s.keyOf(t.Row)] = true
+	}
+	type keyed struct {
+		key string
+		t   Tuple
+	}
+	var pre []keyed
+	for k, t := range s.latest {
+		if !covered[k] {
+			pre = append(pre, keyed{k, t})
+		}
+	}
+	sort.Slice(pre, func(i, j int) bool {
+		if pre[i].t.InsertedAt != pre[j].t.InsertedAt {
+			return pre[i].t.InsertedAt < pre[j].t.InsertedAt
+		}
+		return pre[i].key < pre[j].key
+	})
+	out := make([]Tuple, 0, len(pre)+len(s.history))
+	for _, kt := range pre {
+		out = append(out, kt.t)
+	}
+	return append(out, s.history...)
+}
+
 // Len reports retained history size (after no purge; tests use it).
 func (s *TupleStore) Len() int {
 	s.mu.Lock()

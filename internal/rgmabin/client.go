@@ -140,6 +140,8 @@ func (c *Client) readLoop() {
 			c.complete(v.Seq, v)
 		case wire.RGMAErr:
 			c.complete(v.Seq, v)
+		case wire.RGMAStats:
+			c.complete(v.Seq, v)
 		}
 	}
 }
@@ -253,6 +255,25 @@ func (c *Client) CreateTable(sql string) error {
 	}
 	_, err = replyID(f)
 	return err
+}
+
+// Stats fetches the server's counter snapshot — core service counters
+// plus, when the server persists to a write-ahead log, the WAL
+// counters — over the binary transport.
+func (c *Client) Stats() (wire.RGMAStats, error) {
+	f, err := c.request(func(seq int64) wire.Frame {
+		return wire.RGMAStatsReq{Seq: seq}
+	})
+	if err != nil {
+		return wire.RGMAStats{}, err
+	}
+	switch v := f.(type) {
+	case wire.RGMAStats:
+		return v, nil
+	case wire.RGMAErr:
+		return wire.RGMAStats{}, &ServerError{Code: v.Code, Msg: v.Msg}
+	}
+	return wire.RGMAStats{}, fmt.Errorf("rgmabin: unexpected reply %v", f.Type())
 }
 
 // RemoteProducer is a handle to a producer resource on the server.

@@ -50,6 +50,7 @@ import (
 
 	"gridmon/internal/rgma"
 	"gridmon/internal/rgmacore"
+	"gridmon/internal/wal"
 	"gridmon/internal/wire"
 )
 
@@ -81,6 +82,7 @@ type Server struct {
 	closed bool
 
 	slowDrops atomic.Uint64
+	walStats  atomic.Pointer[func() wal.Stats]
 }
 
 // NewServer wraps a core (possibly shared with an rgmahttp.Server) in
@@ -101,6 +103,45 @@ func (s *Server) Core() *rgmacore.Core { return s.core }
 // SlowConsumerDrops reports connections dropped for an overflowing
 // write queue.
 func (s *Server) SlowConsumerDrops() uint64 { return s.slowDrops.Load() }
+
+// SetWALStats installs the write-ahead-log counter source reported by
+// the stats RPC (cmd/rgmad wires the persister's Stats method in when
+// it runs with -data-dir). Without one, replies carry WALEnabled false
+// and zero WAL counters.
+func (s *Server) SetWALStats(f func() wal.Stats) {
+	if f == nil {
+		s.walStats.Store(nil)
+		return
+	}
+	s.walStats.Store(&f)
+}
+
+// statsFrame snapshots the core and WAL counters into a reply frame.
+func (s *Server) statsFrame(seq int64) wire.RGMAStats {
+	cs := s.core.StatsSnapshot()
+	out := wire.RGMAStats{
+		Seq:            seq,
+		Producers:      uint32(cs.Producers),
+		Consumers:      uint32(cs.Consumers),
+		Inserts:        cs.Inserts,
+		Pops:           cs.Pops,
+		TuplesStreamed: cs.TuplesStreamed,
+		TuplesPopped:   cs.TuplesPopped,
+		TuplesDropped:  cs.TuplesDropped,
+	}
+	if f := s.walStats.Load(); f != nil {
+		ws := (*f)()
+		out.WALEnabled = true
+		out.WALRecordsAppended = ws.RecordsAppended
+		out.WALBytesLogged = ws.BytesLogged
+		out.WALFsyncs = ws.Fsyncs
+		out.WALSnapshots = ws.Snapshots
+		out.WALReplayRecords = ws.ReplayRecords
+		out.WALReplayTruncatedTail = ws.ReplayTruncatedTail
+		out.WALCleanStart = ws.CleanStart
+	}
+	return out
+}
 
 // ListenAndServe starts accepting on addr and returns the bound
 // address.
@@ -375,6 +416,8 @@ func (c *serverConn) handle(f wire.Frame) {
 			out.Tuples[i] = wire.RGMATuple{Row: t.Row, InsertedAt: t.InsertedAt}
 		}
 		c.send(out)
+	case wire.RGMAStatsReq:
+		c.send(c.s.statsFrame(v.Seq))
 	case wire.RGMAClose:
 		var err error
 		if v.Producer {

@@ -12,6 +12,7 @@ import (
 	"gridmon/internal/rgmabin"
 	"gridmon/internal/rgmacore"
 	"gridmon/internal/rgmahttp"
+	"gridmon/internal/wal"
 )
 
 const createSQL = `CREATE TABLE generator (
@@ -507,5 +508,48 @@ func TestBinConcurrentPushInsertStress(t *testing.T) {
 	}
 	if drops := s.SlowConsumerDrops(); drops != 0 {
 		t.Fatalf("slow-consumer drops during stress: %d", drops)
+	}
+}
+
+// TestBinStats: the stats RPC reports core counters over the binary
+// transport, and WAL counters only once a source is installed.
+func TestBinStats(t *testing.T) {
+	s, addr := startBin(t, rgmacore.Config{})
+	c := dial(t, addr)
+	if err := c.CreateTable(createSQL); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.CreatePrimaryProducer("generator", 30*time.Second, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stmt := fmt.Sprintf("INSERT INTO generator (genid, seq, power, site) VALUES (%d, %d, 480.5, 'aberdeen')", i, i)
+		if err := p.Insert(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Producers != 1 || st.Inserts != 3 {
+		t.Errorf("stats = %d producers / %d inserts, want 1 / 3", st.Producers, st.Inserts)
+	}
+	if st.WALEnabled || st.WALRecordsAppended != 0 {
+		t.Errorf("WAL counters set without a source: %+v", st)
+	}
+
+	s.SetWALStats(func() wal.Stats {
+		return wal.Stats{RecordsAppended: 7, BytesLogged: 123, Fsyncs: 2, ReplayRecords: 4, CleanStart: true}
+	})
+	st, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.WALEnabled || st.WALRecordsAppended != 7 || st.WALBytesLogged != 123 ||
+		st.WALFsyncs != 2 || st.WALReplayRecords != 4 || !st.WALCleanStart {
+		t.Errorf("WAL stats not forwarded: %+v", st)
 	}
 }

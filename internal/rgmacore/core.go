@@ -101,6 +101,11 @@ type Core struct {
 	nextID      atomic.Int64
 	maxBuffered int
 
+	// journal is the persistence seam (see journal.go); nil-by-default
+	// keeps every mutation path at one atomic load when persistence is
+	// off.
+	journal atomic.Pointer[Journal]
+
 	inserts        atomic.Uint64
 	pops           atomic.Uint64
 	tuplesStreamed atomic.Uint64
@@ -205,6 +210,11 @@ type Producer struct {
 	table     *sqlmini.Table
 	store     *rgma.TupleStore
 
+	// Effective (post-default) retention periods, kept for persistence
+	// dumps so a replayed producer purges identically.
+	latestRetention  sim.Time
+	historyRetention sim.Time
+
 	// sweepInterval is half the shorter retention period: the deadline
 	// cadence for insert-path purges.
 	sweepInterval sim.Time
@@ -240,6 +250,7 @@ type Consumer struct {
 	id        int64
 	regID     int64
 	query     sqlmini.Select
+	rawQuery  string           // original SELECT text, journaled for replay
 	prog      *sqlmini.Program // query.Where compiled against table
 	table     *sqlmini.Table
 	tableName string
@@ -346,6 +357,10 @@ func (s *Streamed) Encoded(encode func(PopTuple) []byte) []byte {
 // earlier: their table-identity checks stopped matching resources
 // created later and streaming went dark for any old/new mix.
 func (c *Core) CreateTable(sql string) (string, error) {
+	return c.createTable(sql, true)
+}
+
+func (c *Core) createTable(sql string, journal bool) (string, error) {
 	st, err := sqlmini.Parse(sql)
 	if err != nil {
 		return "", err
@@ -365,6 +380,13 @@ func (c *Core) CreateTable(sql string) (string, error) {
 		return "", fmt.Errorf("%w: table %q already exists with a different schema", ErrConflict, name)
 	}
 	ts.tables[name] = &ct.Table
+	if journal {
+		if j := c.loadJournal(); j != nil {
+			// The canonical rendering, not the client's text: replay must
+			// reconstruct a schema that compares sameSchema-equal.
+			j.TableCreated(ct.Table.CreateSQL())
+		}
+	}
 	return name, nil
 }
 
@@ -377,6 +399,10 @@ func sameSchema(a, b *sqlmini.Table) bool {
 // CreateProducer allocates a producer resource with memory storage on
 // an existing table. Non-positive retention selects the defaults.
 func (c *Core) CreateProducer(table string, latestRetention, historyRetention sim.Time) (*Producer, error) {
+	return c.addProducer(c.nextID.Add(1), table, latestRetention, historyRetention, true)
+}
+
+func (c *Core) addProducer(id int64, table string, latestRetention, historyRetention sim.Time, journal bool) (*Producer, error) {
 	if latestRetention <= 0 {
 		latestRetention = DefaultLatestRetention
 	}
@@ -391,11 +417,13 @@ func (c *Core) CreateProducer(table string, latestRetention, historyRetention si
 		return nil, fmt.Errorf("%w: no such table %q", ErrNotFound, table)
 	}
 	p := &Producer{
-		id:            c.nextID.Add(1),
-		tableName:     table,
-		table:         tab,
-		store:         rgma.NewTupleStore(tab, latestRetention, historyRetention),
-		sweepInterval: min(latestRetention, historyRetention) / 2,
+		id:               id,
+		tableName:        table,
+		table:            tab,
+		store:            rgma.NewTupleStore(tab, latestRetention, historyRetention),
+		latestRetention:  latestRetention,
+		historyRetention: historyRetention,
+		sweepInterval:    min(latestRetention, historyRetention) / 2,
 	}
 	if p.sweepInterval <= 0 {
 		p.sweepInterval = 1
@@ -408,6 +436,11 @@ func (c *Core) CreateProducer(table string, latestRetention, historyRetention si
 	ts.mu.Lock()
 	ts.producers[table] = append(ts.producers[table], p)
 	ts.mu.Unlock()
+	if journal {
+		if j := c.loadJournal(); j != nil {
+			j.ProducerCreated(p.id, table, latestRetention, historyRetention)
+		}
+	}
 	return p, nil
 }
 
@@ -422,6 +455,10 @@ func (c *Core) LookupProducer(id int64) (*Producer, bool) {
 
 // CloseProducer releases a producer resource.
 func (c *Core) CloseProducer(id int64) error {
+	return c.closeProducer(id, true)
+}
+
+func (c *Core) closeProducer(id int64, journal bool) error {
 	rs := c.resShardFor(id)
 	rs.mu.Lock()
 	p, exists := rs.producers[id]
@@ -437,6 +474,11 @@ func (c *Core) CloseProducer(id int64) error {
 	ts.mu.Lock()
 	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
 	ts.mu.Unlock()
+	if journal {
+		if j := c.loadJournal(); j != nil {
+			j.ProducerClosed(id)
+		}
+	}
 	return nil
 }
 
@@ -475,6 +517,13 @@ func (c *Core) Insert(producerID int64, sqlText string) error {
 	tuple := rgma.Tuple{Row: row, SentAt: now, InsertedAt: now}
 	p.store.Insert(tuple)
 	c.inserts.Add(1)
+	if j := c.loadJournal(); j != nil {
+		// The client's original text: replay re-parses and reorders it
+		// against the same schema, reproducing the stored row exactly.
+		// Appending before streaming means a transport ack sent after
+		// Insert returns implies the tuple is journaled.
+		j.Inserted(producerID, now, sqlText)
+	}
 	p.maybeSweep(now)
 	// Stream to matching continuous consumers immediately (the network
 	// bindings do not model the gLite streaming delay; the simulator
@@ -524,6 +573,10 @@ func ParseQueryType(s string) (rgma.QueryType, error) {
 // consumers are rejected (latest/history are request/response on every
 // transport).
 func (c *Core) CreateConsumer(query string, qtype rgma.QueryType, sink Sink) (*Consumer, error) {
+	return c.addConsumer(c.nextID.Add(1), query, qtype, sink, true)
+}
+
+func (c *Core) addConsumer(id int64, query string, qtype rgma.QueryType, sink Sink, journal bool) (*Consumer, error) {
 	sel, err := rgma.ParseQuery(query)
 	if err != nil {
 		return nil, err
@@ -539,8 +592,9 @@ func (c *Core) CreateConsumer(query string, qtype rgma.QueryType, sink Sink) (*C
 		return nil, fmt.Errorf("%w: no such table %q", ErrNotFound, sel.Table)
 	}
 	cn := &Consumer{
-		id:        c.nextID.Add(1),
+		id:        id,
 		query:     sel,
+		rawQuery:  query,
 		prog:      sel.Compiled(tab),
 		table:     tab,
 		tableName: sel.Table,
@@ -556,6 +610,14 @@ func (c *Core) CreateConsumer(query string, qtype rgma.QueryType, sink Sink) (*C
 		ts.mu.Lock()
 		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], cn)
 		ts.mu.Unlock()
+	}
+	if journal && sink == nil {
+		// Push-fed consumers are bound to a live transport connection —
+		// their sink dies with the process — so only polling (buffered or
+		// latest/history) consumers are journaled.
+		if j := c.loadJournal(); j != nil {
+			j.ConsumerCreated(cn.id, query, qtype)
+		}
 	}
 	return cn, nil
 }
@@ -614,6 +676,10 @@ func (c *Core) Pop(consumerID int64) ([]PopTuple, error) {
 // CloseConsumer releases a consumer resource; continuous consumers stop
 // receiving streams.
 func (c *Core) CloseConsumer(id int64) error {
+	return c.closeConsumer(id, true)
+}
+
+func (c *Core) closeConsumer(id int64, journal bool) error {
 	rs := c.resShardFor(id)
 	rs.mu.Lock()
 	cn, exists := rs.consumers[id]
@@ -630,6 +696,11 @@ func (c *Core) CloseConsumer(id int64) error {
 		ts.mu.Lock()
 		ts.continuous[cn.tableName] = removeHandle(ts.continuous[cn.tableName], cn)
 		ts.mu.Unlock()
+	}
+	if journal && cn.sink == nil {
+		if j := c.loadJournal(); j != nil {
+			j.ConsumerClosed(id)
+		}
 	}
 	return nil
 }

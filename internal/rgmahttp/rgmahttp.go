@@ -43,9 +43,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"gridmon/internal/rgmacore"
 	"gridmon/internal/sim"
+	"gridmon/internal/wal"
 )
 
 // Config tunes the server's concurrency architecture.
@@ -70,6 +72,8 @@ type Server struct {
 
 	http *http.Server
 	ln   net.Listener
+
+	walStats atomic.Pointer[func() wal.Stats]
 }
 
 // NewServer constructs an unstarted server with the default sharded
@@ -312,12 +316,26 @@ type Stats struct {
 	TuplesDropped  uint64 `json:"tuplesDropped"`
 	Shards         int    `json:"shards"`
 	Serial         bool   `json:"serial"`
+
+	// WAL is present only when the server persists to a write-ahead
+	// log (cmd/rgmad -data-dir).
+	WAL *wal.Stats `json:"wal,omitempty"`
+}
+
+// SetWALStats installs the write-ahead-log counter source reported
+// under "wal" in /stats. Pass nil to detach.
+func (s *Server) SetWALStats(f func() wal.Stats) {
+	if f == nil {
+		s.walStats.Store(nil)
+		return
+	}
+	s.walStats.Store(&f)
 }
 
 // StatsSnapshot reads the core counters; safe from any goroutine.
 func (s *Server) StatsSnapshot() Stats {
 	cs := s.core.StatsSnapshot()
-	return Stats{
+	st := Stats{
 		Producers:      cs.Producers,
 		Consumers:      cs.Consumers,
 		Inserts:        cs.Inserts,
@@ -328,6 +346,11 @@ func (s *Server) StatsSnapshot() Stats {
 		Shards:         s.core.NumShards(),
 		Serial:         s.cfg.Serial,
 	}
+	if f := s.walStats.Load(); f != nil {
+		ws := (*f)()
+		st.WAL = &ws
+	}
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -91,6 +91,66 @@ func (t *Table) PrimaryKey() []int {
 	return out
 }
 
+// CreateSQL renders the schema back to a CREATE TABLE statement that
+// Parse accepts and that round-trips to an identical Table. Persistence
+// layers journal this canonical form rather than the client's original
+// text, so replayed schemas compare equal under sameSchema checks.
+func (t *Table) CreateSQL() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(t.Name)
+	sb.WriteString(" (")
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.Type == TChar || c.Type == TVarchar {
+			sb.WriteString("(")
+			sb.WriteString(strconv.Itoa(c.Len))
+			sb.WriteString(")")
+		}
+		if c.Primary {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// InsertSQL renders a row (in table column order) as an INSERT statement
+// that Parse accepts and ReorderInsert maps back to the same row —
+// Value.String emits exact literal forms (FormatFloat -1 precision), so
+// the round-trip is lossless. Persistence layers use it to re-emit
+// stored tuples as compacted journal records.
+func InsertSQL(table string, row Row) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(table)
+	sb.WriteString(" VALUES (")
+	for i, v := range row {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if v.Kind == VFloat {
+			// Whole floats must not collapse to integer literals — the
+			// parser would hand back VInt and the round-trip would change
+			// the value's kind.
+			s := strconv.FormatFloat(v.F, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			sb.WriteString(s)
+		} else {
+			sb.WriteString(v.String())
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
 // Value is a SQL runtime value.
 type Value struct {
 	Kind ValueKind

@@ -2,6 +2,7 @@ package sqlmini
 
 import (
 	"errors"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -367,6 +368,61 @@ func BenchmarkWhereEval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !Matches(tab, s, r) {
 			b.Fatal("no match")
+		}
+	}
+}
+
+func TestCreateSQLRoundTrip(t *testing.T) {
+	tables := []*Table{
+		{Name: "t1", Columns: []Column{
+			{Name: "id", Type: TInteger, Primary: true},
+			{Name: "x", Type: TReal},
+			{Name: "y", Type: TDouble},
+			{Name: "s", Type: TChar, Len: 20},
+			{Name: "v", Type: TVarchar, Len: 64},
+		}},
+		{Name: "nokey", Columns: []Column{{Name: "a", Type: TInteger}, {Name: "b", Type: TInteger}}},
+	}
+	for _, tab := range tables {
+		sql := tab.CreateSQL()
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: Parse(CreateSQL) = %v\nsql: %s", tab.Name, err, sql)
+		}
+		got := st.(CreateTable).Table
+		if got.Name != tab.Name || !slices.Equal(got.Columns, tab.Columns) {
+			t.Errorf("%s: round-trip changed schema\nsql:  %s\ngot:  %+v\nwant: %+v", tab.Name, sql, got, *tab)
+		}
+		if got2 := got.CreateSQL(); got2 != sql {
+			t.Errorf("%s: CreateSQL not a fixpoint: %q then %q", tab.Name, sql, got2)
+		}
+	}
+}
+
+func TestInsertSQLRoundTrip(t *testing.T) {
+	tab := &Table{Name: "t", Columns: []Column{
+		{Name: "id", Type: TInteger, Primary: true},
+		{Name: "f", Type: TDouble},
+		{Name: "g", Type: TDouble},
+		{Name: "s", Type: TVarchar, Len: 50},
+		{Name: "n", Type: TInteger},
+	}}
+	rows := []Row{
+		{IntV(7), FloatV(1.5), FloatV(480), StringV("it's"), Null()},
+		{IntV(-3), FloatV(-0.25), FloatV(1e21), StringV(""), IntV(-9)},
+	}
+	for _, row := range rows {
+		sql := InsertSQL(tab.Name, row)
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(InsertSQL) = %v\nsql: %s", err, sql)
+		}
+		got, err := ReorderInsert(tab, st.(Insert))
+		if err != nil {
+			t.Fatalf("ReorderInsert: %v\nsql: %s", err, sql)
+		}
+		if !slices.Equal(got, row) {
+			t.Errorf("round-trip changed row\nsql:  %s\ngot:  %v\nwant: %v", sql, got, row)
 		}
 	}
 }

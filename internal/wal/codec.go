@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Record payloads are owner-defined; these helpers are the shared
+// vocabulary the owners (brokerwal, rgmawal) encode them with: uvarint
+// integers and length-prefixed byte strings, with a Dec that turns any
+// malformed payload into one sticky error instead of a panic. A replay
+// decode error aborts recovery — payloads live behind a CRC, so it
+// indicates a version or logic bug, not media corruption.
+
+// AppendUvarint appends v as a uvarint.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendBytes appends a uvarint length prefix and then b.
+func AppendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// AppendString appends s as a length-prefixed byte string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ErrBadRecord is the sticky error a Dec reports for a malformed
+// payload.
+var ErrBadRecord = errors.New("wal: malformed record payload")
+
+// Dec decodes a record payload written with the Append helpers. After
+// any underflow every accessor returns zero values and Err reports
+// ErrBadRecord.
+type Dec struct {
+	b   []byte
+	bad bool
+}
+
+// NewDec wraps payload for decoding.
+func NewDec(payload []byte) *Dec { return &Dec{b: payload} }
+
+// Err reports whether any read ran past the payload.
+func (d *Dec) Err() error {
+	if d.bad {
+		return ErrBadRecord
+	}
+	return nil
+}
+
+// Rest returns the undecoded remainder.
+func (d *Dec) Rest() []byte { return d.b }
+
+// Uvarint reads one uvarint.
+func (d *Dec) Uvarint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Bytes reads one length-prefixed byte string; the slice aliases the
+// payload.
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.bad || n > uint64(len(d.b)) {
+		d.bad = true
+		return nil
+	}
+	b := d.b[:n]
+	d.b = d.b[n:]
+	return b
+}
+
+// String reads one length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }

@@ -1,0 +1,131 @@
+package walfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error every faulted operation returns.
+var ErrInjected = errors.New("walfs: injected fault")
+
+// Fault wraps an FS and fails the Nth mutating I/O (counting Write and
+// Sync calls across all files, 1-based). A failing Write may first
+// apply a torn prefix of its payload — modeling a crash mid-write —
+// and every operation after the trigger also fails, modeling a process
+// that cannot touch the disk again until restart.
+//
+// Crash-point tests sweep FailAt over every I/O a workload performs and
+// assert recovery from each resulting image.
+type Fault struct {
+	fs FS
+
+	mu        sync.Mutex
+	failAt    int // 1-based op index to fail; 0 disables
+	tornBytes int // bytes of the failing Write applied before the error
+	ops       int
+	triggered bool
+}
+
+// NewFault wraps fs so the failAt'th Write/Sync fails, with tornBytes
+// of a failing Write applied first.
+func NewFault(fs FS, failAt, tornBytes int) *Fault {
+	return &Fault{fs: fs, failAt: failAt, tornBytes: tornBytes}
+}
+
+// Triggered reports whether the injected fault has fired.
+func (f *Fault) Triggered() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.triggered
+}
+
+// Ops reports how many Write/Sync calls have been observed; a sweep
+// runs once with no fault to size its FailAt range.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// step counts one mutating op and decides whether it faults. torn is
+// how many bytes of a faulting Write to apply first (0 for Sync).
+func (f *Fault) step() (fail bool, torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.triggered {
+		return true, 0
+	}
+	f.ops++
+	if f.failAt > 0 && f.ops == f.failAt {
+		f.triggered = true
+		return true, f.tornBytes
+	}
+	return false, 0
+}
+
+func (f *Fault) OpenFile(name string, create bool) (File, error) {
+	ff, err := f.fs.OpenFile(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: ff, ctl: f}, nil
+}
+
+func (f *Fault) Remove(name string) error {
+	f.mu.Lock()
+	dead := f.triggered
+	f.mu.Unlock()
+	if dead {
+		return ErrInjected
+	}
+	return f.fs.Remove(name)
+}
+
+func (f *Fault) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	dead := f.triggered
+	f.mu.Unlock()
+	if dead {
+		return ErrInjected
+	}
+	return f.fs.Rename(oldname, newname)
+}
+
+func (f *Fault) List() ([]string, error) { return f.fs.List() }
+
+type faultFile struct {
+	f   File
+	ctl *Fault
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *faultFile) Size() (int64, error)                    { return f.f.Size() }
+func (f *faultFile) Close() error                            { return f.f.Close() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fail, torn := f.ctl.step()
+	if fail {
+		if torn > len(p) {
+			torn = len(p)
+		}
+		if torn > 0 {
+			_, _ = f.f.Write(p[:torn])
+		}
+		return 0, ErrInjected
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.ctl.Triggered() {
+		return ErrInjected
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if fail, _ := f.ctl.step(); fail {
+		return ErrInjected
+	}
+	return f.f.Sync()
+}

@@ -1,0 +1,155 @@
+package walfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory FS that models crash durability: each file tracks
+// how much of its data has been Synced, and Crash simulates power loss
+// by discarding everything after the synced prefix. Directory
+// operations (Rename, Remove) are treated as immediately durable — the
+// disk backend fsyncs the directory to earn the same guarantee.
+//
+// Mem is safe for concurrent use.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+type memData struct {
+	data   []byte
+	synced int // bytes guaranteed to survive Crash
+}
+
+// NewMem returns an empty in-memory FS.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memData)}
+}
+
+func (m *Mem) OpenFile(name string, create bool) (File, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("walfs: invalid name %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.files[name]
+	if d == nil {
+		if !create {
+			return nil, notExist
+		}
+		d = &memData{}
+		m.files[name] = d
+	}
+	return &memFile{m: m, d: d}, nil
+}
+
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return notExist
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[oldname]
+	if !ok {
+		return notExist
+	}
+	delete(m.files, oldname)
+	m.files[newname] = d
+	return nil
+}
+
+func (m *Mem) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates power loss: every file loses its unsynced suffix.
+// Open files remain usable (they model file descriptors in the process
+// that died; tests normally reopen through a fresh Open of the log).
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.files {
+		d.data = d.data[:d.synced]
+	}
+}
+
+// CrashKeepUnsynced simulates the other legal outcome of power loss:
+// unsynced bytes happened to reach the platter before the lights went
+// out. Recovery must tolerate both worlds (and every prefix in
+// between, which Fault's torn writes exercise).
+func (m *Mem) CrashKeepUnsynced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.files {
+		d.synced = len(d.data)
+	}
+}
+
+type memFile struct {
+	m *Mem
+	d *memData
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if off < 0 || off > int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	f.d.data = append(f.d.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if size < int64(len(f.d.data)) {
+		f.d.data = f.d.data[:size]
+		if f.d.synced > int(size) {
+			f.d.synced = int(size)
+		}
+	}
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	f.d.synced = len(f.d.data)
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	return int64(len(f.d.data)), nil
+}
+
+func (f *memFile) Close() error { return nil }

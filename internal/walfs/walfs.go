@@ -1,0 +1,165 @@
+// Package walfs is the storage seam under the write-ahead log: a small
+// VFS interface with a disk backend for daemons, an in-memory backend
+// for tests, and a fault-injecting wrapper that fails (and optionally
+// tears) the Nth I/O so crash-point recovery is testable
+// deterministically.
+//
+// The interface is deliberately narrow — append-only files, whole-file
+// reads, rename, remove, list — because that is all a segmented WAL
+// needs. Nothing here knows about record framing; internal/wal layers
+// that on top.
+package walfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one log file. Writes are append-only: every Write extends the
+// file at its current end. Data is durable only after Sync returns (a
+// crash may drop or tear anything unsynced — the Mem backend models
+// exactly that).
+type File interface {
+	io.ReaderAt
+	io.Closer
+	// Write appends p at the end of the file.
+	Write(p []byte) (int, error)
+	// Truncate discards everything at or beyond size.
+	Truncate(size int64) error
+	// Sync makes all appended data durable.
+	Sync() error
+	// Size reports the current file length.
+	Size() (int64, error)
+}
+
+// FS is the directory holding one log: a flat namespace of files.
+type FS interface {
+	// OpenFile opens name for reading and appending, creating it if
+	// create is set; opening a missing file without create fails with
+	// an error satisfying errors.Is(err, fs.ErrNotExist).
+	OpenFile(name string, create bool) (File, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// List returns every file name in the directory, sorted.
+	List() ([]string, error)
+}
+
+// diskFS backs FS with a real directory. Rename and Remove are followed
+// by a directory fsync so the namespace change is durable too — without
+// it a crash can resurrect a pruned segment or lose a freshly installed
+// snapshot on some filesystems.
+type diskFS struct{ dir string }
+
+// Disk returns a disk-backed FS rooted at dir, creating it if needed.
+func Disk(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskFS{dir: dir}, nil
+}
+
+func (d *diskFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+func (d *diskFS) OpenFile(name string, create bool) (File, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(d.path(name), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return &diskFile{f: f, end: off}, nil
+}
+
+func (d *diskFS) Remove(name string) error {
+	if err := os.Remove(d.path(name)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+func (d *diskFS) Rename(oldname, newname string) error {
+	if err := os.Rename(d.path(oldname), d.path(newname)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+func (d *diskFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *diskFS) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// diskFile tracks the append offset itself instead of using O_APPEND so
+// Truncate (used to drop a torn tail during recovery) composes with
+// later appends.
+type diskFile struct {
+	f   *os.File
+	end int64
+}
+
+func (f *diskFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *diskFile) Write(p []byte) (int, error) {
+	n, err := f.f.WriteAt(p, f.end)
+	f.end += int64(n)
+	return n, err
+}
+
+func (f *diskFile) Truncate(size int64) error {
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	if size < f.end {
+		f.end = size
+	}
+	return nil
+}
+
+func (f *diskFile) Sync() error          { return f.f.Sync() }
+func (f *diskFile) Size() (int64, error) { return f.end, nil }
+func (f *diskFile) Close() error         { return f.f.Close() }
+
+// notExist adapts a missing-file condition to fs.ErrNotExist for
+// backends that don't come by it naturally.
+var notExist = &fs.PathError{Op: "open", Err: fs.ErrNotExist}
+
+// cleanName rejects path separators so every backend presents the same
+// flat namespace the disk backend has.
+func validName(name string) bool {
+	return name != "" && !strings.ContainsAny(name, "/\\")
+}

@@ -1,0 +1,197 @@
+package walfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// backends runs a subtest against the mem and disk implementations so
+// both honor the same contract.
+func backends(t *testing.T, run func(t *testing.T, fsys FS)) {
+	t.Run("mem", func(t *testing.T) { run(t, NewMem()) })
+	t.Run("disk", func(t *testing.T) {
+		d, err := Disk(t.TempDir() + "/wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, d)
+	})
+}
+
+func write(t *testing.T, f File, data string) {
+	t.Helper()
+	if n, err := f.Write([]byte(data)); err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+}
+
+func readFull(t *testing.T, f File) string {
+	t.Helper()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return string(buf)
+}
+
+func TestBackendContract(t *testing.T) {
+	backends(t, func(t *testing.T, fsys FS) {
+		if _, err := fsys.OpenFile("absent", false); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("open missing without create: err = %v, want fs.ErrNotExist", err)
+		}
+		f, err := fsys.OpenFile("a", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "hello ")
+		write(t, f, "world")
+		if got := readFull(t, f); got != "hello world" {
+			t.Fatalf("appended content = %q", got)
+		}
+		if err := f.Truncate(5); err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "!")
+		if got := readFull(t, f); got != "hello!" {
+			t.Fatalf("after truncate+append: %q", got)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reopen preserves content and append position.
+		f, err = fsys.OpenFile("a", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "?")
+		if got := readFull(t, f); got != "hello!?" {
+			t.Fatalf("after reopen+append: %q", got)
+		}
+		_ = f.Close()
+
+		if err := fsys.Rename("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		names, err := fsys.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 1 || names[0] != "b" {
+			t.Fatalf("List after rename = %v", names)
+		}
+		if err := fsys.Remove("b"); err != nil {
+			t.Fatal(err)
+		}
+		if names, _ := fsys.List(); len(names) != 0 {
+			t.Fatalf("List after remove = %v", names)
+		}
+	})
+}
+
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("f", true)
+	write(t, f, "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, " volatile")
+	m.Crash()
+	g, err := m.OpenFile("f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readFull(t, g); got != "durable" {
+		t.Fatalf("after crash: %q, want only the synced prefix", got)
+	}
+}
+
+func TestMemCrashKeepUnsynced(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("f", true)
+	write(t, f, "durable")
+	_ = f.Sync()
+	write(t, f, " lucky")
+	m.CrashKeepUnsynced()
+	m.Crash() // everything is now synced, so nothing drops
+	g, _ := m.OpenFile("f", false)
+	if got := readFull(t, g); got != "durable lucky" {
+		t.Fatalf("after keep-unsynced crash: %q", got)
+	}
+}
+
+func TestMemTruncateLowersSyncedLen(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenFile("f", true)
+	write(t, f, "0123456789")
+	_ = f.Sync()
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "ab")
+	m.Crash() // "ab" unsynced; synced mark must have moved down to 4
+	g, _ := m.OpenFile("f", false)
+	if got := readFull(t, g); got != "0123" {
+		t.Fatalf("after truncate+crash: %q", got)
+	}
+}
+
+func TestFaultFailsNthOp(t *testing.T) {
+	// Ops: write(1) sync(2) write(3) — fail the third, torn by 2 bytes.
+	m := NewMem()
+	ff := NewFault(m, 3, 2)
+	f, err := ff.OpenFile("f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "aaaa")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd op: err = %v, want ErrInjected", err)
+	}
+	if !ff.Triggered() {
+		t.Fatal("fault did not report triggered")
+	}
+	// Everything after the trigger fails too.
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trigger sync: err = %v", err)
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trigger write: err = %v", err)
+	}
+	if err := ff.Remove("f"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trigger remove: err = %v", err)
+	}
+	// The torn prefix of the failing write reached the file.
+	g, _ := m.OpenFile("f", false)
+	if got := readFull(t, g); got != "aaaabb" {
+		t.Fatalf("file content = %q, want synced prefix + 2 torn bytes", got)
+	}
+}
+
+func TestFaultOpsCounter(t *testing.T) {
+	ff := NewFault(NewMem(), 0, 0)
+	f, _ := ff.OpenFile("f", true)
+	write(t, f, "x")
+	_ = f.Sync()
+	write(t, f, "y")
+	if got := ff.Ops(); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+	if ff.Triggered() {
+		t.Fatal("fault with FailAt=0 must never trigger")
+	}
+}

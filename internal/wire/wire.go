@@ -52,6 +52,8 @@ const (
 	FTRGMAOK
 	FTRGMAErr
 	FTRGMATuples
+	FTRGMAStatsReq
+	FTRGMAStats
 )
 
 var frameNames = map[FrameType]string{
@@ -61,11 +63,12 @@ var frameNames = map[FrameType]string{
 	FTPing: "PING", FTPong: "PONG", FTBrokerHello: "BROKER_HELLO",
 	FTBrokerForward: "BROKER_FORWARD", FTBrokerSub: "BROKER_SUB",
 	FTBrokerLink: "BROKER_LINK",
-	FTRGMAHello: "RGMA_HELLO", FTRGMAWelcome: "RGMA_WELCOME",
+	FTRGMAHello:  "RGMA_HELLO", FTRGMAWelcome: "RGMA_WELCOME",
 	FTRGMACreateTable: "RGMA_CREATE_TABLE", FTRGMAProducerCreate: "RGMA_PRODUCER_CREATE",
 	FTRGMAInsert: "RGMA_INSERT", FTRGMAConsumerCreate: "RGMA_CONSUMER_CREATE",
 	FTRGMAPop: "RGMA_POP", FTRGMAClose: "RGMA_CLOSE", FTRGMAOK: "RGMA_OK",
 	FTRGMAErr: "RGMA_ERR", FTRGMATuples: "RGMA_TUPLES",
+	FTRGMAStatsReq: "RGMA_STATS_REQ", FTRGMAStats: "RGMA_STATS",
 }
 
 func (t FrameType) String() string {
@@ -516,6 +519,30 @@ func readMessage(r *reader) *message.Message {
 	return m
 }
 
+// MarshalMessage appends the standalone codec form of m to dst — the
+// same bytes Publish and Deliver frames embed. It backs the broker's
+// write-ahead-log records, which persist stored messages outside any
+// frame.
+func MarshalMessage(dst []byte, m *message.Message) []byte {
+	w := &writer{buf: dst}
+	writeMessage(w, m)
+	return w.buf
+}
+
+// UnmarshalMessage decodes one standalone message produced by
+// MarshalMessage; the buffer must contain exactly one message.
+func UnmarshalMessage(buf []byte) (*message.Message, error) {
+	r := &reader{buf: buf}
+	m := readMessage(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(buf)-r.off)
+	}
+	return m, nil
+}
+
 // Marshal encodes a frame to bytes.
 func Marshal(f Frame) []byte {
 	return MarshalAppend(make([]byte, 0, 64), f)
@@ -615,6 +642,10 @@ func MarshalAppend(dst []byte, f Frame) []byte {
 		w.str(v.Msg)
 	case RGMATuples:
 		writeRGMATuples(w, v)
+	case RGMAStatsReq:
+		w.u64(uint64(v.Seq))
+	case RGMAStats:
+		writeRGMAStats(w, v)
 	default:
 		panic(fmt.Sprintf("wire: marshal of unknown frame %T", f))
 	}
@@ -711,6 +742,10 @@ func Unmarshal(buf []byte) (Frame, error) {
 		f = RGMAErr{Seq: int64(r.u64()), Code: r.u8(), Msg: r.str()}
 	case FTRGMATuples:
 		f = readRGMATuples(r)
+	case FTRGMAStatsReq:
+		f = RGMAStatsReq{Seq: int64(r.u64())}
+	case FTRGMAStats:
+		f = readRGMAStats(r)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, t)
 	}
@@ -781,6 +816,10 @@ func Size(f Frame) int {
 		n += 8 + 1 + 4 + len(v.Msg)
 	case RGMATuples:
 		n += sizeRGMATuples(v)
+	case RGMAStatsReq:
+		n += 8
+	case RGMAStats:
+		n += sizeRGMAStats()
 	default:
 		panic(fmt.Sprintf("wire: size of unknown frame %T", f))
 	}

@@ -66,6 +66,14 @@ func allFrames() []Frame {
 			{Row: []string{"1", "480.5", "'site-0001'"}, InsertedAt: 12345},
 			{Row: nil, InsertedAt: 6},
 		}},
+		RGMAStatsReq{Seq: 7},
+		RGMAStats{
+			Seq: 7, Producers: 3, Consumers: 2, Inserts: 100, Pops: 20,
+			TuplesStreamed: 90, TuplesPopped: 55, TuplesDropped: 1,
+			WALEnabled: true, WALRecordsAppended: 104, WALBytesLogged: 4096,
+			WALFsyncs: 13, WALSnapshots: 1, WALReplayRecords: 17,
+			WALReplayTruncatedTail: 9, WALCleanStart: true,
+		},
 	}
 }
 
@@ -186,6 +194,28 @@ func TestAllBodyKindsRoundTrip(t *testing.T) {
 		if !m.Equal(gm) {
 			t.Fatalf("%v round trip mismatch", m.BodyKind())
 		}
+	}
+}
+
+func TestStandaloneMessageRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	buf := MarshalMessage(nil, m)
+	got, err := UnmarshalMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("standalone message round trip mismatch")
+	}
+	// The standalone form is the embedded form: Publish = type + seq + message.
+	if want := len(Marshal(Publish{Seq: 1, Msg: m})) - 9; len(buf) != want {
+		t.Fatalf("standalone message size %d != embedded size %d", len(buf), want)
+	}
+	if _, err := UnmarshalMessage(append(buf, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing bytes err = %v", err)
+	}
+	if _, err := UnmarshalMessage(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated message must fail")
 	}
 }
 
