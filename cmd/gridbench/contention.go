@@ -1,0 +1,297 @@
+// The contention mode measures the PR's tentpole claim directly on a
+// live in-process broker and R-GMA core: with every worker hammering
+// the SAME destination — the worst case for lock-held routing — the
+// snapshot read path must take zero read-path shard locks per publish
+// while the LockedReadPath baseline takes one, and the ns/op of both
+// modes is recorded side by side. Run it as
+//
+//	gridbench contention [-benchtime 100000x] [-workers 4] [-cpu 1,4]
+//	                     [-out BENCH_contention.json]
+//
+// -benchtime accepts go-bench syntax: "Nx" for a fixed operation count
+// or a duration to run at least that long. -workers 0 means GOMAXPROCS;
+// -cpu runs the whole matrix once per GOMAXPROCS value, the same axis
+// the other BENCH_*.json files sweep. Without -out the JSON goes to
+// stdout. The mode self-checks: a snapshot-mode cell with a non-zero
+// read-lock rate is a regression and exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/rgma"
+	"gridmon/internal/rgmacore"
+	"gridmon/internal/wire"
+)
+
+// contentionResult is one cell of BENCH_contention.json.
+type contentionResult struct {
+	Component      string  `json:"component"` // broker | rgmacore
+	Mode           string  `json:"mode"`      // snapshot | locked
+	CPUs           int     `json:"gomaxprocs"`
+	Workers        int     `json:"workers"`
+	Ops            int64   `json:"ops"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	ReadLocksPerOp float64 `json:"read_locks_per_op"`
+}
+
+// benchTime is a parsed -benchtime: either a fixed op count or a
+// minimum duration (whole rounds of opsPerRound run until it elapses).
+type benchTime struct {
+	ops int64
+	dur time.Duration
+}
+
+func parseBenchTime(s string) (benchTime, error) {
+	if n, ok := strings.CutSuffix(s, "x"); ok {
+		ops, err := strconv.ParseInt(n, 10, 64)
+		if err != nil || ops < 1 {
+			return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
+		}
+		return benchTime{ops: ops}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
+	}
+	return benchTime{dur: d}, nil
+}
+
+func contentionMain(args []string) {
+	fs := flag.NewFlagSet("gridbench contention", flag.ExitOnError)
+	bt := fs.String("benchtime", "100000x", "operations per cell (Nx) or minimum duration per cell")
+	workers := fs.Int("workers", 4, "concurrent workers per cell (0 = GOMAXPROCS)")
+	cpus := fs.String("cpu", "", "comma-separated GOMAXPROCS values to matrix over (empty = current)")
+	out := fs.String("out", "", "write the JSON here (empty = stdout)")
+	_ = fs.Parse(args)
+
+	budget, err := parseBenchTime(*bt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench contention: %v\n", err)
+		os.Exit(2)
+	}
+	cpuList := []int{runtime.GOMAXPROCS(0)}
+	if *cpus != "" {
+		cpuList = cpuList[:0]
+		for _, s := range strings.Split(*cpus, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "gridbench contention: bad -cpu %q\n", *cpus)
+				os.Exit(2)
+			}
+			cpuList = append(cpuList, n)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	var results []contentionResult
+	for _, nCPU := range cpuList {
+		runtime.GOMAXPROCS(nCPU)
+		w := *workers
+		if w <= 0 {
+			w = nCPU
+		}
+		for _, locked := range []bool{false, true} {
+			results = append(results, brokerContention(budget, nCPU, w, locked))
+		}
+		for _, locked := range []bool{false, true} {
+			results = append(results, rgmaContention(budget, nCPU, w, locked))
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	buf, err := json.MarshalIndent(map[string]any{
+		"benchmark": "read-path lock contention: copy-on-write snapshot routing vs LockedReadPath baseline",
+		"description": "All workers publish to one topic / insert into one table — the worst case for lock-held " +
+			"routing. read_locks_per_op counts read-path shard-lock acquisitions (broker Stats.ReadLockAcquisitions, " +
+			"rgmacore Stats.ReadLockAcquisitions): the snapshot path must show 0, the locked baseline 1 per op. " +
+			"ns/op differences need real cores; on a single-CPU host the modes time-share and converge.",
+		"host_cpus": runtime.NumCPU(),
+		"results":   results,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench contention: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench contention: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, r := range results {
+		if r.Mode == "snapshot" && r.ReadLocksPerOp != 0 {
+			fmt.Fprintf(os.Stderr,
+				"gridbench contention: REGRESSION: %s snapshot path took %.3f read locks/op (want 0)\n",
+				r.Component, r.ReadLocksPerOp)
+			os.Exit(1)
+		}
+	}
+}
+
+// runCells drives `workers` goroutines pulling operation slots from a
+// shared counter until the benchtime budget is spent, and returns the
+// op count and wall time.
+func runCells(budget benchTime, workers int, op func(worker int, i int64)) (ops int64, elapsed time.Duration) {
+	var next, done atomic.Int64
+	start := time.Now()
+	deadline := start.Add(budget.dur)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if budget.ops > 0 {
+					if i > budget.ops {
+						return
+					}
+				} else if i%256 == 0 && time.Now().After(deadline) {
+					return
+				}
+				op(g, i)
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return done.Load(), time.Since(start)
+}
+
+// contEnv is the minimal thread-safe broker.Env for the contention
+// cells: deliveries are recorded per subscriber connection so workers
+// can feed acks back, exactly what a live transport does.
+type contEnv struct {
+	mu    sync.Mutex
+	pairs []wire.Ack // one recorded (sub, tag) per entry
+}
+
+func (e *contEnv) Now() int64 { return 0 }
+func (e *contEnv) Send(c broker.ConnID, f wire.Frame) {
+	if d, ok := f.(*wire.Deliver); ok {
+		e.mu.Lock()
+		e.pairs = append(e.pairs, wire.Ack{SubID: d.SubID, Tags: []int64{d.Tag}})
+		e.mu.Unlock()
+		wire.PutDeliver(d)
+	}
+}
+func (e *contEnv) CloseConn(broker.ConnID) {}
+func (e *contEnv) AllocConn() error        { return nil }
+func (e *contEnv) FreeConn()               {}
+func (e *contEnv) Alloc(int64) error       { return nil }
+func (e *contEnv) Free(int64)              {}
+
+func brokerContention(budget benchTime, nCPU, workers int, locked bool) contentionResult {
+	env := &contEnv{}
+	cfg := broker.DefaultConfig("contention")
+	cfg.LockedReadPath = locked
+	b := broker.New(env, cfg)
+
+	const subConn, subs = broker.ConnID(1), 16
+	if err := b.OnConnOpen(subConn); err != nil {
+		panic(err)
+	}
+	for s := 0; s < subs; s++ {
+		b.OnFrame(subConn, wire.Subscribe{SubID: int64(s + 1), Dest: message.Topic("hot")})
+	}
+	for g := 0; g < workers; g++ {
+		if err := b.OnConnOpen(broker.ConnID(100 + g)); err != nil {
+			panic(err)
+		}
+	}
+	before := b.Stats()
+
+	var scratch sync.Pool
+	ops, elapsed := runCells(budget, workers, func(g int, i int64) {
+		m := message.NewText("reading")
+		m.ID = fmt.Sprintf("ID:cont/%d", i)
+		m.Dest = message.Topic("hot")
+		m.SetProperty("id", message.Int(int32(i%100)))
+		b.OnFrame(broker.ConnID(100+g), wire.Publish{Seq: i, Msg: m})
+		// Feed back whatever acks have accumulated; contention on the
+		// record mirrors a shared subscriber socket.
+		var acks []wire.Ack
+		if v := scratch.Get(); v != nil {
+			acks = v.([]wire.Ack)
+		}
+		env.mu.Lock()
+		acks = append(acks[:0], env.pairs...)
+		env.pairs = env.pairs[:0]
+		env.mu.Unlock()
+		for _, a := range acks {
+			b.OnFrame(subConn, a)
+		}
+		scratch.Put(acks)
+	})
+
+	after := b.Stats()
+	return contentionResult{
+		Component:      "broker",
+		Mode:           modeName(locked),
+		CPUs:           nCPU,
+		Workers:        workers,
+		Ops:            ops,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(ops),
+		ReadLocksPerOp: float64(after.ReadLockAcquisitions-before.ReadLockAcquisitions) / float64(ops),
+	}
+}
+
+func rgmaContention(budget benchTime, nCPU, workers int, locked bool) contentionResult {
+	c := rgmacore.New(rgmacore.Config{LockedReadPath: locked})
+	if _, err := c.CreateTable("CREATE TABLE hot (genid INTEGER PRIMARY KEY, seq INTEGER, site CHAR(20))"); err != nil {
+		panic(err)
+	}
+	for s := 0; s < 16; s++ {
+		if _, err := c.CreateConsumer("SELECT * FROM hot", rgma.ContinuousQuery, nil); err != nil {
+			panic(err)
+		}
+	}
+	prods := make([]*rgmacore.Producer, workers)
+	for g := range prods {
+		p, err := c.CreateProducer("hot", 0, 0)
+		if err != nil {
+			panic(err)
+		}
+		prods[g] = p
+	}
+	before := c.StatsSnapshot()
+
+	ops, elapsed := runCells(budget, workers, func(g int, i int64) {
+		stmt := fmt.Sprintf("INSERT INTO hot (genid, seq, site) VALUES (%d, %d, 'cont')", i%100, i)
+		if err := c.Insert(prods[g].ID(), stmt); err != nil {
+			panic(err)
+		}
+	})
+
+	after := c.StatsSnapshot()
+	return contentionResult{
+		Component:      "rgmacore",
+		Mode:           modeName(locked),
+		CPUs:           nCPU,
+		Workers:        workers,
+		Ops:            ops,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(ops),
+		ReadLocksPerOp: float64(after.ReadLockAcquisitions-before.ReadLockAcquisitions) / float64(ops),
+	}
+}
+
+func modeName(locked bool) string {
+	if locked {
+		return "locked"
+	}
+	return "snapshot"
+}

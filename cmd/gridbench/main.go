@@ -6,9 +6,13 @@
 //	gridbench [-scale quick|full] [-run all|table1|table2|table3|fig3|fig4|
 //	          fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|
 //	          warmup|oom|ablations]
+//	gridbench contention [-benchtime 100000x] [-workers 0] [-out FILE]
 //
 // -scale full reproduces the paper's 30-minute runs (slower); quick keeps
 // the same connection counts and rates with a shorter measurement window.
+// The contention subcommand measures the lock-free read path against the
+// LockedReadPath baseline on live cores (see contention.go); it feeds
+// BENCH_contention.json.
 package main
 
 import (
@@ -23,6 +27,13 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `gridbench contention` measures live lock
+	// contention (see contention.go); everything else is the simulator's
+	// figure/table runner.
+	if len(os.Args) > 1 && os.Args[1] == "contention" {
+		contentionMain(os.Args[2:])
+		return
+	}
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	runFlag := flag.String("run", "all", "comma-separated experiment ids (see doc comment)")
 	flag.Parse()

@@ -15,7 +15,10 @@
 //
 // runs 8 parallel connections, each publishing 100 msg/s (0 = as fast
 // as possible) round-robin onto power.monitoring.0 … power.monitoring.7,
-// and reports the aggregate throughput achieved.
+// and reports the aggregate throughput achieved plus per-publish
+// latency percentiles (p50/p95/p99/max). With -sync each sample is the
+// full publish→broker-acknowledgement round trip; without it, the time
+// to hand the message to the connection's writer (local enqueue).
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"gridmon/internal/gridgen"
 	"gridmon/internal/jms"
+	"gridmon/internal/latency"
 	"gridmon/internal/message"
 )
 
@@ -49,7 +53,9 @@ func main() {
 	}
 
 	var wg sync.WaitGroup
+	recs := make([]*latency.Recorder, *generators)
 	for g := 0; g < *generators; g++ {
+		recs[g] = latency.NewRecorder(0)
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
@@ -65,6 +71,7 @@ func main() {
 				m := gridgen.MonitoringMessage(g, seq)
 				m.Dest = message.Topic(*topic)
 				var err error
+				t0 := time.Now()
 				if *sync_ {
 					err = conn.PublishSync(m)
 				} else {
@@ -74,6 +81,7 @@ func main() {
 					log.Printf("generator %d: publish: %v", g, err)
 					return
 				}
+				recs[g].Record(time.Since(t0))
 				if *count > 0 && seq >= int64(*count) {
 					return
 				}
@@ -83,6 +91,21 @@ func main() {
 	}
 	wg.Wait()
 	log.Printf("gridpub: all generators finished")
+	logLatency(recs, *sync_)
+}
+
+// logLatency merges the workers' recorders (after they have joined) and
+// prints the per-publish percentile summary.
+func logLatency(recs []*latency.Recorder, syncMode bool) {
+	all := latency.NewRecorder(0)
+	for _, r := range recs {
+		all.Merge(r)
+	}
+	kind := "publish enqueue"
+	if syncMode {
+		kind = "publish-ack round trip"
+	}
+	log.Printf("gridpub: %s latency: %v", kind, all.Summarize())
 }
 
 // loadTest runs nConns parallel connections, each publishing at the
@@ -95,7 +118,9 @@ func loadTest(addr, topic string, nConns, nTopics, count int, rate float64, sync
 	var sent, failed atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
+	recs := make([]*latency.Recorder, nConns)
 	for c := 0; c < nConns; c++ {
+		recs[c] = latency.NewRecorder(0)
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -124,6 +149,7 @@ func loadTest(addr, topic string, nConns, nTopics, count int, rate float64, sync
 					m.Dest = message.Topic(topic)
 				}
 				var err error
+				t0 := time.Now()
 				if syncMode {
 					err = conn.PublishSync(m)
 				} else {
@@ -133,6 +159,7 @@ func loadTest(addr, topic string, nConns, nTopics, count int, rate float64, sync
 					log.Printf("conn %d: publish: %v", c, err)
 					return
 				}
+				recs[c].Record(time.Since(t0))
 				sent.Add(1)
 				if tick != nil {
 					<-tick
@@ -145,6 +172,7 @@ func loadTest(addr, topic string, nConns, nTopics, count int, rate float64, sync
 	n := sent.Load()
 	log.Printf("gridpub: load test done: %d msgs over %d conns on %d topics in %v (%.0f msg/s aggregate)",
 		n, nConns, nTopics, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	logLatency(recs, syncMode)
 	if failed.Load() > 0 {
 		log.Printf("gridpub: %d connections failed to dial", failed.Load())
 	}

@@ -5,13 +5,20 @@
 // Usage:
 //
 //	naradad [-listen :7672] [-id broker-1] [-max-conn-mem 0]
-//	        [-shards 0] [-serial] [-data-dir DIR] [-fsync]
+//	        [-shards 0] [-serial] [-locked-read] [-data-dir DIR] [-fsync]
 //	        [-routing broadcast|tree] [-peer host:port]...
+//	        [-stats-listen :7680] [-pprof]
 //
 // By default the broker core is sharded across the CPUs (publishes to
-// different topics run in parallel); -serial restores the single
-// event-loop dispatch as an A/B baseline for load tests, -shards pins
-// the destination-shard count.
+// different topics run in parallel) and topic routing is lock-free: a
+// publish reads a copy-on-write snapshot of the subscriber index
+// without taking its shard's lock. -locked-read restores lock-held
+// routing as an A/B baseline, -serial restores the single event-loop
+// dispatch, -shards pins the destination-shard count. -pprof mounts
+// net/http/pprof under /debug/pprof/ on the stats listener (requires
+// -stats-listen) and enables mutex profiling, so routing-path
+// contention can be measured on a live daemon; the shard-lock wait
+// counters appear in GET /stats either way.
 //
 // -data-dir makes the broker's durable state — durable subscriptions,
 // their disconnected backlogs and queue backlogs — survive restarts: a
@@ -39,8 +46,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -60,6 +69,8 @@ func main() {
 	statsListen := flag.String("stats-listen", "", "HTTP address serving GET /stats as JSON (empty disables)")
 	shards := flag.Int("shards", 0, "destination shard count (0 = one per CPU)")
 	serial := flag.Bool("serial", false, "single event-loop dispatch (pre-shard baseline)")
+	lockedRead := flag.Bool("locked-read", false, "take the shard lock on the topic-routing read path (pre-snapshot baseline)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the stats listener (requires -stats-listen) and enable mutex profiling")
 	dataDir := flag.String("data-dir", "", "persist durable subscriptions and queues to a write-ahead log under this directory (empty = memory-only)")
 	fsync := flag.Bool("fsync", false, "fsync every WAL group commit (durable against power loss, not just crashes)")
 	routing := flag.String("routing", "", "join a distributed broker network with this routing mode (broadcast or tree)")
@@ -73,10 +84,17 @@ func main() {
 	if len(peers) > 0 && *routing == "" {
 		log.Fatal("naradad: -peer requires -routing (broadcast or tree)")
 	}
+	if *pprofOn {
+		if *statsListen == "" {
+			log.Fatal("naradad: -pprof requires -stats-listen (pprof mounts on the stats endpoint)")
+		}
+		runtime.SetMutexProfileFraction(5)
+	}
 
 	cfg := broker.DefaultConfig(*id)
 	cfg.Shards = *shards
 	cfg.SerialCore = *serial
+	cfg.LockedReadPath = *lockedRead
 
 	// With -data-dir, recovery runs in NewServerRestored's quiescent
 	// window: the WAL is replayed into the broker before the listener
@@ -128,7 +146,7 @@ func main() {
 	}
 
 	if *statsListen != "" {
-		go serveStats(*statsListen, srv, pers)
+		go serveStats(*statsListen, srv, pers, *pprofOn)
 	}
 
 	if *statsEvery > 0 {
@@ -169,7 +187,10 @@ func main() {
 
 // serveStats exposes the broker and WAL counters as JSON on
 // GET /stats, the naradad counterpart of rgmad's HTTP stats endpoint.
-func serveStats(addr string, srv *jms.Server, pers *brokerwal.Persister) {
+// With pprofOn the net/http/pprof handlers ride on the same listener —
+// the capture recipe is in the README's "Concurrency architecture"
+// section.
+func serveStats(addr string, srv *jms.Server, pers *brokerwal.Persister, pprofOn bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		out := struct {
@@ -183,6 +204,13 @@ func serveStats(addr string, srv *jms.Server, pers *brokerwal.Persister) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Printf("naradad: stats endpoint: %v", err)
 	}

@@ -26,7 +26,9 @@
 //	rgmaload -transport bin -server localhost:8089 \
 //	         -conns 8 -rate 100 -tables 8 -count 1000 -batch 16 -consumers 8
 //
-// It reports the aggregate insert throughput achieved and, when
+// It reports the aggregate insert throughput achieved, the
+// p50/p95/p99/max latency of the acknowledged operations (each HTTP
+// insert request; each pipelined batch flush on bin) and, when
 // consumers run, the tuples they observed. Drive rgmad once with
 // -transport http and once with bin to measure the push transport's
 // gain on your hardware.
@@ -41,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridmon/internal/latency"
 	"gridmon/internal/rgmabin"
 	"gridmon/internal/rgmahttp"
 	"gridmon/internal/sqlmini"
@@ -48,7 +51,9 @@ import (
 
 // producerSession is one worker's handle on the server, whichever
 // transport carries it. flush pushes out any partial batch (a no-op
-// over HTTP, which has no batching).
+// over HTTP, which has no batching). Each transport records its acked
+// operation into the worker's latency recorder: HTTP times every
+// insert request, bin times every batch flush.
 type producerSession struct {
 	send  func(sql string) error
 	flush func() error
@@ -79,7 +84,7 @@ func main() {
 	// the load loop below is transport-blind.
 	var (
 		createTable   func(sql string) error
-		newProducer   func(w int, table string) (producerSession, error)
+		newProducer   func(w int, table string, rec *latency.Recorder) (producerSession, error)
 		startConsumer func(i int, popped *atomic.Int64) (stop func(), err error)
 		serverStats   func()
 	)
@@ -87,13 +92,20 @@ func main() {
 	case "http":
 		c := rgmahttp.NewClient(*server)
 		createTable = c.CreateTable
-		newProducer = func(w int, table string) (producerSession, error) {
+		newProducer = func(w int, table string, rec *latency.Recorder) (producerSession, error) {
 			p, err := c.CreatePrimaryProducer(table, 30*time.Second, time.Minute)
 			if err != nil {
 				return producerSession{}, err
 			}
 			return producerSession{
-				send:  p.Insert,
+				send: func(sql string) error {
+					t0 := time.Now()
+					err := p.Insert(sql)
+					if err == nil {
+						rec.Record(time.Since(t0))
+					}
+					return err
+				},
 				flush: func() error { return nil },
 				close: p.Close,
 			}, nil
@@ -142,7 +154,7 @@ func main() {
 		}
 		defer control.Close()
 		createTable = control.CreateTable
-		newProducer = func(w int, table string) (producerSession, error) {
+		newProducer = func(w int, table string, rec *latency.Recorder) (producerSession, error) {
 			// Each worker gets its own connection so -conns measures
 			// genuinely parallel binary sessions, like HTTP's pooled
 			// sockets.
@@ -160,7 +172,11 @@ func main() {
 				if len(pending) == 0 {
 					return nil
 				}
+				t0 := time.Now()
 				err := p.InsertBatch(pending)
+				if err == nil {
+					rec.Record(time.Since(t0))
+				}
 				pending = pending[:0]
 				return err
 			}
@@ -227,13 +243,15 @@ func main() {
 	var sent, failed atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
+	recs := make([]*latency.Recorder, *conns)
 	for w := 0; w < *conns; w++ {
+		recs[w] = latency.NewRecorder(0)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			tab := *schema
 			tab.Name = tableName(w)
-			p, err := newProducer(w, tab.Name)
+			p, err := newProducer(w, tab.Name, recs[w])
 			if err != nil {
 				log.Printf("conn %d: %v", w, err)
 				failed.Add(1)
@@ -282,6 +300,15 @@ func main() {
 	n := sent.Load()
 	log.Printf("rgmaload: %d inserts over %d conns on %d tables in %v (%.0f inserts/s aggregate, transport %s)",
 		n, *conns, *tables, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *transport)
+	all := latency.NewRecorder(0)
+	for _, r := range recs {
+		all.Merge(r)
+	}
+	op := "insert round trip"
+	if *transport == "bin" {
+		op = fmt.Sprintf("batch flush round trip (batch %d)", *batch)
+	}
+	log.Printf("rgmaload: %s latency: %v", op, all.Summarize())
 	if *consumers > 0 {
 		log.Printf("rgmaload: %d consumers observed %d tuples", *consumers, popped.Load())
 	}

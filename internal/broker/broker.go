@@ -39,11 +39,24 @@
 // goroutines provided (a) the Env implementation is itself safe for
 // concurrent use and (b) frames of one connection are delivered by a
 // single goroutine at a time (every transport reads a connection with
-// one reader). Lock order is durableMu → shard.mu → conn.mu; Env
-// methods are invoked with broker locks held and must not call back
-// into the broker synchronously (bindings that need to drop a
+// one reader). Lock order is durableMu → shard.mu → {conn.mu, sub.mu,
+// durableState.mu}; the latter three are leaf locks — nothing is ever
+// acquired while holding one, and they never nest with each other. Env
+// methods are invoked with broker locks held (on the lock-free publish
+// path, only a subscription or durable leaf lock) and must not call
+// back into the broker synchronously (bindings that need to drop a
 // connection from inside Env.Send defer the OnConnClose to another
 // goroutine).
+//
+// Topic publishes do not take shard locks at all by default: routing
+// reads a copy-on-write snapshot published through an atomic pointer
+// (snapshot.go), and per-subscriber delivery state synchronizes on the
+// leaf locks. The shard lock remains the write-side lock for every
+// index mutation (subscribe/unsubscribe/durable churn) and for queue
+// operations, whose enqueue/drain cycle is mutation-heavy.
+// Config.LockedReadPath restores lock-held routing as the measured
+// baseline, and Stats meters both paths (ReadLockAcquisitions,
+// ShardLock*).
 //
 // With a single calling goroutine — the discrete-event simulator's
 // kernel, or a binding in Config.SerialCore mode — execution is
@@ -184,6 +197,13 @@ type Config struct {
 	// exists as the measured baseline for the zero-copy benchmarks;
 	// production configurations leave it false.
 	CloneDeliveries bool
+	// LockedReadPath restores the locked publish read path as an A/B
+	// baseline (same pattern as SerialCore/LegacyLinearScan): topic
+	// routing reads the shard's indexes under the shard lock instead of
+	// the lock-free copy-on-write snapshot. Behaviour is identical for
+	// any single caller — only contention (and the lock meters in
+	// Stats) differs. LegacyLinearScan implies it.
+	LockedReadPath bool
 }
 
 // DefaultConfig returns the configuration used in the paper reproduction.
@@ -203,16 +223,19 @@ var ErrConnRefused = errors.New("broker: connection refused (out of memory)")
 
 // Forwarder lets a broker-network layer observe local publishes and inject
 // remote ones; see package brokernet. Shard-safe: OnLocalPublish runs on
-// the publishing goroutine under the destination shard's lock, so peer
-// fan-out for one destination is totally ordered with that destination's
-// local deliveries. The implementation must not call back into the
-// broker's locked paths (OnFrame/OnConnOpen/OnConnClose/InjectForwarded)
-// from inside the callback; atomic counter methods (CountForwardOut,
-// Stats) are fine.
+// the publishing goroutine, before local delivery. On the default
+// lock-free read path no shard lock is held, so the ordering guarantee
+// is per-publisher (each publisher's messages reach peers in publish
+// order, which is all JMS promises); in the LockedReadPath /
+// LegacyLinearScan baselines it runs under the destination shard's
+// lock, making peer fan-out for one destination totally ordered with
+// that destination's local deliveries. The implementation must not call
+// back into the broker's locked paths
+// (OnFrame/OnConnOpen/OnConnClose/InjectForwarded) from inside the
+// callback; atomic counter methods (CountForwardOut, Stats) are fine.
 type Forwarder interface {
 	// OnLocalPublish is invoked for every unexpired message accepted
-	// from a local client, before local delivery, under the destination
-	// shard's lock.
+	// from a local client, before local delivery.
 	OnLocalPublish(m *message.Message)
 }
 

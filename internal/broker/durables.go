@@ -7,14 +7,26 @@
 package broker
 
 import (
+	"sync"
+
 	"gridmon/internal/message"
 	"gridmon/internal/selector"
 )
 
 type durableState struct {
-	name    string
-	topic   string
-	sel     *selector.Selector
+	name string
+	// topic and sel are rewritten only while the durable is held via
+	// durableMu; topic is additionally guarded by mu because a stale
+	// snapshot route can carry a store into a durable that has since
+	// moved to another topic.
+	topic string
+	sel   *selector.Selector
+
+	// mu is a leaf lock guarding the buffering state: the lock-free
+	// publish path appends to the backlog with no shard lock held.
+	// active is written under both the topic shard's lock and mu;
+	// holding either is enough to read it.
+	mu      sync.Mutex
 	active  *subscription // nil while disconnected
 	backlog []storedMsg
 }
@@ -33,39 +45,49 @@ func (b *Broker) attachDurable(sub *subscription) (*durableState, bool) {
 		d = &durableState{name: sub.durableName, topic: sub.dest.Name, sel: sub.sel}
 		b.durables[sub.durableName] = d
 		sh := b.shardFor(d.topic)
-		sh.mu.Lock()
+		b.lockShard(sh)
 		sh.durablesByTopic[d.topic] = append(sh.durablesByTopic[d.topic], d)
 		if j := b.loadJournal(); j != nil {
 			j.DurableSubscribed(d.name, d.topic, d.sel.String())
 		}
+		b.refreshTopicRoute(sh, d.topic)
 		sh.mu.Unlock()
 		return d, true
 	}
 	sh := b.shardFor(d.topic)
-	sh.mu.Lock()
+	b.lockShard(sh)
 	if d.active != nil {
 		sh.mu.Unlock()
 		return nil, false
 	}
 	// JMS: changing topic or selector on a durable name recreates it.
 	if d.topic != sub.dest.Name || d.sel.String() != sub.sel.String() {
+		d.mu.Lock()
 		for _, sm := range d.backlog {
 			b.env.Free(sm.cost)
 		}
 		d.backlog = nil
+		d.mu.Unlock()
 		if d.topic != sub.dest.Name {
+			oldTopic := d.topic
 			b.unindexDurable(sh, d)
+			b.refreshTopicRoute(sh, oldTopic)
 			sh.mu.Unlock()
 			// Unreachable from any shard index here; only the directory
-			// (which we hold via durableMu) still points at d.
+			// (which we hold via durableMu) still points at d. Stale
+			// snapshot routes may still reference it, which is why the
+			// topic rewrite happens under d.mu — storeDurable checks it.
+			d.mu.Lock()
 			d.topic = sub.dest.Name
 			d.sel = sub.sel
+			d.mu.Unlock()
 			nsh := b.shardFor(d.topic)
-			nsh.mu.Lock()
+			b.lockShard(nsh)
 			nsh.durablesByTopic[d.topic] = append(nsh.durablesByTopic[d.topic], d)
 			if j := b.loadJournal(); j != nil {
 				j.DurableSubscribed(d.name, d.topic, d.sel.String())
 			}
+			b.refreshTopicRoute(nsh, d.topic)
 			nsh.mu.Unlock()
 			return d, true
 		}
@@ -73,6 +95,8 @@ func (b *Broker) attachDurable(sub *subscription) (*durableState, bool) {
 		if j := b.loadJournal(); j != nil {
 			j.DurableSubscribed(d.name, d.topic, d.sel.String())
 		}
+		// The published route captured the old selector; rebuild it.
+		b.refreshTopicRoute(sh, d.topic)
 	}
 	sh.mu.Unlock()
 	return d, true
@@ -97,9 +121,20 @@ func (b *Broker) unindexDurable(sh *shard, d *durableState) {
 	}
 }
 
-// storeDurable buffers a message for a disconnected durable subscriber.
-// Shard lock held.
+// storeDurable buffers a message for a disconnected durable subscriber,
+// under the durable's leaf lock (the snapshot publish path stores with
+// no shard lock held). The re-checks guard the RCU races: a consumer
+// that attached after the caller's route was built owns delivery now,
+// and a recreate that moved the durable to another topic must not
+// receive a stale old-topic message. On the locked paths both
+// conditions were already verified under the shard lock, so the checks
+// never fire there and behaviour is unchanged.
 func (b *Broker) storeDurable(d *durableState, m *message.Message, cost int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.active != nil || d.topic != m.Dest.Name {
+		return
+	}
 	if b.cfg.MaxDurableBacklog > 0 && len(d.backlog) >= b.cfg.MaxDurableBacklog {
 		b.stats.droppedBacklog.Add(1)
 		return

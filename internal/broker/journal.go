@@ -98,6 +98,7 @@ func (b *Broker) RestoreDurable(name, topic, selSrc string) error {
 		sh := b.shardFor(topic)
 		sh.mu.Lock()
 		sh.durablesByTopic[topic] = append(sh.durablesByTopic[topic], d)
+		b.refreshTopicRoute(sh, topic)
 		sh.mu.Unlock()
 		return nil
 	}
@@ -106,17 +107,21 @@ func (b *Broker) RestoreDurable(name, topic, selSrc string) error {
 	b.freeBacklog(d.backlog)
 	d.backlog = nil
 	if d.topic != topic {
+		oldTopic := d.topic
 		b.unindexDurable(sh, d)
+		b.refreshTopicRoute(sh, oldTopic)
 		sh.mu.Unlock()
 		d.topic = topic
 		d.sel = sel
 		nsh := b.shardFor(topic)
 		nsh.mu.Lock()
 		nsh.durablesByTopic[topic] = append(nsh.durablesByTopic[topic], d)
+		b.refreshTopicRoute(nsh, topic)
 		nsh.mu.Unlock()
 		return nil
 	}
 	d.sel = sel
+	b.refreshTopicRoute(sh, topic)
 	sh.mu.Unlock()
 	return nil
 }
@@ -134,6 +139,7 @@ func (b *Broker) RestoreDurableDrop(name string) {
 	b.freeBacklog(d.backlog)
 	d.backlog = nil
 	b.unindexDurable(sh, d)
+	b.refreshTopicRoute(sh, d.topic)
 	sh.mu.Unlock()
 	delete(b.durables, name)
 }

@@ -49,8 +49,11 @@ type pendingDelivery struct {
 	cost int64 // heap bytes charged
 }
 
-// subscription state is owned by the shard of its destination: pending,
-// nextTag and index membership are only touched with sub.shard.mu held.
+// subscription index membership is owned by the shard of its
+// destination (touched only with sub.shard.mu held); delivery state —
+// pending, nextTag, detached — is guarded by the subscription's own
+// leaf lock, because the lock-free publish path delivers without any
+// shard lock. sub.mu is a leaf: nothing is acquired while holding it.
 type subscription struct {
 	conn        *conn
 	shard       *shard // owning destination shard, fixed at subscribe
@@ -59,8 +62,11 @@ type subscription struct {
 	sel         *selector.Selector
 	ackMode     message.AckMode
 	durableName string
-	nextTag     int64
-	pending     map[int64]pendingDelivery
+
+	mu       sync.Mutex
+	detached bool // set at drop; late snapshot deliveries are skipped
+	nextTag  int64
+	pending  map[int64]pendingDelivery
 }
 
 // OnConnOpen admits a new client connection, charging its memory cost.
@@ -179,10 +185,16 @@ func (b *Broker) subscribeTopic(c *conn, sub *subscription, v wire.Subscribe) {
 	}
 	sh := b.shardFor(v.Dest.Name)
 	sub.shard = sh
-	sh.mu.Lock()
+	b.lockShard(sh)
 	defer sh.mu.Unlock()
+	// Republish the topic's routing snapshot before the lock is released
+	// (deferred calls run inner-first), so the lock-free read path sees
+	// every index mutation made below.
+	defer b.refreshTopicRoute(sh, v.Dest.Name)
 	if d != nil {
+		d.mu.Lock()
 		d.active = sub
+		d.mu.Unlock()
 	}
 	t := sh.topics[v.Dest.Name]
 	if t == nil {
@@ -202,15 +214,22 @@ func (b *Broker) subscribeTopic(c *conn, sub *subscription, v wire.Subscribe) {
 			delete(sh.topics, t.name)
 		}
 		if d != nil {
+			d.mu.Lock()
 			d.active = nil
+			d.mu.Unlock()
 		}
 		return
 	}
 	b.env.Send(c.id, wire.SubOK{SubID: v.SubID})
 	if d != nil {
 		// Deliver the backlog the durable buffered while disconnected.
+		// The backlog is swapped out under the durable's leaf lock and
+		// delivered after releasing it: deliverTo takes sub.mu, and leaf
+		// locks never nest.
+		d.mu.Lock()
 		backlog := d.backlog
 		d.backlog = nil
+		d.mu.Unlock()
 		if len(backlog) > 0 {
 			if j := b.loadJournal(); j != nil {
 				j.DurableFlushed(d.name)
@@ -226,7 +245,7 @@ func (b *Broker) subscribeTopic(c *conn, sub *subscription, v wire.Subscribe) {
 func (b *Broker) subscribeQueue(c *conn, sub *subscription, v wire.Subscribe) {
 	sh := b.shardFor(v.Dest.Name)
 	sub.shard = sh
-	sh.mu.Lock()
+	b.lockShard(sh)
 	defer sh.mu.Unlock()
 	q := sh.queues[v.Dest.Name]
 	if q == nil {
@@ -266,15 +285,22 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 		defer b.durableMu.Unlock()
 	}
 	sh := sub.shard
-	sh.mu.Lock()
+	b.lockShard(sh)
 	defer sh.mu.Unlock()
+	// Detach under the subscription's leaf lock: a snapshot publish that
+	// raced past the index removal sees the flag and skips the delivery
+	// instead of allocating into a freed pending map.
+	sub.mu.Lock()
+	sub.detached = true
 	for _, pd := range sub.pending {
 		b.env.Free(pd.cost)
 	}
 	b.stats.pending.Add(-int64(len(sub.pending)))
 	sub.pending = make(map[int64]pendingDelivery)
+	sub.mu.Unlock()
 	switch sub.dest.Kind {
 	case message.TopicKind:
+		defer b.refreshTopicRoute(sh, sub.dest.Name)
 		if t := sh.topics[sub.dest.Name]; t != nil {
 			b.removeTopicSub(t, sub)
 			if t.subCount() == 0 {
@@ -284,11 +310,16 @@ func (b *Broker) dropSubscription(sub *subscription, unsubscribe bool) {
 		}
 		if sub.durableName != "" {
 			if d := b.durables[sub.durableName]; d != nil && d.active == sub {
+				d.mu.Lock()
 				d.active = nil
 				if unsubscribe {
 					for _, sm := range d.backlog {
 						b.env.Free(sm.cost)
 					}
+					d.backlog = nil
+				}
+				d.mu.Unlock()
+				if unsubscribe {
 					delete(b.durables, sub.durableName)
 					b.unindexDurable(sh, d)
 					if j := b.loadJournal(); j != nil {
@@ -311,9 +342,10 @@ func (b *Broker) handleAck(c *conn, v wire.Ack) {
 	if sub == nil {
 		return
 	}
-	sh := sub.shard
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	// Acknowledgement touches only the subscription's delivery state, so
+	// its leaf lock suffices — acks no longer contend on the shard.
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
 	for _, tag := range v.Tags {
 		if pd, ok := sub.pending[tag]; ok {
 			b.env.Free(pd.cost)

@@ -9,6 +9,8 @@ package broker
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gridmon/internal/message"
 	"gridmon/internal/shardhash"
@@ -24,6 +26,11 @@ type shard struct {
 	// topic. Unused in legacy mode, which scans the global durable
 	// directory.
 	durablesByTopic map[string][]*durableState
+
+	// snap is the copy-on-write routing snapshot the lock-free publish
+	// path reads (see snapshot.go). Stored only under mu; loaded
+	// without it.
+	snap atomic.Pointer[shardSnapshot]
 }
 
 func newShard() *shard {
@@ -59,20 +66,54 @@ func (b *Broker) ShardOf(name string) int {
 // NumShards reports the destination-layer partition count. Shard-safe.
 func (b *Broker) NumShards() int { return len(b.shards) }
 
+// lockShard acquires a shard's lock through the contention meter: every
+// metered acquisition is counted, and acquisitions that had to wait
+// additionally record the wait time, so /stats exposes where shard
+// locks burn time. Only frame-processing paths (publish, subscribe,
+// unsubscribe, durable attach) are metered; whole-broker accessors and
+// restore/dump take sh.mu directly so the counters describe the hot
+// paths, not administrative sweeps.
+func (b *Broker) lockShard(sh *shard) {
+	if sh.mu.TryLock() {
+		b.stats.shardLockAcq.Add(1)
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	b.stats.shardLockAcq.Add(1)
+	b.stats.shardLockContended.Add(1)
+	b.stats.shardLockWaitNs.Add(uint64(time.Since(start).Nanoseconds()))
+}
+
 // routeLocal fans a frozen message out to the local subscribers of its
-// destination, under the destination shard's lock. With forward set (a
-// local publish, not an injected peer message) the broker-network
-// forwarder runs first, under the same lock hold, so peer fan-out for a
-// destination is totally ordered with its local deliveries — the
-// shard-safe forwarding seam. Expired messages are dropped before
-// forwarding: a message no peer could deliver is not worth wire time.
+// destination. Topic publishes take the lock-free read path by default:
+// the forwarder seam (itself an atomic pointer) fires first, then
+// routing runs from the shard's copy-on-write snapshot without touching
+// shard.mu — concurrent publishes to one topic no longer serialize.
+// Queue publishes, and topic publishes in the LockedReadPath /
+// LegacyLinearScan baselines, still run under the destination shard's
+// lock; with forward set the forwarder runs under that same lock hold,
+// so in the locked modes peer fan-out for a destination stays totally
+// ordered with its local deliveries. (In snapshot mode the ordering
+// guarantee is per-publisher, which is all JMS promises.) Expired
+// messages are dropped before forwarding: a message no peer could
+// deliver is not worth wire time.
 func (b *Broker) routeLocal(m *message.Message, forward bool) {
 	if m.Expiration > 0 && b.env.Now() > m.Expiration {
 		b.stats.expired.Add(1)
 		return
 	}
 	sh := b.shardFor(m.Dest.Name)
-	sh.mu.Lock()
+	if m.Dest.Kind == message.TopicKind && !b.cfg.LockedReadPath && !b.cfg.LegacyLinearScan {
+		if forward {
+			if fw := b.forwarder.Load(); fw != nil {
+				(*fw).OnLocalPublish(m)
+			}
+		}
+		b.routeTopicSnapshot(sh, m)
+		return
+	}
+	b.lockShard(sh)
 	defer sh.mu.Unlock()
 	if forward {
 		if fw := b.forwarder.Load(); fw != nil {
@@ -81,6 +122,10 @@ func (b *Broker) routeLocal(m *message.Message, forward bool) {
 	}
 	switch m.Dest.Kind {
 	case message.TopicKind:
+		// The read-path lock meter: this acquisition existed only to
+		// *read* the routing indexes — exactly what snapshot mode
+		// eliminates (gridbench contention asserts it stays 0 there).
+		b.stats.readLockAcq.Add(1)
 		if b.cfg.LegacyLinearScan {
 			b.routeTopicLegacy(sh, m)
 			return

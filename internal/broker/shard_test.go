@@ -280,6 +280,7 @@ type raceEnv struct {
 type deliveryRec struct {
 	mu   sync.Mutex
 	tags []wire.Ack // one entry per delivery, ready to feed back
+	ids  []string   // delivered message IDs, in arrival order (never reset)
 }
 
 func newRaceEnv() *raceEnv {
@@ -308,6 +309,7 @@ func (e *raceEnv) Send(c ConnID, f wire.Frame) {
 		r := e.rec(c)
 		r.mu.Lock()
 		r.tags = append(r.tags, wire.Ack{SubID: d.SubID, Tags: []int64{d.Tag}})
+		r.ids = append(r.ids, d.Msg.ID)
 		r.mu.Unlock()
 		wire.PutDeliver(d)
 	}

@@ -27,6 +27,18 @@ type Stats struct {
 	ForwardedOut     uint64 // messages forwarded to peer brokers
 	ForwardedIn      uint64 // messages received from peer brokers
 	RefusedConns     uint64
+
+	// Contention observability. ReadLockAcquisitions counts shard-lock
+	// acquisitions taken by the publish path purely to read routing
+	// indexes — zero on the default snapshot read path, one per topic
+	// publish in the LockedReadPath/LegacyLinearScan baselines. The
+	// ShardLock* trio meters every frame-processing shard-lock
+	// acquisition: how many, how many had to wait, and the total
+	// nanoseconds spent waiting.
+	ReadLockAcquisitions  uint64
+	ShardLockAcquisitions uint64
+	ShardLockContended    uint64
+	ShardLockWaitNs       uint64
 }
 
 // statCounters is the atomic backing store for Stats, plus the live
@@ -45,6 +57,11 @@ type statCounters struct {
 	forwardedOut     atomic.Uint64
 	forwardedIn      atomic.Uint64
 	refusedConns     atomic.Uint64
+
+	readLockAcq        atomic.Uint64
+	shardLockAcq       atomic.Uint64
+	shardLockContended atomic.Uint64
+	shardLockWaitNs    atomic.Uint64
 }
 
 // Stats returns a snapshot of broker counters. Shard-safe: callable from
@@ -64,6 +81,11 @@ func (b *Broker) Stats() Stats {
 		ForwardedOut:     b.stats.forwardedOut.Load(),
 		ForwardedIn:      b.stats.forwardedIn.Load(),
 		RefusedConns:     b.stats.refusedConns.Load(),
+
+		ReadLockAcquisitions:  b.stats.readLockAcq.Load(),
+		ShardLockAcquisitions: b.stats.shardLockAcq.Load(),
+		ShardLockContended:    b.stats.shardLockContended.Load(),
+		ShardLockWaitNs:       b.stats.shardLockWaitNs.Load(),
 	}
 }
 
@@ -98,7 +120,7 @@ func (b *Broker) getDeliver() *wire.Deliver {
 }
 
 // deliverTo sends a message to one subscription, tracking it as pending
-// until acknowledged. Shard lock held.
+// until acknowledged.
 func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
 	b.deliverCost(sub, m, int64(m.EncodedSize())+b.cfg.MemPerPendingOverhead)
 }
@@ -107,8 +129,21 @@ func (b *Broker) deliverTo(sub *subscription, m *message.Message) {
 // so a topic fan-out prices the message once instead of per subscriber.
 // The frozen message is shared by reference across all deliveries; the
 // Deliver frame itself comes from a pool (unless the binding opted out),
-// returned by whichever transport consumes it. Shard lock held.
+// returned by whichever transport consumes it.
+//
+// Delivery state is guarded by the subscription's leaf lock, not the
+// shard lock: the snapshot publish path calls this with no shard lock
+// at all, and concurrent publishes to the same subscriber serialize
+// here. Keeping env.Send inside the sub.mu hold preserves tag-ordered
+// frame emission per subscription. A subscription dropped between
+// snapshot load and delivery is detached: skip it, or the allocation
+// would leak (nothing would ever free it).
 func (b *Broker) deliverCost(sub *subscription, m *message.Message, cost int64) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.detached {
+		return
+	}
 	if b.cfg.MaxPendingPerSub > 0 && len(sub.pending) >= b.cfg.MaxPendingPerSub {
 		b.stats.droppedBacklog.Add(1)
 		return

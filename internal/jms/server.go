@@ -11,10 +11,15 @@
 // partitioned into lock-guarded shards (broker.Config.Shards, defaulted
 // here to GOMAXPROCS), so publishes to different topics execute
 // concurrently on different cores and the single-event-loop ceiling of
-// the paper's broker is gone. broker.Config.SerialCore restores that
-// pre-shard architecture — every frame funnelled through one event-loop
-// goroutine — as the measured baseline for the parallel-publish
-// benchmarks.
+// the paper's broker is gone. Topic routing itself is lock-free on the
+// publish side — a reader goroutine carrying a Publish routes through
+// the shard's copy-on-write subscriber snapshot without taking the
+// shard lock at all, so publishes to the *same* topic no longer
+// serialize on routing either (see the broker package comment;
+// broker.Config.LockedReadPath restores lock-held routing as the A/B
+// baseline). broker.Config.SerialCore restores the pre-shard
+// architecture — every frame funnelled through one event-loop goroutine
+// — as the measured baseline for the parallel-publish benchmarks.
 //
 // Servers also peer with each other over the same listener, forming the
 // paper's Distributed Broker Network on real TCP: JoinNetwork attaches
@@ -551,10 +556,11 @@ func (s *Server) dropConn(id broker.ConnID, w *connWriter, notify bool) {
 	_ = w.conn.Close()
 	if notify && live {
 		// Always on a fresh goroutine: Send may drop a slow consumer
-		// from inside a delivery — while its shard lock is held (shard
-		// mode) or on the event-loop goroutine itself (SerialCore mode,
-		// where posting back to a full events queue would deadlock the
-		// loop). OnConnClose is safe from any goroutine in both modes.
+		// from inside a delivery — while the subscription's own lock is
+		// held (snapshot routing), while its shard lock is held (locked
+		// routing) or on the event-loop goroutine itself (SerialCore
+		// mode, where posting back to a full events queue would deadlock
+		// the loop). OnConnClose is safe from any goroutine in all modes.
 		go s.b.OnConnClose(id)
 	}
 }

@@ -1,0 +1,62 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentilesExactUnderCap(t *testing.T) {
+	r := NewRecorder(0)
+	// 1ms..100ms, shuffled enough by stride to prove sorting happens.
+	for i := 0; i < 100; i++ {
+		r.Record(time.Duration((i*37)%100+1) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("percentiles = %v / %v / %v", s.P50, s.P95, s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+}
+
+func TestMergeCombinesWorkers(t *testing.T) {
+	a, b := NewRecorder(0), NewRecorder(0)
+	for i := 1; i <= 50; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	s := a.Summarize()
+	if s.Count != 100 || s.P50 != 50*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("merged summary = %+v", s)
+	}
+}
+
+func TestReservoirBoundsMemory(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 10_000; i++ {
+		r.Record(time.Millisecond)
+	}
+	if len(r.samples) != 64 {
+		t.Fatalf("retained %d samples, cap 64", len(r.samples))
+	}
+	s := r.Summarize()
+	if s.Count != 10_000 || s.P50 != time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	if s := NewRecorder(0).Summarize(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if got := (Summary{}).String(); got != "no samples" {
+		t.Fatalf("empty string = %q", got)
+	}
+}

@@ -18,6 +18,16 @@
 // rgma.Registry. Producers inserting into different producer resources
 // and consumers popping different consumers proceed fully in parallel.
 //
+// The hot read paths are lock-free by default: Insert's continuous-
+// consumer scan and Pop's latest/history producer gather read a
+// copy-on-write snapshot of the table shard's indexes published through
+// an atomic pointer (tableSnap), so inserts into the *same* table never
+// serialize on the shard lock either. Index mutations
+// (create/close producer/consumer) still take the shard's write lock
+// and republish the snapshot before releasing it.
+// Config.LockedReadPath restores lock-held reads as the measured A/B
+// baseline; Stats.ReadLockAcquisitions meters the difference.
+//
 // Ordering: a producer whose inserts are issued sequentially (each call
 // returning before the next is made) streams to every continuous
 // consumer in insert order, and its history reads in the same order.
@@ -33,7 +43,9 @@
 // polling transports' model) or push-fed (non-nil sink: the sink is
 // invoked inline on the inserting goroutine for every match, and Pop is
 // refused). Sinks must not block and must not call back into the Core
-// for the same table (they run under the table shard's read lock).
+// for the same table (on the default snapshot read path they run with no
+// core lock held; in LockedReadPath mode they run under the table
+// shard's read lock).
 package rgmacore
 
 import (
@@ -91,6 +103,13 @@ type Config struct {
 	// tuples; when full the oldest tuple is dropped and counted. 0 means
 	// DefaultMaxBuffered; negative means unlimited (the seed behaviour).
 	MaxBuffered int
+	// LockedReadPath restores the locked read paths as an A/B baseline
+	// (the same pattern as broker.Config.LockedReadPath): Insert scans
+	// the continuous-consumer index and Pop gathers the producer index
+	// under the table shard's read lock, instead of the lock-free
+	// copy-on-write snapshot. Behaviour is identical for any single
+	// caller; only contention (and Stats.ReadLockAcquisitions) differs.
+	LockedReadPath bool
 }
 
 // Core is the shared R-GMA service state.
@@ -100,6 +119,7 @@ type Core struct {
 	registry    *rgma.Registry
 	nextID      atomic.Int64
 	maxBuffered int
+	lockedRead  bool // Config.LockedReadPath
 
 	// journal is the persistence seam (see journal.go); nil-by-default
 	// keeps every mutation path at one atomic load when persistence is
@@ -111,6 +131,7 @@ type Core struct {
 	tuplesStreamed atomic.Uint64
 	tuplesPopped   atomic.Uint64
 	tuplesDropped  atomic.Uint64
+	readLockAcq    atomic.Uint64 // read-path shard-lock acquisitions (locked mode only)
 
 	start time.Time
 	// clock returns the service's notion of now (nanoseconds since
@@ -128,6 +149,56 @@ type tableShard struct {
 	tables     map[string]*sqlmini.Table
 	continuous map[string][]*Consumer
 	producers  map[string][]*Producer
+
+	// snap is the copy-on-write snapshot of the two read-path indexes,
+	// published through an atomic pointer so Insert's consumer scan and
+	// Pop's producer gather run with no shard lock at all (the broker's
+	// snapshot.go pattern). Stored only under mu (write lock); loaded
+	// without it. Index mutations are rare next to inserts, so each
+	// mutation rebuilds the touched table's slices and shares the rest.
+	snap atomic.Pointer[tableSnap]
+}
+
+// tableSnap is one shard's published read-path state. Maps and slices
+// are immutable once stored.
+type tableSnap struct {
+	continuous map[string][]*Consumer
+	producers  map[string][]*Producer
+}
+
+// refreshSnap republishes the shard's snapshot after a mutation of one
+// table's index entries. Untouched tables share their slices with the
+// previous snapshot generation; the mutated table's slices are cloned
+// from the locked indexes (which are append/delete-mutated in place).
+// Write lock held — that is what single-files snapshot writers.
+func (ts *tableShard) refreshSnap(table string) {
+	cur := ts.snap.Load()
+	var curC map[string][]*Consumer
+	var curP map[string][]*Producer
+	if cur != nil {
+		curC, curP = cur.continuous, cur.producers
+	}
+	next := &tableSnap{
+		continuous: make(map[string][]*Consumer, len(curC)+1),
+		producers:  make(map[string][]*Producer, len(curP)+1),
+	}
+	for k, v := range curC {
+		if k != table {
+			next.continuous[k] = v
+		}
+	}
+	for k, v := range curP {
+		if k != table {
+			next.producers[k] = v
+		}
+	}
+	if cns := ts.continuous[table]; len(cns) > 0 {
+		next.continuous[table] = slices.Clone(cns)
+	}
+	if ps := ts.producers[table]; len(ps) > 0 {
+		next.producers[table] = slices.Clone(ps)
+	}
+	ts.snap.Store(next)
 }
 
 // resShard owns the resource handles whose ids hash to it.
@@ -151,6 +222,7 @@ func New(cfg Config) *Core {
 		res:         make([]*resShard, cfg.Shards),
 		registry:    rgma.NewRegistrySharded(cfg.Shards),
 		maxBuffered: maxBuffered,
+		lockedRead:  cfg.LockedReadPath,
 		start:       time.Now(),
 	}
 	c.clock = func() sim.Time { return sim.Time(time.Since(c.start).Nanoseconds()) }
@@ -241,8 +313,10 @@ func (p *Producer) maybeSweep(now sim.Time) {
 }
 
 // Sink receives pushed tuples for one push-fed continuous consumer. It
-// runs inline on the inserting goroutine under the table shard's read
-// lock: it must not block and must not call back into the Core.
+// runs inline on the inserting goroutine — with no core lock held on the
+// default snapshot read path, or under the table shard's read lock in
+// LockedReadPath mode — so it must not block and must not call back
+// into the Core.
 type Sink func(consumerID int64, t *Streamed)
 
 // Consumer is one consumer resource.
@@ -435,6 +509,7 @@ func (c *Core) addProducer(id int64, table string, latestRetention, historyReten
 	rs.mu.Unlock()
 	ts.mu.Lock()
 	ts.producers[table] = append(ts.producers[table], p)
+	ts.refreshSnap(table)
 	ts.mu.Unlock()
 	if journal {
 		if j := c.loadJournal(); j != nil {
@@ -473,6 +548,7 @@ func (c *Core) closeProducer(id int64, journal bool) error {
 	ts := c.tableShardFor(p.tableName)
 	ts.mu.Lock()
 	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
+	ts.refreshSnap(p.tableName)
 	ts.mu.Unlock()
 	if journal {
 		if j := c.loadJournal(); j != nil {
@@ -530,11 +606,34 @@ func (c *Core) Insert(producerID int64, sqlText string) error {
 	// covers that behaviour). The table shard's index narrows the scan
 	// to this table's continuous consumers; the compiled predicate
 	// decides per consumer; the one Streamed value is shared across all
-	// of them.
+	// of them. On the default lock-free path the consumer list comes
+	// from the shard's copy-on-write snapshot — no shard lock is taken,
+	// so concurrent inserts into one table never serialize here (sinks
+	// are non-blocking and the buffered ring has its own lock). The
+	// LockedReadPath baseline scans the live index under the read lock.
 	ts := c.tableShardFor(p.tableName)
+	var cns []*Consumer
+	if c.lockedRead {
+		c.readLockAcq.Add(1)
+		ts.mu.RLock()
+		cns = ts.continuous[p.tableName]
+		c.streamInsert(cns, p, row, tuple)
+		ts.mu.RUnlock()
+		return nil
+	}
+	if snap := ts.snap.Load(); snap != nil {
+		cns = snap.continuous[p.tableName]
+	}
+	c.streamInsert(cns, p, row, tuple)
+	return nil
+}
+
+// streamInsert fans one inserted tuple out to the table's continuous
+// consumers. Called with the consumer list pinned either by the shard's
+// read lock (locked mode) or by snapshot immutability (lock-free mode).
+func (c *Core) streamInsert(cns []*Consumer, p *Producer, row sqlmini.Row, tuple rgma.Tuple) {
 	var streamed *Streamed
-	ts.mu.RLock()
-	for _, cn := range ts.continuous[p.tableName] {
+	for _, cn := range cns {
 		if cn.table == p.table && cn.prog.Matches(row) {
 			if streamed == nil {
 				streamed = &Streamed{Tuple: toPop(tuple)}
@@ -547,8 +646,6 @@ func (c *Core) Insert(producerID int64, sqlText string) error {
 			c.tuplesStreamed.Add(1)
 		}
 	}
-	ts.mu.RUnlock()
-	return nil
 }
 
 // --- consumers ---
@@ -609,6 +706,7 @@ func (c *Core) addConsumer(id int64, query string, qtype rgma.QueryType, sink Si
 	if qtype == rgma.ContinuousQuery {
 		ts.mu.Lock()
 		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], cn)
+		ts.refreshSnap(sel.Table)
 		ts.mu.Unlock()
 	}
 	if journal && sink == nil {
@@ -649,10 +747,19 @@ func (c *Core) Pop(consumerID int64) ([]PopTuple, error) {
 		}
 		out = cn.drain()
 	case rgma.LatestQuery, rgma.HistoryQuery:
+		// The gather list was always copied out before reading stores
+		// (each store locks internally), so the snapshot path changes
+		// nothing semantically — it just skips the shard lock.
 		ts := c.tableShardFor(cn.tableName)
-		ts.mu.RLock()
-		producers := append([]*Producer(nil), ts.producers[cn.tableName]...)
-		ts.mu.RUnlock()
+		var producers []*Producer
+		if c.lockedRead {
+			c.readLockAcq.Add(1)
+			ts.mu.RLock()
+			producers = append([]*Producer(nil), ts.producers[cn.tableName]...)
+			ts.mu.RUnlock()
+		} else if snap := ts.snap.Load(); snap != nil {
+			producers = snap.producers[cn.tableName]
+		}
 		now := c.clock()
 		for _, p := range producers {
 			if p.table != cn.table {
@@ -695,6 +802,7 @@ func (c *Core) closeConsumer(id int64, journal bool) error {
 		ts := c.tableShardFor(cn.tableName)
 		ts.mu.Lock()
 		ts.continuous[cn.tableName] = removeHandle(ts.continuous[cn.tableName], cn)
+		ts.refreshSnap(cn.tableName)
 		ts.mu.Unlock()
 	}
 	if journal && cn.sink == nil {
@@ -716,6 +824,11 @@ type Stats struct {
 	TuplesStreamed uint64
 	TuplesPopped   uint64
 	TuplesDropped  uint64
+	// ReadLockAcquisitions counts table-shard lock acquisitions taken by
+	// the Insert/Pop read paths purely to read the routing indexes —
+	// zero on the default snapshot path, one per insert and per
+	// latest/history pop in the LockedReadPath baseline.
+	ReadLockAcquisitions uint64
 }
 
 // StatsSnapshot reads the counters; safe from any goroutine.
@@ -729,6 +842,8 @@ func (c *Core) StatsSnapshot() Stats {
 		TuplesStreamed: c.tuplesStreamed.Load(),
 		TuplesPopped:   c.tuplesPopped.Load(),
 		TuplesDropped:  c.tuplesDropped.Load(),
+
+		ReadLockAcquisitions: c.readLockAcq.Load(),
 	}
 }
 

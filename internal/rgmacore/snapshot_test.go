@@ -1,0 +1,383 @@
+package rgmacore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/sim"
+)
+
+// Tests for the lock-free (snapshot) read paths: Insert's continuous-
+// consumer scan and Pop's latest/history producer gather. Mirrors the
+// obligations of internal/broker's snapshot_test.go: snapshot routing
+// must be observably identical to locked routing for any single-caller
+// operation sequence, survive concurrent index churn under -race, and
+// the ReadLockAcquisitions meter must prove which path ran.
+
+// clearReadLocks zeroes the one stats field that legitimately differs
+// across read-path modes.
+func clearReadLocks(s Stats) Stats {
+	s.ReadLockAcquisitions = 0
+	return s
+}
+
+// TestCoreSnapshotLockedEquivalenceRandomized drives identical
+// randomized operation sequences — table declares, producer and
+// consumer create/close churn (all query types), inserts, pops —
+// through a snapshot-path core and a locked-path core from a single
+// goroutine, comparing every pop result and error as it happens and the
+// full stats at the end. Any index mutation missing its refreshSnap
+// shows up as a pop divergence.
+func TestCoreSnapshotLockedEquivalenceRandomized(t *testing.T) {
+	tables := []string{"ta", "tb", "tc"}
+	queries := []string{
+		"SELECT * FROM %s",
+		"SELECT * FROM %s WHERE seq < 50",
+		"SELECT * FROM %s WHERE seq >= 50",
+		"SELECT * FROM %s WHERE site = 'aberdeen'",
+	}
+	qtypes := []rgma.QueryType{rgma.ContinuousQuery, rgma.LatestQuery, rgma.HistoryQuery}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		var now sim.Time
+		mk := func(locked bool) *Core {
+			c := New(Config{Shards: 4, LockedReadPath: locked})
+			c.clock = func() sim.Time { return now }
+			return c
+		}
+		cSnap, cLock := mk(false), mk(true)
+		both := func(fn func(c *Core) error) error {
+			errS, errL := fn(cSnap), fn(cLock)
+			if (errS == nil) != (errL == nil) {
+				t.Fatalf("seed %d: snapshot err %v, locked err %v", seed, errS, errL)
+			}
+			return errS
+		}
+		for _, tab := range tables {
+			if err := both(func(c *Core) error {
+				_, err := c.CreateTable(fmt.Sprintf(
+					"CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, site CHAR(20))", tab))
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		var producers, consumers []int64
+		for op := 0; op < 600; op++ {
+			now += sim.Time(rng.Intn(50)) * sim.Millisecond
+			switch r := rng.Intn(20); {
+			case r < 3: // create a producer (sometimes default retention)
+				tab := tables[rng.Intn(len(tables))]
+				ret := sim.Time(rng.Intn(3)) * sim.Second
+				var id int64
+				if err := both(func(c *Core) error {
+					p, err := c.CreateProducer(tab, ret, ret)
+					if err == nil {
+						id = p.ID()
+					}
+					return err
+				}); err == nil {
+					producers = append(producers, id)
+				}
+			case r < 5: // close a producer
+				if len(producers) == 0 {
+					continue
+				}
+				i := rng.Intn(len(producers))
+				id := producers[i]
+				producers = append(producers[:i], producers[i+1:]...)
+				both(func(c *Core) error { return c.CloseProducer(id) })
+			case r < 9: // create a consumer (any query type)
+				q := fmt.Sprintf(queries[rng.Intn(len(queries))], tables[rng.Intn(len(tables))])
+				qt := qtypes[rng.Intn(len(qtypes))]
+				var id int64
+				if err := both(func(c *Core) error {
+					cn, err := c.CreateConsumer(q, qt, nil)
+					if err == nil {
+						id = cn.ID()
+					}
+					return err
+				}); err == nil {
+					consumers = append(consumers, id)
+				}
+			case r < 11: // close a consumer
+				if len(consumers) == 0 {
+					continue
+				}
+				i := rng.Intn(len(consumers))
+				id := consumers[i]
+				consumers = append(consumers[:i], consumers[i+1:]...)
+				both(func(c *Core) error { return c.CloseConsumer(id) })
+			case r < 14: // pop a consumer, comparing the delivered tuples
+				if len(consumers) == 0 {
+					continue
+				}
+				id := consumers[rng.Intn(len(consumers))]
+				gotS, errS := cSnap.Pop(id)
+				gotL, errL := cLock.Pop(id)
+				if (errS == nil) != (errL == nil) {
+					t.Fatalf("seed %d op %d: pop err %v vs %v", seed, op, errS, errL)
+				}
+				if !reflect.DeepEqual(gotS, gotL) {
+					t.Fatalf("seed %d op %d: pop of %d diverged\nsnapshot: %v\nlocked:   %v",
+						seed, op, id, gotS, gotL)
+				}
+			default: // insert through a random live producer
+				if len(producers) == 0 {
+					continue
+				}
+				id := producers[rng.Intn(len(producers))]
+				stmt := fmt.Sprintf(
+					"INSERT INTO %s (genid, seq, site) VALUES (%d, %d, '%s')",
+					tables[rng.Intn(len(tables))], rng.Intn(20), rng.Intn(100),
+					[]string{"aberdeen", "dundee"}[rng.Intn(2)])
+				both(func(c *Core) error { return c.Insert(id, stmt) })
+			}
+		}
+
+		ss, sl := clearReadLocks(cSnap.StatsSnapshot()), clearReadLocks(cLock.StatsSnapshot())
+		if ss != sl {
+			t.Fatalf("seed %d: snapshot stats %+v != locked %+v", seed, ss, sl)
+		}
+		if got := cSnap.StatsSnapshot().ReadLockAcquisitions; got != 0 {
+			t.Fatalf("seed %d: snapshot core took %d read-path locks", seed, got)
+		}
+	}
+}
+
+// TestCoreReadPathLockMeters pins the meter contract: the snapshot path
+// records zero read-path lock acquisitions; the locked baseline records
+// exactly one per insert and one per latest/history pop (continuous
+// drains touch only the consumer's own buffer lock in both modes).
+func TestCoreReadPathLockMeters(t *testing.T) {
+	run := func(locked bool) uint64 {
+		c := New(Config{Shards: 2, LockedReadPath: locked})
+		mustCreateTable(t, c, testTableSQL)
+		p, err := c.CreateProducer("g", sim.Second, sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := c.CreateConsumer("SELECT * FROM g", rgma.ContinuousQuery, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := c.CreateConsumer("SELECT * FROM g", rgma.LatestQuery, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const inserts, pops = 40, 10
+		for i := 0; i < inserts; i++ {
+			stmt := fmt.Sprintf("INSERT INTO g (genid, seq, site) VALUES (%d, %d, 'a')", i, i)
+			if err := c.Insert(p.ID(), stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < pops; i++ {
+			if _, err := c.Pop(lat.ID()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Pop(cont.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.StatsSnapshot().ReadLockAcquisitions
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("snapshot mode took %d read-path locks, want 0", got)
+	}
+	if got, want := run(true), uint64(40+10); got != want {
+		t.Fatalf("locked mode recorded %d read-path locks, want %d", got, want)
+	}
+}
+
+// TestCoreSnapshotChurnEquivalence is the concurrent storm: goroutines
+// churn producers and continuous consumers (create, pop, close) while
+// inserters hammer the same tables, once per read-path mode. Delivery
+// during the storm is inherently racy in both modes, so phase 1 asserts
+// safety only (no races under -race, clean teardown). Then the storm
+// quiesces — every phase-1 resource closed — and a deterministic probe
+// set over fresh producers must pop identical tuples in both modes,
+// proving the churned-up snapshots converged to the locked index state.
+func TestCoreSnapshotChurnEquivalence(t *testing.T) {
+	const (
+		churners  = 4
+		inserters = 4
+		stormOps  = 200
+		stormMsgs = 150
+		probeMsgs = 100
+	)
+	tables := []string{"t0", "t1", "t2", "t3"}
+	queries := []string{
+		"SELECT * FROM %s",
+		"SELECT * FROM %s WHERE seq < 50",
+		"SELECT * FROM %s WHERE seq >= 50",
+	}
+
+	run := func(locked bool) map[int][]PopTuple {
+		c := New(Config{Shards: 4, LockedReadPath: locked})
+		c.clock = func() sim.Time { return 0 }
+		for _, tab := range tables {
+			mustCreateTable(t, c, fmt.Sprintf(
+				"CREATE TABLE %s (genid INTEGER PRIMARY KEY, seq INTEGER, site CHAR(20))", tab))
+		}
+
+		// --- Phase 1: index churn under concurrent inserting.
+		var wg sync.WaitGroup
+		for g := 0; g < churners; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + g)))
+				var cns []int64
+				for op := 0; op < stormOps; op++ {
+					switch rng.Intn(8) {
+					case 0, 1, 2: // create a continuous consumer
+						q := fmt.Sprintf(queries[rng.Intn(len(queries))], tables[rng.Intn(len(tables))])
+						cn, err := c.CreateConsumer(q, rgma.ContinuousQuery, nil)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						cns = append(cns, cn.ID())
+					case 3, 4: // close one
+						if len(cns) == 0 {
+							continue
+						}
+						i := rng.Intn(len(cns))
+						if err := c.CloseConsumer(cns[i]); err != nil {
+							t.Error(err)
+							return
+						}
+						cns = append(cns[:i], cns[i+1:]...)
+					case 5: // producer index churn: create, insert once, close
+						p, err := c.CreateProducer(tables[rng.Intn(len(tables))], sim.Second, sim.Second)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						stmt := fmt.Sprintf("INSERT INTO %s (genid, seq, site) VALUES (%d, %d, 'churn')",
+							p.tableName, rng.Intn(20), rng.Intn(100))
+						if err := c.Insert(p.ID(), stmt); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := c.CloseProducer(p.ID()); err != nil {
+							t.Error(err)
+							return
+						}
+					default: // pop one
+						if len(cns) == 0 {
+							continue
+						}
+						if _, err := c.Pop(cns[rng.Intn(len(cns))]); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				for _, id := range cns {
+					if err := c.CloseConsumer(id); err != nil {
+						t.Error(err)
+					}
+				}
+			}(g)
+		}
+		for g := 0; g < inserters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(2000 + g)))
+				tab := tables[g%len(tables)]
+				p, err := c.CreateProducer(tab, sim.Second, sim.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < stormMsgs; i++ {
+					stmt := fmt.Sprintf("INSERT INTO %s (genid, seq, site) VALUES (%d, %d, 'storm')",
+						tab, rng.Intn(20), rng.Intn(100))
+					if err := c.Insert(p.ID(), stmt); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := c.CloseProducer(p.ID()); err != nil {
+					t.Error(err)
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		// Quiesced: every storm resource is closed, so the latest/history
+		// gathers below see only phase-2 producers and the continuous
+		// probes buffer only phase-2 inserts.
+		if p, cn := c.RegistryCounts(); p != 0 || cn != 0 {
+			t.Fatalf("locked=%v: %d producers, %d consumers survived the storm", locked, p, cn)
+		}
+
+		// --- Phase 2: deterministic probe over the quiesced core.
+		type probeSpec struct {
+			query string
+			qtype rgma.QueryType
+		}
+		specs := []probeSpec{
+			{"SELECT * FROM t0", rgma.ContinuousQuery},
+			{"SELECT * FROM t0 WHERE seq < 50", rgma.ContinuousQuery},
+			{"SELECT * FROM t1 WHERE seq >= 50", rgma.ContinuousQuery},
+			{"SELECT * FROM t2", rgma.ContinuousQuery},
+			{"SELECT * FROM t0 WHERE seq < 25", rgma.LatestQuery},
+			{"SELECT * FROM t1", rgma.HistoryQuery},
+		}
+		var probes []*Consumer
+		for _, s := range specs {
+			cn, err := c.CreateConsumer(s.query, s.qtype, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes = append(probes, cn)
+		}
+		prods := make(map[string]*Producer, len(tables))
+		for _, tab := range tables {
+			p, err := c.CreateProducer(tab, sim.Second, sim.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prods[tab] = p
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < probeMsgs; i++ {
+			tab := tables[rng.Intn(len(tables))]
+			stmt := fmt.Sprintf("INSERT INTO %s (genid, seq, site) VALUES (%d, %d, 'probe')",
+				tab, i, rng.Intn(100))
+			if err := c.Insert(prods[tab].ID(), stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := make(map[int][]PopTuple)
+		for i, cn := range probes {
+			out, err := c.Pop(cn.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[i] = out
+		}
+		if !locked {
+			if rl := c.StatsSnapshot().ReadLockAcquisitions; rl != 0 {
+				t.Fatalf("snapshot mode took %d read-path shard locks", rl)
+			}
+		}
+		return got
+	}
+
+	snap := run(false)
+	lock := run(true)
+	if !reflect.DeepEqual(snap, lock) {
+		t.Fatalf("post-churn probe pops diverge:\nsnapshot: %v\nlocked:   %v", snap, lock)
+	}
+}

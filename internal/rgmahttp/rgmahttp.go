@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,16 @@ type Config struct {
 	// MaxBuffered caps each continuous consumer's undrained tuples
 	// (0 = rgmacore.DefaultMaxBuffered, negative = unlimited).
 	MaxBuffered int
+	// LockedReadPath restores the core's lock-held read paths as the
+	// measured A/B baseline (rgmacore.Config.LockedReadPath): inserts
+	// scan the continuous-consumer index under the table shard's read
+	// lock instead of the lock-free snapshot.
+	LockedReadPath bool
+	// Pprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+	// server's mux (cmd/rgmad -pprof). Combined with
+	// runtime.SetMutexProfileFraction this is how read-path lock
+	// contention is measured on a live daemon.
+	Pprof bool
 }
 
 // Server is an R-GMA service over HTTP.
@@ -85,7 +96,11 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 func NewServerWith(cfg Config) *Server {
 	return &Server{
 		cfg:  cfg,
-		core: rgmacore.New(rgmacore.Config{Shards: cfg.Shards, MaxBuffered: cfg.MaxBuffered}),
+		core: rgmacore.New(rgmacore.Config{
+			Shards:         cfg.Shards,
+			MaxBuffered:    cfg.MaxBuffered,
+			LockedReadPath: cfg.LockedReadPath,
+		}),
 	}
 }
 
@@ -127,6 +142,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /consumer/close", s.serial(s.handleConsumerClose))
 	mux.HandleFunc("GET /registry", s.serial(s.handleRegistry))
 	mux.HandleFunc("GET /stats", s.serial(s.handleStats))
+	if s.cfg.Pprof {
+		// Never wrapped in serial(): profiling must stay reachable while
+		// the serial baseline is saturated — that is when it is needed.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
