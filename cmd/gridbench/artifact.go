@@ -1,0 +1,119 @@
+// Shared scaffolding for gridbench's JSON-artifact modes (contention,
+// match): benchtime parsing, the shared-counter worker driver, the
+// BENCH_*.json envelope writer and the self-check reporter. Every mode
+// emits the same envelope — benchmark, description, host_cpus, results
+// — and exits non-zero when its self-check finds a regression, so CI
+// can run any mode as a smoke test.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// benchTime is a parsed -benchtime: either a fixed op count or a
+// minimum duration (whole rounds of opsPerRound run until it elapses).
+type benchTime struct {
+	ops int64
+	dur time.Duration
+}
+
+func parseBenchTime(s string) (benchTime, error) {
+	if n, ok := strings.CutSuffix(s, "x"); ok {
+		ops, err := strconv.ParseInt(n, 10, 64)
+		if err != nil || ops < 1 {
+			return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
+		}
+		return benchTime{ops: ops}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
+	}
+	return benchTime{dur: d}, nil
+}
+
+// parseIntList parses a comma-separated list of positive ints (the -cpu
+// and -selectors axes).
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad list entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runCells drives `workers` goroutines pulling operation slots from a
+// shared counter until the benchtime budget is spent, and returns the
+// op count and wall time.
+func runCells(budget benchTime, workers int, op func(worker int, i int64)) (ops int64, elapsed time.Duration) {
+	var next, done atomic.Int64
+	start := time.Now()
+	deadline := start.Add(budget.dur)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if budget.ops > 0 {
+					if i > budget.ops {
+						return
+					}
+				} else if i%256 == 0 && time.Now().After(deadline) {
+					return
+				}
+				op(g, i)
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return done.Load(), time.Since(start)
+}
+
+// writeArtifact marshals the standard BENCH_*.json envelope to outPath
+// (stdout when empty). tool names the mode for error messages.
+func writeArtifact(tool, outPath, benchmark, description string, results any) {
+	buf, err := json.MarshalIndent(map[string]any{
+		"benchmark":   benchmark,
+		"description": description,
+		"host_cpus":   runtime.NumCPU(),
+		"results":     results,
+	}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// failRegressions reports each self-check failure and exits non-zero if
+// there were any. Runs after the artifact is written so the failing
+// numbers are always inspectable.
+func failRegressions(tool string, regressions []string) {
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "%s: REGRESSION: %s\n", tool, r)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}

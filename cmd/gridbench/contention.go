@@ -17,16 +17,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"gridmon/internal/broker"
 	"gridmon/internal/message"
@@ -46,28 +41,6 @@ type contentionResult struct {
 	ReadLocksPerOp float64 `json:"read_locks_per_op"`
 }
 
-// benchTime is a parsed -benchtime: either a fixed op count or a
-// minimum duration (whole rounds of opsPerRound run until it elapses).
-type benchTime struct {
-	ops int64
-	dur time.Duration
-}
-
-func parseBenchTime(s string) (benchTime, error) {
-	if n, ok := strings.CutSuffix(s, "x"); ok {
-		ops, err := strconv.ParseInt(n, 10, 64)
-		if err != nil || ops < 1 {
-			return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
-		}
-		return benchTime{ops: ops}, nil
-	}
-	d, err := time.ParseDuration(s)
-	if err != nil || d <= 0 {
-		return benchTime{}, fmt.Errorf("bad -benchtime %q", s)
-	}
-	return benchTime{dur: d}, nil
-}
-
 func contentionMain(args []string) {
 	fs := flag.NewFlagSet("gridbench contention", flag.ExitOnError)
 	bt := fs.String("benchtime", "100000x", "operations per cell (Nx) or minimum duration per cell")
@@ -83,14 +56,9 @@ func contentionMain(args []string) {
 	}
 	cpuList := []int{runtime.GOMAXPROCS(0)}
 	if *cpus != "" {
-		cpuList = cpuList[:0]
-		for _, s := range strings.Split(*cpus, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "gridbench contention: bad -cpu %q\n", *cpus)
-				os.Exit(2)
-			}
-			cpuList = append(cpuList, n)
+		if cpuList, err = parseIntList(*cpus); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench contention: bad -cpu %q\n", *cpus)
+			os.Exit(2)
 		}
 	}
 
@@ -111,65 +79,22 @@ func contentionMain(args []string) {
 	}
 	runtime.GOMAXPROCS(prev)
 
-	buf, err := json.MarshalIndent(map[string]any{
-		"benchmark": "read-path lock contention: copy-on-write snapshot routing vs LockedReadPath baseline",
-		"description": "All workers publish to one topic / insert into one table — the worst case for lock-held " +
-			"routing. read_locks_per_op counts read-path shard-lock acquisitions (broker Stats.ReadLockAcquisitions, " +
-			"rgmacore Stats.ReadLockAcquisitions): the snapshot path must show 0, the locked baseline 1 per op. " +
+	writeArtifact("gridbench contention", *out,
+		"read-path lock contention: copy-on-write snapshot routing vs LockedReadPath baseline",
+		"All workers publish to one topic / insert into one table — the worst case for lock-held "+
+			"routing. read_locks_per_op counts read-path shard-lock acquisitions (broker Stats.ReadLockAcquisitions, "+
+			"rgmacore Stats.ReadLockAcquisitions): the snapshot path must show 0, the locked baseline 1 per op. "+
 			"ns/op differences need real cores; on a single-CPU host the modes time-share and converge.",
-		"host_cpus": runtime.NumCPU(),
-		"results":   results,
-	}, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gridbench contention: %v\n", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "gridbench contention: %v\n", err)
-		os.Exit(1)
-	}
+		results)
 
+	var regressions []string
 	for _, r := range results {
 		if r.Mode == "snapshot" && r.ReadLocksPerOp != 0 {
-			fmt.Fprintf(os.Stderr,
-				"gridbench contention: REGRESSION: %s snapshot path took %.3f read locks/op (want 0)\n",
-				r.Component, r.ReadLocksPerOp)
-			os.Exit(1)
+			regressions = append(regressions, fmt.Sprintf(
+				"%s snapshot path took %.3f read locks/op (want 0)", r.Component, r.ReadLocksPerOp))
 		}
 	}
-}
-
-// runCells drives `workers` goroutines pulling operation slots from a
-// shared counter until the benchtime budget is spent, and returns the
-// op count and wall time.
-func runCells(budget benchTime, workers int, op func(worker int, i int64)) (ops int64, elapsed time.Duration) {
-	var next, done atomic.Int64
-	start := time.Now()
-	deadline := start.Add(budget.dur)
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for {
-				i := next.Add(1)
-				if budget.ops > 0 {
-					if i > budget.ops {
-						return
-					}
-				} else if i%256 == 0 && time.Now().After(deadline) {
-					return
-				}
-				op(g, i)
-				done.Add(1)
-			}
-		}(g)
-	}
-	wg.Wait()
-	return done.Load(), time.Since(start)
+	failRegressions("gridbench contention", regressions)
 }
 
 // contEnv is the minimal thread-safe broker.Env for the contention

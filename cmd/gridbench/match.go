@@ -1,0 +1,205 @@
+// The match mode measures the content-based matching index's tentpole
+// claim on a live in-process broker and R-GMA core: with N distinct
+// equality selectors on one hot topic (one hot table) and each message
+// matching exactly one of them, the indexed path must evaluate O(1)
+// compiled programs per publish while the LinearMatch baseline
+// evaluates all N. Run it as
+//
+//	gridbench match [-benchtime 2000x] [-selectors 1,10,100,1000]
+//	                [-out BENCH_match.json]
+//
+// Publishing runs from a single worker so the per-op eval counts are
+// exact, not averaged over racing publishers. The mode self-checks: at
+// every selector count both modes must deliver identically, and at
+// >= 1000 selectors the linear mode must burn at least 10x the indexed
+// mode's program evaluations per op — the acceptance floor for this
+// index — or the run exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/rgma"
+	"gridmon/internal/rgmacore"
+	"gridmon/internal/wire"
+)
+
+// matchResult is one cell of BENCH_match.json.
+type matchResult struct {
+	Component       string  `json:"component"` // broker | rgmacore
+	Mode            string  `json:"mode"`      // indexed | linear
+	Selectors       int     `json:"selectors"`
+	Ops             int64   `json:"ops"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	EvalsPerOp      float64 `json:"program_evals_per_op"`
+	CandidatesPerOp float64 `json:"index_candidates_per_op"`
+	DeliveredPerOp  float64 `json:"delivered_per_op"`
+}
+
+func matchMain(args []string) {
+	fs := flag.NewFlagSet("gridbench match", flag.ExitOnError)
+	bt := fs.String("benchtime", "2000x", "operations per cell (Nx) or minimum duration per cell")
+	sels := fs.String("selectors", "1,10,100,1000", "comma-separated distinct-selector counts to matrix over")
+	out := fs.String("out", "", "write the JSON here (empty = stdout)")
+	_ = fs.Parse(args)
+
+	budget, err := parseBenchTime(*bt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench match: %v\n", err)
+		os.Exit(2)
+	}
+	selList, err := parseIntList(*sels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench match: bad -selectors %q\n", *sels)
+		os.Exit(2)
+	}
+
+	var results []matchResult
+	for _, n := range selList {
+		for _, linear := range []bool{false, true} {
+			results = append(results, brokerMatch(budget, n, linear))
+		}
+		for _, linear := range []bool{false, true} {
+			results = append(results, rgmaMatch(budget, n, linear))
+		}
+	}
+
+	writeArtifact("gridbench match", *out,
+		"content-based matching index: O(matching) predicate dispatch vs LinearMatch baseline",
+		"N distinct equality selectors subscribe to one hot topic (consume one hot table); each published "+
+			"message matches exactly one. program_evals_per_op counts compiled predicate evaluations "+
+			"(Stats.MatchProgramEvals): the indexed path probes the index and evaluates only the candidates "+
+			"(~1 here), the LinearMatch baseline evaluates all N. delivered_per_op must be identical across "+
+			"modes — the index may only skip predicates that could not match.",
+		results)
+
+	var regressions []string
+	byKey := map[string]matchResult{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%s/%d", r.Component, r.Mode, r.Selectors)] = r
+	}
+	for _, r := range results {
+		if r.Mode != "indexed" {
+			continue
+		}
+		lin, ok := byKey[fmt.Sprintf("%s/linear/%d", r.Component, r.Selectors)]
+		if !ok {
+			continue
+		}
+		if r.DeliveredPerOp != lin.DeliveredPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s at %d selectors: indexed delivered %.3f/op, linear %.3f/op (must be identical)",
+				r.Component, r.Selectors, r.DeliveredPerOp, lin.DeliveredPerOp))
+		}
+		if r.Selectors >= 1000 && lin.EvalsPerOp < 10*r.EvalsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s at %d selectors: linear %.1f evals/op vs indexed %.1f — below the 10x floor",
+				r.Component, r.Selectors, lin.EvalsPerOp, r.EvalsPerOp))
+		}
+	}
+	failRegressions("gridbench match", regressions)
+}
+
+func matchModeName(linear bool) string {
+	if linear {
+		return "linear"
+	}
+	return "indexed"
+}
+
+func brokerMatch(budget benchTime, selectors int, linear bool) matchResult {
+	env := &contEnv{}
+	cfg := broker.DefaultConfig("match")
+	cfg.LinearMatch = linear
+	b := broker.New(env, cfg)
+
+	const subConn, pubConn = broker.ConnID(1), broker.ConnID(2)
+	for _, c := range []broker.ConnID{subConn, pubConn} {
+		if err := b.OnConnOpen(c); err != nil {
+			panic(err)
+		}
+	}
+	for s := 0; s < selectors; s++ {
+		b.OnFrame(subConn, wire.Subscribe{
+			SubID:    int64(s + 1),
+			Dest:     message.Topic("hot"),
+			Selector: fmt.Sprintf("key = 'sub-%d'", s),
+		})
+	}
+	before := b.Stats()
+
+	keys := make([]message.Value, selectors)
+	for s := range keys {
+		keys[s] = message.String(fmt.Sprintf("sub-%d", s))
+	}
+	ops, elapsed := runCells(budget, 1, func(_ int, i int64) {
+		m := message.NewText("reading")
+		m.ID = fmt.Sprintf("ID:match/%d", i)
+		m.Dest = message.Topic("hot")
+		m.SetProperty("key", keys[i%int64(selectors)])
+		b.OnFrame(pubConn, wire.Publish{Seq: i, Msg: m})
+		env.mu.Lock()
+		for _, a := range env.pairs {
+			b.OnFrame(subConn, a)
+		}
+		env.pairs = env.pairs[:0]
+		env.mu.Unlock()
+	})
+
+	after := b.Stats()
+	return matchResult{
+		Component:       "broker",
+		Mode:            matchModeName(linear),
+		Selectors:       selectors,
+		Ops:             ops,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(ops),
+		EvalsPerOp:      float64(after.MatchProgramEvals-before.MatchProgramEvals) / float64(ops),
+		CandidatesPerOp: float64(after.MatchIndexCandidates-before.MatchIndexCandidates) / float64(ops),
+		DeliveredPerOp:  float64(after.Delivered-before.Delivered) / float64(ops),
+	}
+}
+
+func rgmaMatch(budget benchTime, selectors int, linear bool) matchResult {
+	c := rgmacore.New(rgmacore.Config{LinearMatch: linear})
+	if _, err := c.CreateTable("CREATE TABLE hot (genid INTEGER PRIMARY KEY, seq INTEGER, site CHAR(20))"); err != nil {
+		panic(err)
+	}
+	// A discarding sink: streamed tuples are counted by Stats; buffering
+	// them would turn the benchmark into a ring-buffer test.
+	sink := func(int64, *rgmacore.Streamed) {}
+	for s := 0; s < selectors; s++ {
+		q := fmt.Sprintf("SELECT * FROM hot WHERE site = 'c%d'", s)
+		if _, err := c.CreateConsumer(q, rgma.ContinuousQuery, sink); err != nil {
+			panic(err)
+		}
+	}
+	p, err := c.CreateProducer("hot", 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	before := c.StatsSnapshot()
+
+	ops, elapsed := runCells(budget, 1, func(_ int, i int64) {
+		stmt := fmt.Sprintf("INSERT INTO hot (genid, seq, site) VALUES (%d, %d, 'c%d')",
+			i%100, i, i%int64(selectors))
+		if err := c.Insert(p.ID(), stmt); err != nil {
+			panic(err)
+		}
+	})
+
+	after := c.StatsSnapshot()
+	return matchResult{
+		Component:       "rgmacore",
+		Mode:            matchModeName(linear),
+		Selectors:       selectors,
+		Ops:             ops,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(ops),
+		EvalsPerOp:      float64(after.MatchProgramEvals-before.MatchProgramEvals) / float64(ops),
+		CandidatesPerOp: float64(after.MatchIndexCandidates-before.MatchIndexCandidates) / float64(ops),
+		DeliveredPerOp:  float64(after.TuplesStreamed-before.TuplesStreamed) / float64(ops),
+	}
+}

@@ -204,6 +204,16 @@ type Config struct {
 	// any single caller — only contention (and the lock meters in
 	// Stats) differs. LegacyLinearScan implies it.
 	LockedReadPath bool
+	// LinearMatch disables the content-based matching index on the
+	// snapshot publish path (same A/B-baseline pattern as
+	// LockedReadPath): every selector group and buffering durable of
+	// the topic is evaluated per message instead of only the candidates
+	// the predindex discrimination index emits. Behaviour is identical
+	// for any caller — candidates are a superset and are visited in the
+	// same first-appearance order — only the MatchIndex* meters in
+	// Stats and the per-publish evaluation count differ. The locked and
+	// legacy baselines never use the index regardless of this flag.
+	LinearMatch bool
 }
 
 // DefaultConfig returns the configuration used in the paper reproduction.
@@ -267,6 +277,10 @@ type Broker struct {
 	// shard locks; see Forwarder and SetInterestFunc for the contract.
 	forwarder  atomic.Pointer[Forwarder]
 	onInterest atomic.Pointer[func(topic string, add bool)]
+
+	// Scratch pool for the indexed snapshot publish path (snapshot.go):
+	// candidate buffers and probe adapters, recycled across publishes.
+	matchScratch sync.Pool
 
 	// Persistence seam (journal.go): mutation observer for durable and
 	// queue state, registered atomically like the forwarder. Nil (the

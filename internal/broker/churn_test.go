@@ -24,6 +24,33 @@ import (
 // identical between snapshot and locked modes, proving the churned-up
 // snapshot state converged to exactly the locked index state.
 func TestSnapshotChurnEquivalence(t *testing.T) {
+	snap := runChurnStorm(t, func(cfg *Config) {})
+	lock := runChurnStorm(t, func(cfg *Config) { cfg.LockedReadPath = true })
+	if !reflect.DeepEqual(snap, lock) {
+		t.Fatalf("post-churn probe deliveries diverge:\nsnapshot: %v\nlocked:   %v", snap, lock)
+	}
+}
+
+// TestMatchIndexChurnEquivalence runs the same churn storm with the
+// matching index on (the default) and off (LinearMatch): the storm
+// phase races concurrent index rebuilds against indexed publishes under
+// -race, and the quiesced probe deliveries must be identical — the
+// index state converged by churn must route exactly like the linear
+// scan.
+func TestMatchIndexChurnEquivalence(t *testing.T) {
+	indexed := runChurnStorm(t, func(cfg *Config) {})
+	linear := runChurnStorm(t, func(cfg *Config) { cfg.LinearMatch = true })
+	if !reflect.DeepEqual(indexed, linear) {
+		t.Fatalf("post-churn probe deliveries diverge:\nindexed: %v\nlinear:  %v", indexed, linear)
+	}
+}
+
+// runChurnStorm is the shared churn driver: concurrent subscribe/
+// unsubscribe/durable-recreate churn under publish load, then a
+// deterministic quiesced probe whose ordered deliveries are returned
+// for cross-mode comparison.
+func runChurnStorm(t *testing.T, mutate func(*Config)) map[ConnID][]string {
+	t.Helper()
 	const (
 		churners  = 6
 		pubs      = 4
@@ -36,11 +63,12 @@ func TestSnapshotChurnEquivalence(t *testing.T) {
 		topics[i] = message.Topic(fmt.Sprintf("t%d", i))
 	}
 
-	run := func(locked bool) map[ConnID][]string {
+	run := func() map[ConnID][]string {
 		env := newRaceEnv()
 		cfg := DefaultConfig("churn")
 		cfg.Shards = 8
-		cfg.LockedReadPath = locked
+		mutate(&cfg)
+		locked := cfg.LockedReadPath
 		b := New(env, cfg)
 
 		// --- Phase 1: churn storm under concurrent publishing.
@@ -184,9 +212,5 @@ func TestSnapshotChurnEquivalence(t *testing.T) {
 		return got
 	}
 
-	snap := run(false)
-	lock := run(true)
-	if !reflect.DeepEqual(snap, lock) {
-		t.Fatalf("post-churn probe deliveries diverge:\nsnapshot: %v\nlocked:   %v", snap, lock)
-	}
+	return run()
 }

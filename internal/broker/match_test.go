@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// Tests for the content-based matching index on the publish path. The
+// obligations: indexed routing must be observably identical to the
+// LinearMatch baseline — including Stats' SelectorRejected, which the
+// indexed path bulk-accounts for skipped groups — and the Match*
+// meters must prove the index actually skips non-candidate groups.
+
+// TestMatchIndexLinearEquivalenceRandomized drives the randomized
+// routing storm through an indexed broker and a LinearMatch broker
+// (both on the snapshot read path): transcripts, pending counts, heap
+// usage and stats — SelectorRejected included — must be identical, with
+// only the Match* meters (zeroed by clearLockMeters) allowed to differ.
+func TestMatchIndexLinearEquivalenceRandomized(t *testing.T) {
+	runRoutingEquivalence(t, func(cfg *Config) {}, func(cfg *Config) {
+		cfg.LinearMatch = true
+	})
+}
+
+// TestMatchIndexMeters pins the index's observable contract on a hot
+// topic with many disjoint equality selectors: indexed mode evaluates
+// only the candidate groups per publish (here exactly one, plus the
+// always-delivered fast subscription outside the meters), while
+// LinearMatch evaluates every group; both modes deliver identically and
+// reject identically.
+func TestMatchIndexMeters(t *testing.T) {
+	const groups = 64
+	run := func(linear bool) Stats {
+		env := newFakeEnv(0)
+		cfg := DefaultConfig("b")
+		cfg.Shards = 4
+		cfg.LinearMatch = linear
+		b := New(env, cfg)
+		mustOpen(t, b, 1)
+		mustOpen(t, b, 2)
+		for i := 0; i < groups; i++ {
+			b.OnFrame(2, wire.Subscribe{
+				SubID:    int64(i + 1),
+				Dest:     message.Topic("hot"),
+				Selector: fmt.Sprintf("key = 'sub-%d'", i),
+			})
+		}
+		for i := 0; i < groups; i++ {
+			publishOn(b, 1, fmt.Sprintf("m%d", i), message.Topic("hot"), map[string]message.Value{
+				"key": message.String(fmt.Sprintf("sub-%d", i)),
+			})
+		}
+		return b.Stats()
+	}
+
+	idx, lin := run(false), run(true)
+	if idx.Delivered != groups || lin.Delivered != groups {
+		t.Fatalf("delivered: indexed %d, linear %d, want %d each", idx.Delivered, lin.Delivered, groups)
+	}
+	if idx.SelectorRejected != lin.SelectorRejected {
+		t.Fatalf("SelectorRejected: indexed %d != linear %d", idx.SelectorRejected, lin.SelectorRejected)
+	}
+	if want := uint64(groups * groups); lin.MatchProgramEvals != want {
+		t.Fatalf("linear MatchProgramEvals = %d, want %d", lin.MatchProgramEvals, want)
+	}
+	if want := uint64(groups); idx.MatchProgramEvals != want {
+		t.Fatalf("indexed MatchProgramEvals = %d, want %d (one candidate per publish)", idx.MatchProgramEvals, want)
+	}
+	if idx.MatchIndexCandidates != idx.MatchProgramEvals {
+		t.Fatalf("MatchIndexCandidates %d != MatchProgramEvals %d", idx.MatchIndexCandidates, idx.MatchProgramEvals)
+	}
+	if want := uint64(groups * (groups - 1)); idx.MatchGroupsSkipped != want {
+		t.Fatalf("MatchGroupsSkipped = %d, want %d", idx.MatchGroupsSkipped, want)
+	}
+	if lin.MatchIndexCandidates != 0 || lin.MatchGroupsSkipped != 0 {
+		t.Fatalf("linear mode moved index meters: %+v", lin)
+	}
+}
+
+// TestMatchIndexDurableCandidates covers the durable tail of the index
+// seq space: buffering durables behind non-matching selectors are
+// skipped without evaluation, matching ones still buffer.
+func TestMatchIndexDurableCandidates(t *testing.T) {
+	env := newFakeEnv(0)
+	cfg := DefaultConfig("b")
+	cfg.Shards = 4
+	b := New(env, cfg)
+	mustOpen(t, b, 1)
+	mustOpen(t, b, 2)
+	for i := 0; i < 8; i++ {
+		b.OnFrame(2, wire.Subscribe{
+			SubID:       int64(i + 1),
+			Dest:        message.Topic("hot"),
+			Selector:    fmt.Sprintf("key = 'dur-%d'", i),
+			Durable:     true,
+			DurableName: fmt.Sprintf("dur-%d", i),
+		})
+	}
+	b.OnConnClose(2) // all durables now buffering
+
+	before := b.Stats()
+	publishOn(b, 1, "m", message.Topic("hot"), map[string]message.Value{
+		"key": message.String("dur-3"),
+	})
+	after := b.Stats()
+
+	if got := after.MatchProgramEvals - before.MatchProgramEvals; got != 1 {
+		t.Fatalf("evaluated %d durables, want 1 candidate", got)
+	}
+	if got := after.MatchGroupsSkipped - before.MatchGroupsSkipped; got != 7 {
+		t.Fatalf("skipped %d, want 7", got)
+	}
+	dumps := b.DumpDurables()
+	stored := 0
+	for _, d := range dumps {
+		stored += len(d.Backlog)
+		if len(d.Backlog) > 0 && d.Name != "dur-3" {
+			t.Fatalf("durable %s buffered a non-matching message", d.Name)
+		}
+	}
+	if stored != 1 {
+		t.Fatalf("stored %d backlog messages, want 1", stored)
+	}
+}

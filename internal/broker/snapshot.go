@@ -34,6 +34,7 @@ import (
 	"slices"
 
 	"gridmon/internal/message"
+	"gridmon/internal/predindex"
 	"gridmon/internal/selector"
 	"sync/atomic"
 )
@@ -60,6 +61,17 @@ type topicRoute struct {
 	fast     []*subscription
 	groups   []routeGroup
 	durables []routeDurable
+
+	// idx is the content-based matching index over groups (seqs
+	// 0..len(groups)-1) and durables (seqs len(groups)..), built at
+	// route-patch time unless Config.LinearMatch; nil when disabled or
+	// when there is nothing to index. Immutable, like the rest of the
+	// route (predindex is shard-safe after Build).
+	idx *predindex.Index
+	// groupSubs is the total subscriber count across groups, so the
+	// indexed path can bulk-account SelectorRejected for the groups the
+	// index skipped without visiting them.
+	groupSubs int
 }
 
 // routeGroup mirrors selGroup with a copied member slice (the live
@@ -97,12 +109,21 @@ func (b *Broker) refreshTopicRoute(sh *shard, name string) {
 	var rt *topicRoute
 	if t != nil || inactive > 0 {
 		rt = &topicRoute{}
+		var keys []predindex.Key
+		buildIdx := !b.cfg.LinearMatch
 		if t != nil {
 			rt.fast = slices.Clone(t.fast)
 			if len(t.groups) > 0 {
 				rt.groups = make([]routeGroup, 0, len(t.groups))
+				if buildIdx {
+					keys = make([]predindex.Key, 0, len(t.groups)+inactive)
+				}
 				for _, g := range t.groups {
 					rt.groups = append(rt.groups, routeGroup{prog: g.prog, subs: slices.Clone(g.subs)})
+					rt.groupSubs += len(g.subs)
+					if buildIdx {
+						keys = append(keys, g.matchKey)
+					}
 				}
 			}
 		}
@@ -111,8 +132,17 @@ func (b *Broker) refreshTopicRoute(sh *shard, name string) {
 			for _, d := range durables {
 				if d.active == nil {
 					rt.durables = append(rt.durables, routeDurable{d: d, sel: d.sel})
+					if buildIdx {
+						keys = append(keys, d.sel.RequiredKey())
+					}
 				}
 			}
+		}
+		// Index seqs: groups first (0..G-1), then durables (G..G+D-1) —
+		// the same order the linear scan visits, so sorted candidate
+		// seqs reproduce linear delivery order exactly.
+		if buildIdx && len(keys) > 0 {
+			rt.idx = predindex.Build(keys)
 		}
 	}
 
@@ -179,6 +209,13 @@ func (b *Broker) routeTopicSnapshot(sh *shard, m *message.Message) {
 	for _, sub := range rt.fast {
 		b.deliverCost(sub, m, cost)
 	}
+	if rt.idx != nil {
+		b.routeMatchIndexed(rt, m, cost)
+		return
+	}
+	if n := len(rt.groups) + len(rt.durables); n > 0 {
+		b.stats.matchProgramEvals.Add(uint64(n))
+	}
 	for _, g := range rt.groups {
 		if g.prog.Matches(m) {
 			for _, sub := range g.subs {
@@ -196,4 +233,70 @@ func (b *Broker) routeTopicSnapshot(sh *shard, m *message.Message) {
 			b.storeDurable(rd.d, m, cost)
 		}
 	}
+}
+
+// matchScratch is the pooled per-publish scratch of the indexed route:
+// the candidate buffer and the probe adapter live in one pooled struct
+// so handing &sc.probe to the index costs no allocation.
+type matchScratch struct {
+	buf   []int32
+	probe msgProbe
+}
+
+// msgProbe adapts a message to the index's attribute-probe interface.
+type msgProbe struct{ m *message.Message }
+
+func (p *msgProbe) ProbeAttr(attr string) (predindex.Value, bool) {
+	return selector.ProbeValue(p.m, attr)
+}
+
+// routeMatchIndexed fans a message out through the route's matching
+// index: only candidate groups/durables are evaluated, in the same
+// first-appearance order the linear scan uses (candidates arrive
+// seq-sorted), so delivery order — and any single-caller run — is
+// bit-identical to the linear path. Groups the index skipped still
+// account their subscribers into SelectorRejected, keeping Stats
+// comparable across modes.
+func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int64) {
+	sc, _ := b.matchScratch.Get().(*matchScratch)
+	if sc == nil {
+		sc = &matchScratch{}
+	}
+	sc.probe.m = m
+	cands := rt.idx.Candidates(&sc.probe, sc.buf[:0])
+	nG := len(rt.groups)
+	candGroupSubs := 0
+	for _, ci := range cands {
+		if int(ci) < nG {
+			g := &rt.groups[ci]
+			candGroupSubs += len(g.subs)
+			if g.prog.Matches(m) {
+				for _, sub := range g.subs {
+					b.deliverCost(sub, m, cost)
+				}
+			} else {
+				b.stats.selectorRejected.Add(uint64(len(g.subs)))
+			}
+		} else if rd := &rt.durables[int(ci)-nG]; rd.sel.Matches(m) {
+			// storeDurable re-checks "still buffering" under the
+			// durable's lock, as on the linear path.
+			b.storeDurable(rd.d, m, cost)
+		}
+	}
+	if n := len(cands); n > 0 {
+		b.stats.matchProgramEvals.Add(uint64(n))
+		b.stats.matchIndexCandidates.Add(uint64(n))
+	}
+	if skipped := nG + len(rt.durables) - len(cands); skipped > 0 {
+		b.stats.matchGroupsSkipped.Add(uint64(skipped))
+	}
+	if rejected := rt.groupSubs - candGroupSubs; rejected > 0 {
+		// Subscribers of skipped groups were rejected by their selector
+		// (the index proved the program could not return TRUE), exactly
+		// as the linear scan would have counted them.
+		b.stats.selectorRejected.Add(uint64(rejected))
+	}
+	sc.probe.m = nil
+	sc.buf = cands[:0]
+	b.matchScratch.Put(sc)
 }

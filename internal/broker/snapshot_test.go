@@ -15,14 +15,19 @@ import (
 // to locked routing for any single-goroutine operation sequence, and
 // the lock meters must prove which path ran.
 
-// clearLockMeters zeroes the contention-observability fields, which
-// legitimately differ across read-path modes — that difference is the
-// point of the meters. Everything else in Stats must match exactly.
+// clearLockMeters zeroes the contention-observability fields and the
+// matching-index meters, which legitimately differ across read-path and
+// match modes — that difference is the point of the meters. Everything
+// else in Stats — including SelectorRejected, which the indexed path
+// must bulk-account for skipped groups — must match exactly.
 func clearLockMeters(s Stats) Stats {
 	s.ReadLockAcquisitions = 0
 	s.ShardLockAcquisitions = 0
 	s.ShardLockContended = 0
 	s.ShardLockWaitNs = 0
+	s.MatchProgramEvals = 0
+	s.MatchIndexCandidates = 0
+	s.MatchGroupsSkipped = 0
 	return s
 }
 
@@ -35,6 +40,17 @@ func clearLockMeters(s Stats) Stats {
 // usage and topic sets. Any index mutation missing its snapshot refresh
 // shows up here as a routing divergence.
 func TestSnapshotLockedEquivalenceRandomized(t *testing.T) {
+	runRoutingEquivalence(t, func(cfg *Config) {}, func(cfg *Config) {
+		cfg.LockedReadPath = true
+	})
+}
+
+// runRoutingEquivalence drives the randomized operation storm through
+// two brokers differing only by the given config mutations ("A" vs "B")
+// and requires bit-identical observable behaviour. Shared by the
+// snapshot-vs-locked and indexed-vs-linear-match equivalence suites.
+func runRoutingEquivalence(t *testing.T, mutA, mutB func(*Config)) {
+	t.Helper()
 	selectors := []string{
 		"", "TRUE", "1 = 1",
 		"id < 50", "id >= 50",
@@ -53,12 +69,13 @@ func TestSnapshotLockedEquivalenceRandomized(t *testing.T) {
 		envSnap := newFakeEnv(0)
 		cfgSnap := DefaultConfig("b")
 		cfgSnap.Shards = 8
+		mutA(&cfgSnap)
 		bSnap := New(envSnap, cfgSnap)
 
 		envLock := newFakeEnv(0)
 		cfgLock := DefaultConfig("b")
 		cfgLock.Shards = 8
-		cfgLock.LockedReadPath = true
+		mutB(&cfgLock)
 		bLock := New(envLock, cfgLock)
 
 		both := func(fn func(b *Broker)) { fn(bSnap); fn(bLock) }

@@ -39,6 +39,20 @@ type Stats struct {
 	ShardLockAcquisitions uint64
 	ShardLockContended    uint64
 	ShardLockWaitNs       uint64
+
+	// Content-based matching index meters. MatchProgramEvals counts
+	// compiled predicate evaluations on the topic publish path (one per
+	// selector group or buffering durable actually evaluated);
+	// MatchIndexCandidates counts candidates the discrimination index
+	// emitted; MatchGroupsSkipped counts groups+durables the index
+	// proved could not match (their subscribers still count into
+	// SelectorRejected, keeping that meter mode-independent). With
+	// Config.LinearMatch (or the locked/legacy baselines) the index is
+	// not consulted: candidates/skipped stay 0 and every group and
+	// buffering durable is evaluated.
+	MatchProgramEvals    uint64
+	MatchIndexCandidates uint64
+	MatchGroupsSkipped   uint64
 }
 
 // statCounters is the atomic backing store for Stats, plus the live
@@ -62,6 +76,10 @@ type statCounters struct {
 	shardLockAcq       atomic.Uint64
 	shardLockContended atomic.Uint64
 	shardLockWaitNs    atomic.Uint64
+
+	matchProgramEvals    atomic.Uint64
+	matchIndexCandidates atomic.Uint64
+	matchGroupsSkipped   atomic.Uint64
 }
 
 // Stats returns a snapshot of broker counters. Shard-safe: callable from
@@ -86,6 +104,10 @@ func (b *Broker) Stats() Stats {
 		ShardLockAcquisitions: b.stats.shardLockAcq.Load(),
 		ShardLockContended:    b.stats.shardLockContended.Load(),
 		ShardLockWaitNs:       b.stats.shardLockWaitNs.Load(),
+
+		MatchProgramEvals:    b.stats.matchProgramEvals.Load(),
+		MatchIndexCandidates: b.stats.matchIndexCandidates.Load(),
+		MatchGroupsSkipped:   b.stats.matchGroupsSkipped.Load(),
 	}
 }
 

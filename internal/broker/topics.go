@@ -7,6 +7,7 @@ package broker
 
 import (
 	"gridmon/internal/message"
+	"gridmon/internal/predindex"
 	"gridmon/internal/selector"
 )
 
@@ -16,9 +17,10 @@ import (
 // semantically equivalent but differently written selectors ("id<10" vs
 // "id < 10") land in separate groups and are evaluated separately.
 type selGroup struct {
-	key  string // verbatim selector source
-	prog *selector.Program
-	subs []*subscription // subscribe order
+	key      string // verbatim selector source
+	prog     *selector.Program
+	matchKey predindex.Key   // required-conjunct key, cached at group creation
+	subs     []*subscription // subscribe order
 }
 
 // topicState indexes a topic's subscriptions for publish fan-out. In the
@@ -62,7 +64,7 @@ func (b *Broker) addTopicSub(t *topicState, sub *subscription) {
 	key := sub.sel.String()
 	g := t.byKey[key]
 	if g == nil {
-		g = &selGroup{key: key, prog: sub.sel.Compiled()}
+		g = &selGroup{key: key, prog: sub.sel.Compiled(), matchKey: sub.sel.RequiredKey()}
 		t.byKey[key] = g
 		t.groups = append(t.groups, g)
 	}
@@ -132,6 +134,9 @@ func (b *Broker) routeTopic(sh *shard, m *message.Message) {
 		}
 		// Selector groups: one compiled evaluation per distinct
 		// selector, applied to every subscriber sharing it.
+		if len(t.groups) > 0 {
+			b.stats.matchProgramEvals.Add(uint64(len(t.groups)))
+		}
 		for _, g := range t.groups {
 			if g.prog.Matches(m) {
 				for _, sub := range g.subs {
@@ -145,8 +150,11 @@ func (b *Broker) routeTopic(sh *shard, m *message.Message) {
 	// Durable subscribers currently offline buffer the message; only
 	// this topic's durables are touched.
 	for _, d := range durables {
-		if d.active == nil && d.sel.Matches(m) {
-			b.storeDurable(d, m, cost)
+		if d.active == nil {
+			b.stats.matchProgramEvals.Add(1)
+			if d.sel.Matches(m) {
+				b.storeDurable(d, m, cost)
+			}
 		}
 	}
 }

@@ -1,0 +1,352 @@
+// Package predindex implements the content-based matching index shared
+// by the broker's topic routing and the R-GMA core's insert fan-out.
+//
+// Both hot paths dispatch one message (or tuple) against many distinct
+// compiled predicates; scanning every predicate makes the per-message
+// cost O(#predicates) even when one matches. The index turns that into
+// O(#matching + #residual): each predicate is summarized by a *required
+// key* — a conjunct the whole predicate cannot be TRUE without — and
+// the message probes only the buckets its own attribute values select.
+// Equality keys hash into per-attribute value buckets, numeric range
+// keys go into a per-attribute interval tree, and predicates without an
+// extractable key fall to a residual list that is scanned linearly.
+//
+// The contract is *candidate superset*, never exact match: Candidates
+// returns every predicate that could evaluate to TRUE (and possibly
+// some that do not), in the same first-appearance order a linear scan
+// would visit them, and the caller's compiled program still renders the
+// verdict. Correctness therefore cannot depend on extraction precision:
+// an imprecise key only costs candidates, a wrong key would lose them —
+// which is why extraction (internal/selector, internal/sqlmini) only
+// widens (inclusive float64 bounds, residual on anything subtle).
+//
+// Shard-safety: an Index is immutable after Build and may be read
+// concurrently without synchronization. Both users build it at
+// copy-on-write route-patch time (broker topicRoute, rgmacore
+// tableSnap) and publish it through the same atomic.Pointer snapshot,
+// so the lock-free read paths consult it with no additional ordering.
+package predindex
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// ValueKind tags a canonical probe/bucket value.
+type ValueKind uint8
+
+// Value kinds. All numerics — int64, float32, float64 — canonicalize to
+// KNum via float64: the evaluators compare mixed numeric types through
+// float64 promotion, so two values that can compare equal always hash
+// to the same bucket. (Exact long/long comparison agrees: equal int64s
+// convert to equal float64s. Distinct int64s that collide as float64
+// merely share a bucket; the compiled program rejects the extras.)
+const (
+	KNum ValueKind = iota + 1
+	KStr
+	KBool
+)
+
+// Value is a canonical attribute value, usable as a map key.
+type Value struct {
+	Kind ValueKind
+	F    float64
+	S    string
+	B    bool
+}
+
+// Num, Str and Boolean construct canonical values.
+func Num(f float64) Value  { return Value{Kind: KNum, F: f} }
+func Str(s string) Value   { return Value{Kind: KStr, S: s} }
+func Boolean(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// KeyKind tags a required key.
+type KeyKind uint8
+
+// Key kinds.
+//
+//   - Residual: no required conjunct could be extracted; the predicate
+//     is always a candidate.
+//   - Never: the predicate can be proven to never evaluate TRUE for any
+//     input (e.g. `x = NULL` is always UNKNOWN); it is never a
+//     candidate.
+//   - Eq: the predicate requires attr to equal one of Vals.
+//   - Range: the predicate requires attr to be numeric and inside the
+//     inclusive interval [Lo, Hi] (±Inf for open sides).
+const (
+	Residual KeyKind = iota
+	Never
+	Eq
+	Range
+)
+
+// Key is the required-conjunct summary of one predicate.
+type Key struct {
+	Kind KeyKind
+	Attr string
+	Vals []Value // Eq: the admissible values (≥1 after construction)
+	Lo   float64 // Range: inclusive lower bound
+	Hi   float64 // Range: inclusive upper bound
+}
+
+// ResidualKey returns the always-a-candidate key.
+func ResidualKey() Key { return Key{Kind: Residual} }
+
+// NeverKey returns the never-a-candidate key.
+func NeverKey() Key { return Key{Kind: Never} }
+
+// EqKey returns a key requiring attr to equal one of vals. With no
+// values the predicate can never be TRUE, so the key degrades to Never.
+func EqKey(attr string, vals ...Value) Key {
+	if len(vals) == 0 {
+		return NeverKey()
+	}
+	return Key{Kind: Eq, Attr: attr, Vals: vals}
+}
+
+// RangeKey returns a key requiring attr to be numeric in [lo, hi]
+// inclusive. An empty interval degrades to Never.
+func RangeKey(attr string, lo, hi float64) Key {
+	if !(lo <= hi) { // also catches NaN bounds
+		return NeverKey()
+	}
+	return Key{Kind: Range, Attr: attr, Lo: lo, Hi: hi}
+}
+
+// And combines the keys of two conjuncts: `p AND q` is TRUE only when
+// both sides are TRUE, so either side's key is a valid required key for
+// the conjunction and And picks the more selective one. It never
+// narrows below what one side already guarantees, keeping the superset
+// property.
+func And(a, b Key) Key {
+	if a.Kind == Never || b.Kind == Never {
+		return NeverKey()
+	}
+	return pickSelective(a, b)
+}
+
+// pickSelective orders Eq (fewest values first) > Range > Residual.
+func pickSelective(a, b Key) Key {
+	score := func(k Key) int {
+		switch k.Kind {
+		case Eq:
+			return 2
+		case Range:
+			return 1
+		}
+		return 0
+	}
+	sa, sb := score(a), score(b)
+	if sa > sb {
+		return a
+	}
+	if sb > sa {
+		return b
+	}
+	if a.Kind == Eq && len(b.Vals) < len(a.Vals) {
+		return b
+	}
+	return a
+}
+
+// Or combines the keys of two disjuncts: `p OR q` is TRUE when either
+// side is, so a required key must admit both sides' admissible inputs.
+// Same-attribute Eq keys union their value sets; same-attribute Range
+// keys take the convex hull; anything else falls to Residual (unless
+// one side is Never, whose inputs need no admitting).
+func Or(a, b Key) Key {
+	if a.Kind == Never {
+		return b
+	}
+	if b.Kind == Never {
+		return a
+	}
+	if a.Kind == Residual || b.Kind == Residual {
+		return ResidualKey()
+	}
+	if a.Attr != b.Attr {
+		return ResidualKey()
+	}
+	if a.Kind == Eq && b.Kind == Eq {
+		vals := make([]Value, 0, len(a.Vals)+len(b.Vals))
+		vals = append(vals, a.Vals...)
+	outer:
+		for _, v := range b.Vals {
+			for _, u := range a.Vals {
+				if u == v {
+					continue outer
+				}
+			}
+			vals = append(vals, v)
+		}
+		return Key{Kind: Eq, Attr: a.Attr, Vals: vals}
+	}
+	if a.Kind == Range && b.Kind == Range {
+		return RangeKey(a.Attr, math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi))
+	}
+	// Eq-vs-Range on one attribute: a numeric hull would admit both, but
+	// Eq values may be non-numeric (strings, bools), so stay safe.
+	return ResidualKey()
+}
+
+// Source supplies attribute values while probing the index. ok=false
+// means the attribute is absent or NULL — no Eq or Range conjunct over
+// it can be TRUE, so those plans contribute no candidates.
+type Source interface {
+	ProbeAttr(attr string) (Value, bool)
+}
+
+// iv is one range entry: predicate seq requires the attribute in
+// [lo, hi].
+type iv struct {
+	lo, hi float64
+	seq    int32
+}
+
+// attrPlan holds every key extracted for one attribute.
+type attrPlan struct {
+	attr string
+	eq   map[Value][]int32 // bucket → seqs, each seq in exactly one bucket
+	ivs  []iv              // sorted by lo; stabbed via maxHi
+	// maxHi[i] is the maximum hi in the subtree rooted at i of the
+	// implicit balanced tree over ivs (midpoint recursion), enabling
+	// O(log n + k) stabbing queries.
+	maxHi []float64
+}
+
+// Index is a built discrimination index over a fixed predicate list.
+// Immutable after Build; see the package comment for shard-safety.
+type Index struct {
+	plans    []attrPlan
+	residual []int32
+	n        int
+	never    int
+}
+
+// Build constructs an index over keys[i] for predicate seq i. The seqs
+// emitted by Candidates index into the same slice order.
+func Build(keys []Key) *Index {
+	ix := &Index{n: len(keys)}
+	byAttr := map[string]int{}
+	plan := func(attr string) *attrPlan {
+		i, ok := byAttr[attr]
+		if !ok {
+			i = len(ix.plans)
+			byAttr[attr] = i
+			ix.plans = append(ix.plans, attrPlan{attr: attr})
+		}
+		return &ix.plans[i]
+	}
+	for seq, k := range keys {
+		switch k.Kind {
+		case Never:
+			ix.never++
+		case Eq:
+			pl := plan(k.Attr)
+			if pl.eq == nil {
+				pl.eq = map[Value][]int32{}
+			}
+			seen := map[Value]bool{}
+			for _, v := range k.Vals {
+				if !seen[v] { // a seq must appear at most once per probe
+					seen[v] = true
+					pl.eq[v] = append(pl.eq[v], int32(seq))
+				}
+			}
+		case Range:
+			pl := plan(k.Attr)
+			pl.ivs = append(pl.ivs, iv{lo: k.Lo, hi: k.Hi, seq: int32(seq)})
+		default:
+			ix.residual = append(ix.residual, int32(seq))
+		}
+	}
+	for i := range ix.plans {
+		pl := &ix.plans[i]
+		if len(pl.ivs) == 0 {
+			continue
+		}
+		sort.Slice(pl.ivs, func(a, b int) bool {
+			if pl.ivs[a].lo != pl.ivs[b].lo {
+				return pl.ivs[a].lo < pl.ivs[b].lo
+			}
+			return pl.ivs[a].seq < pl.ivs[b].seq
+		})
+		pl.maxHi = make([]float64, len(pl.ivs))
+		buildMaxHi(pl.ivs, pl.maxHi, 0, len(pl.ivs))
+	}
+	return ix
+}
+
+// buildMaxHi fills the implicit-tree subtree maxima for ivs[l:r) and
+// returns the subtree maximum.
+func buildMaxHi(ivs []iv, maxHi []float64, l, r int) float64 {
+	if l >= r {
+		return math.Inf(-1)
+	}
+	mid := (l + r) / 2
+	m := ivs[mid].hi
+	if lm := buildMaxHi(ivs, maxHi, l, mid); lm > m {
+		m = lm
+	}
+	if rm := buildMaxHi(ivs, maxHi, mid+1, r); rm > m {
+		m = rm
+	}
+	maxHi[mid] = m
+	return m
+}
+
+// Len reports the number of predicates the index was built over.
+func (ix *Index) Len() int { return ix.n }
+
+// NumResidual reports how many predicates fell to the linear residual.
+func (ix *Index) NumResidual() int { return len(ix.residual) }
+
+// NumNever reports how many predicates were proven never-TRUE.
+func (ix *Index) NumNever() int { return ix.never }
+
+// Candidates appends to out the seqs of every predicate that could
+// evaluate TRUE for the probe source, sorted ascending — the same
+// first-appearance order a linear scan visits, which keeps delivery
+// order (and therefore single-caller runs) bit-identical to the linear
+// path. out is used as scratch; pass a recycled buffer to avoid
+// allocation.
+func (ix *Index) Candidates(src Source, out []int32) []int32 {
+	for i := range ix.plans {
+		pl := &ix.plans[i]
+		v, ok := src.ProbeAttr(pl.attr)
+		if !ok {
+			continue
+		}
+		if pl.eq != nil {
+			out = append(out, pl.eq[v]...)
+		}
+		if len(pl.ivs) > 0 && v.Kind == KNum {
+			out = stab(pl.ivs, pl.maxHi, v.F, 0, len(pl.ivs), out)
+		}
+	}
+	out = append(out, ix.residual...)
+	// Each seq appears at most once (one bucket per plan, plans are
+	// disjoint by attr, residual is disjoint from plans), so a plain
+	// sort restores first-appearance order. slices.Sort does not
+	// allocate, unlike sort.Slice — this runs per publish.
+	slices.Sort(out)
+	return out
+}
+
+// stab walks the implicit interval tree over ivs[l:r) appending every
+// interval containing x. NaN x matches nothing (all comparisons false).
+func stab(ivs []iv, maxHi []float64, x float64, l, r int, out []int32) []int32 {
+	if l >= r || !(maxHi[(l+r)/2] >= x) {
+		return out
+	}
+	mid := (l + r) / 2
+	out = stab(ivs, maxHi, x, l, mid, out)
+	if ivs[mid].lo <= x {
+		if ivs[mid].hi >= x {
+			out = append(out, ivs[mid].seq)
+		}
+		out = stab(ivs, maxHi, x, mid+1, r, out)
+	}
+	return out
+}

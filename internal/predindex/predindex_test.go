@@ -1,0 +1,213 @@
+package predindex
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// mapSource probes from a plain attribute map.
+type mapSource map[string]Value
+
+func (m mapSource) ProbeAttr(attr string) (Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+func cands(t *testing.T, ix *Index, src Source) []int32 {
+	t.Helper()
+	out := ix.Candidates(src, nil)
+	if !slices.IsSorted(out) {
+		t.Fatalf("candidates not sorted: %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			t.Fatalf("duplicate candidate seq %d in %v", out[i], out)
+		}
+	}
+	return out
+}
+
+func TestBuildAndCandidatesBasics(t *testing.T) {
+	ix := Build([]Key{
+		EqKey("site", Str("cern")),             // 0
+		EqKey("site", Str("ral")),              // 1
+		EqKey("site", Str("cern"), Str("ral")), // 2
+		RangeKey("load", math.Inf(-1), 5),      // 3: load <= 5
+		RangeKey("load", 3, math.Inf(1)),       // 4: load >= 3
+		ResidualKey(),                          // 5
+		NeverKey(),                             // 6
+		EqKey("up", Boolean(true)),             // 7
+		RangeKey("load", 10, 20),               // 8
+	})
+	if ix.Len() != 9 || ix.NumResidual() != 1 || ix.NumNever() != 1 {
+		t.Fatalf("Len=%d residual=%d never=%d", ix.Len(), ix.NumResidual(), ix.NumNever())
+	}
+
+	got := cands(t, ix, mapSource{"site": Str("cern"), "load": Num(4), "up": Boolean(true)})
+	want := []int32{0, 2, 3, 4, 5, 7}
+	if !slices.Equal(got, want) {
+		t.Fatalf("candidates %v, want %v", got, want)
+	}
+
+	// Absent attributes contribute nothing; residual always present.
+	got = cands(t, ix, mapSource{})
+	if !slices.Equal(got, []int32{5}) {
+		t.Fatalf("empty probe candidates %v, want [5]", got)
+	}
+
+	// Range endpoints are inclusive on both sides.
+	got = cands(t, ix, mapSource{"load": Num(10)})
+	if !slices.Equal(got, []int32{4, 5, 8}) {
+		t.Fatalf("load=10 candidates %v, want [4 5 8]", got)
+	}
+	got = cands(t, ix, mapSource{"load": Num(20)})
+	if !slices.Equal(got, []int32{4, 5, 8}) {
+		t.Fatalf("load=20 candidates %v, want [4 5 8]", got)
+	}
+
+	// Non-numeric probe value never stabs the interval tree.
+	got = cands(t, ix, mapSource{"load": Str("4")})
+	if !slices.Equal(got, []int32{5}) {
+		t.Fatalf("string load candidates %v, want [5]", got)
+	}
+}
+
+func TestKeyConstructorsDegrade(t *testing.T) {
+	if k := EqKey("a"); k.Kind != Never {
+		t.Fatalf("empty EqKey kind %v, want Never", k.Kind)
+	}
+	if k := RangeKey("a", 5, 3); k.Kind != Never {
+		t.Fatalf("empty RangeKey kind %v, want Never", k.Kind)
+	}
+	if k := RangeKey("a", math.NaN(), 3); k.Kind != Never {
+		t.Fatalf("NaN RangeKey kind %v, want Never", k.Kind)
+	}
+	if k := RangeKey("a", 3, 3); k.Kind != Range {
+		t.Fatalf("point RangeKey kind %v, want Range", k.Kind)
+	}
+}
+
+func TestAndCombinator(t *testing.T) {
+	eq1 := EqKey("a", Num(1))
+	eq2 := EqKey("b", Num(1), Num(2))
+	rng := RangeKey("c", 0, 10)
+	res := ResidualKey()
+	nev := NeverKey()
+
+	if k := And(res, nev); k.Kind != Never {
+		t.Fatalf("And(residual, never) = %v", k)
+	}
+	if k := And(eq1, rng); k.Kind != Eq || k.Attr != "a" {
+		t.Fatalf("And(eq, range) = %+v, want eq1", k)
+	}
+	if k := And(rng, res); k.Kind != Range {
+		t.Fatalf("And(range, residual) = %+v, want range", k)
+	}
+	// Ties between Eq keys: fewer values wins.
+	if k := And(eq2, eq1); k.Attr != "a" {
+		t.Fatalf("And(eq2, eq1) = %+v, want the 1-value key", k)
+	}
+	if k := And(eq1, eq2); k.Attr != "a" {
+		t.Fatalf("And(eq1, eq2) = %+v, want the 1-value key", k)
+	}
+}
+
+func TestOrCombinator(t *testing.T) {
+	if k := Or(NeverKey(), EqKey("a", Num(1))); k.Kind != Eq {
+		t.Fatalf("Or(never, eq) = %+v", k)
+	}
+	if k := Or(ResidualKey(), EqKey("a", Num(1))); k.Kind != Residual {
+		t.Fatalf("Or(residual, eq) = %+v", k)
+	}
+	// Same-attr Eq union, deduplicated.
+	k := Or(EqKey("a", Num(1), Num(2)), EqKey("a", Num(2), Num(3)))
+	if k.Kind != Eq || len(k.Vals) != 3 {
+		t.Fatalf("Or eq-union = %+v, want 3 deduped values", k)
+	}
+	// Different attrs cannot be admitted by one key.
+	if k := Or(EqKey("a", Num(1)), EqKey("b", Num(1))); k.Kind != Residual {
+		t.Fatalf("Or cross-attr = %+v, want Residual", k)
+	}
+	// Same-attr Range hull.
+	k = Or(RangeKey("a", 0, 5), RangeKey("a", 10, 20))
+	if k.Kind != Range || k.Lo != 0 || k.Hi != 20 {
+		t.Fatalf("Or range-hull = %+v, want [0,20]", k)
+	}
+	// Eq-vs-Range stays safe.
+	if k := Or(EqKey("a", Str("x")), RangeKey("a", 0, 5)); k.Kind != Residual {
+		t.Fatalf("Or eq-vs-range = %+v, want Residual", k)
+	}
+}
+
+// TestIntervalStabRandomized cross-checks the implicit interval tree
+// against a brute-force scan over random interval sets and probe
+// points, including open (±Inf) sides and shared endpoints.
+func TestIntervalStabRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		keys := make([]Key, n)
+		type ivt struct{ lo, hi float64 }
+		ivs := make([]ivt, n)
+		for i := range keys {
+			lo := float64(rng.Intn(21) - 10)
+			hi := lo + float64(rng.Intn(11))
+			if rng.Intn(8) == 0 {
+				lo = math.Inf(-1)
+			}
+			if rng.Intn(8) == 0 {
+				hi = math.Inf(1)
+			}
+			keys[i] = RangeKey("x", lo, hi)
+			ivs[i] = ivt{lo, hi}
+		}
+		ix := Build(keys)
+		for probe := 0; probe < 30; probe++ {
+			x := float64(rng.Intn(31) - 15)
+			got := cands(t, ix, mapSource{"x": Num(x)})
+			var want []int32
+			for i, v := range ivs {
+				if v.lo <= x && x <= v.hi {
+					want = append(want, int32(i))
+				}
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d x=%v: got %v, want %v", trial, x, got, want)
+			}
+		}
+	}
+}
+
+// TestCandidatesScratchReuse pins the zero-allocation contract: a
+// recycled buffer large enough for the result must be reused, not
+// reallocated.
+func TestCandidatesScratchReuse(t *testing.T) {
+	ix := Build([]Key{EqKey("a", Num(1)), ResidualKey(), RangeKey("a", 0, 2)})
+	buf := make([]int32, 0, 16)
+	src := mapSource{"a": Num(1)}
+	out := ix.Candidates(src, buf)
+	if !slices.Equal(out, []int32{0, 1, 2}) {
+		t.Fatalf("candidates %v", out)
+	}
+	if &out[:1][0] != &buf[:1][0] {
+		t.Fatal("Candidates reallocated despite sufficient scratch capacity")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = ix.Candidates(src, buf[:0])
+	}); n != 0 {
+		t.Fatalf("Candidates allocates %v per run with recycled scratch", n)
+	}
+}
+
+// TestMultiValueEqSingleProbe pins the per-plan dedup invariant: a
+// multi-value Eq key emits its seq at most once per probe even when
+// values collide after canonicalization.
+func TestMultiValueEqSingleProbe(t *testing.T) {
+	ix := Build([]Key{EqKey("a", Num(1), Num(1), Str("x"))})
+	got := cands(t, ix, mapSource{"a": Num(1)})
+	if !slices.Equal(got, []int32{0}) {
+		t.Fatalf("candidates %v, want [0]", got)
+	}
+}

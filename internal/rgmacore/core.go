@@ -58,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridmon/internal/predindex"
 	"gridmon/internal/rgma"
 	"gridmon/internal/shardhash"
 	"gridmon/internal/sim"
@@ -110,6 +111,15 @@ type Config struct {
 	// copy-on-write snapshot. Behaviour is identical for any single
 	// caller; only contention (and Stats.ReadLockAcquisitions) differs.
 	LockedReadPath bool
+	// LinearMatch disables the content-based matching index on the
+	// snapshot insert path (same A/B-baseline pattern as
+	// LockedReadPath): Insert evaluates every continuous consumer of
+	// the table instead of only the candidates the predindex
+	// discrimination index emits. Behaviour is identical for any caller
+	// — candidates are a superset, visited in registration order — only
+	// the MatchIndex* meters and the per-insert evaluation count
+	// differ. The locked baseline never uses the index regardless.
+	LinearMatch bool
 }
 
 // Core is the shared R-GMA service state.
@@ -120,6 +130,11 @@ type Core struct {
 	nextID      atomic.Int64
 	maxBuffered int
 	lockedRead  bool // Config.LockedReadPath
+	linearMatch bool // Config.LinearMatch
+
+	// matchScratch pools the indexed insert path's per-call scratch
+	// (candidate buffer + row-probe adapter), recycled across inserts.
+	matchScratch sync.Pool
 
 	// journal is the persistence seam (see journal.go); nil-by-default
 	// keeps every mutation path at one atomic load when persistence is
@@ -132,6 +147,10 @@ type Core struct {
 	tuplesPopped   atomic.Uint64
 	tuplesDropped  atomic.Uint64
 	readLockAcq    atomic.Uint64 // read-path shard-lock acquisitions (locked mode only)
+
+	matchProgramEvals    atomic.Uint64
+	matchIndexCandidates atomic.Uint64
+	matchConsumersSkip   atomic.Uint64
 
 	start time.Time
 	// clock returns the service's notion of now (nanoseconds since
@@ -159,28 +178,37 @@ type tableShard struct {
 	snap atomic.Pointer[tableSnap]
 }
 
-// tableSnap is one shard's published read-path state. Maps and slices
-// are immutable once stored.
+// tableSnap is one shard's published read-path state. Maps, slices and
+// indexes are immutable once stored (predindex.Index is shard-safe
+// after Build).
 type tableSnap struct {
 	continuous map[string][]*Consumer
 	producers  map[string][]*Producer
+	// indexes holds, per table, the content-based matching index over
+	// that table's continuous slice (seq i ↔ continuous[table][i]),
+	// consulted by streamInsert. Absent for tables with no continuous
+	// consumers, and empty when Config.LinearMatch disables indexing.
+	indexes map[string]*predindex.Index
 }
 
 // refreshSnap republishes the shard's snapshot after a mutation of one
 // table's index entries. Untouched tables share their slices with the
 // previous snapshot generation; the mutated table's slices are cloned
-// from the locked indexes (which are append/delete-mutated in place).
+// from the locked indexes (which are append/delete-mutated in place)
+// and its matching index rebuilt from the consumers' cached keys.
 // Write lock held — that is what single-files snapshot writers.
-func (ts *tableShard) refreshSnap(table string) {
+func (c *Core) refreshSnap(ts *tableShard, table string) {
 	cur := ts.snap.Load()
 	var curC map[string][]*Consumer
 	var curP map[string][]*Producer
+	var curI map[string]*predindex.Index
 	if cur != nil {
-		curC, curP = cur.continuous, cur.producers
+		curC, curP, curI = cur.continuous, cur.producers, cur.indexes
 	}
 	next := &tableSnap{
 		continuous: make(map[string][]*Consumer, len(curC)+1),
 		producers:  make(map[string][]*Producer, len(curP)+1),
+		indexes:    make(map[string]*predindex.Index, len(curI)+1),
 	}
 	for k, v := range curC {
 		if k != table {
@@ -192,8 +220,20 @@ func (ts *tableShard) refreshSnap(table string) {
 			next.producers[k] = v
 		}
 	}
+	for k, v := range curI {
+		if k != table {
+			next.indexes[k] = v
+		}
+	}
 	if cns := ts.continuous[table]; len(cns) > 0 {
 		next.continuous[table] = slices.Clone(cns)
+		if !c.linearMatch {
+			keys := make([]predindex.Key, len(cns))
+			for i, cn := range cns {
+				keys[i] = cn.matchKey
+			}
+			next.indexes[table] = predindex.Build(keys)
+		}
 	}
 	if ps := ts.producers[table]; len(ps) > 0 {
 		next.producers[table] = slices.Clone(ps)
@@ -223,6 +263,7 @@ func New(cfg Config) *Core {
 		registry:    rgma.NewRegistrySharded(cfg.Shards),
 		maxBuffered: maxBuffered,
 		lockedRead:  cfg.LockedReadPath,
+		linearMatch: cfg.LinearMatch,
 		start:       time.Now(),
 	}
 	c.clock = func() sim.Time { return sim.Time(time.Since(c.start).Nanoseconds()) }
@@ -326,6 +367,7 @@ type Consumer struct {
 	query     sqlmini.Select
 	rawQuery  string           // original SELECT text, journaled for replay
 	prog      *sqlmini.Program // query.Where compiled against table
+	matchKey  predindex.Key    // required-conjunct key of query.Where
 	table     *sqlmini.Table
 	tableName string
 	qtype     rgma.QueryType
@@ -509,7 +551,7 @@ func (c *Core) addProducer(id int64, table string, latestRetention, historyReten
 	rs.mu.Unlock()
 	ts.mu.Lock()
 	ts.producers[table] = append(ts.producers[table], p)
-	ts.refreshSnap(table)
+	c.refreshSnap(ts, table)
 	ts.mu.Unlock()
 	if journal {
 		if j := c.loadJournal(); j != nil {
@@ -548,7 +590,7 @@ func (c *Core) closeProducer(id int64, journal bool) error {
 	ts := c.tableShardFor(p.tableName)
 	ts.mu.Lock()
 	ts.producers[p.tableName] = removeHandle(ts.producers[p.tableName], p)
-	ts.refreshSnap(p.tableName)
+	c.refreshSnap(ts, p.tableName)
 	ts.mu.Unlock()
 	if journal {
 		if j := c.loadJournal(); j != nil {
@@ -614,38 +656,106 @@ func (c *Core) Insert(producerID int64, sqlText string) error {
 	ts := c.tableShardFor(p.tableName)
 	var cns []*Consumer
 	if c.lockedRead {
+		// The locked baseline never uses the matching index: it predates
+		// the snapshot machinery that builds one, and keeping it linear
+		// preserves it as the measured pre-index A/B reference.
 		c.readLockAcq.Add(1)
 		ts.mu.RLock()
 		cns = ts.continuous[p.tableName]
-		c.streamInsert(cns, p, row, tuple)
+		c.streamInsert(cns, nil, p, row, tuple)
 		ts.mu.RUnlock()
 		return nil
 	}
+	var idx *predindex.Index
 	if snap := ts.snap.Load(); snap != nil {
 		cns = snap.continuous[p.tableName]
+		idx = snap.indexes[p.tableName]
 	}
-	c.streamInsert(cns, p, row, tuple)
+	c.streamInsert(cns, idx, p, row, tuple)
 	return nil
+}
+
+// rowScratch is the pooled per-insert scratch of the indexed stream
+// path: the candidate buffer and the probe adapter live in one pooled
+// struct so handing &sc.probe to the index costs no allocation.
+type rowScratch struct {
+	buf   []int32
+	probe rowProbe
+}
+
+// rowProbe adapts a table row to the index's attribute-probe interface.
+type rowProbe struct {
+	tab *sqlmini.Table
+	row sqlmini.Row
+}
+
+func (p *rowProbe) ProbeAttr(attr string) (predindex.Value, bool) {
+	return sqlmini.ProbeValue(p.tab, p.row, attr)
 }
 
 // streamInsert fans one inserted tuple out to the table's continuous
 // consumers. Called with the consumer list pinned either by the shard's
-// read lock (locked mode) or by snapshot immutability (lock-free mode).
-func (c *Core) streamInsert(cns []*Consumer, p *Producer, row sqlmini.Row, tuple rgma.Tuple) {
+// read lock (locked mode, idx nil) or by snapshot immutability
+// (lock-free mode, idx non-nil unless LinearMatch or no consumers).
+//
+// Consumers in cns are registered against p's table by construction:
+// addConsumer files each consumer under its table name, the shard
+// snapshot keys consumer lists by that same name, and CreateTable never
+// replaces a live *Table (identical re-creates no-op, conflicting ones
+// error), so cn.table == p.table holds for every entry and is not
+// re-checked here. (Pop keeps its parallel check because it crosses
+// producer and consumer handles supplied by the caller.)
+func (c *Core) streamInsert(cns []*Consumer, idx *predindex.Index, p *Producer, row sqlmini.Row, tuple rgma.Tuple) {
 	var streamed *Streamed
-	for _, cn := range cns {
-		if cn.table == p.table && cn.prog.Matches(row) {
-			if streamed == nil {
-				streamed = &Streamed{Tuple: toPop(tuple)}
+	deliver := func(cn *Consumer) {
+		if streamed == nil {
+			streamed = &Streamed{Tuple: toPop(tuple)}
+		}
+		if cn.sink != nil {
+			cn.sink(cn.id, streamed)
+		} else {
+			cn.push(streamed.Tuple, c.maxBuffered, &c.tuplesDropped)
+		}
+		c.tuplesStreamed.Add(1)
+	}
+	if idx == nil {
+		if len(cns) > 0 {
+			c.matchProgramEvals.Add(uint64(len(cns)))
+		}
+		for _, cn := range cns {
+			if cn.prog.Matches(row) {
+				deliver(cn)
 			}
-			if cn.sink != nil {
-				cn.sink(cn.id, streamed)
-			} else {
-				cn.push(streamed.Tuple, c.maxBuffered, &c.tuplesDropped)
-			}
-			c.tuplesStreamed.Add(1)
+		}
+		return
+	}
+	// Indexed path: evaluate only the candidate consumers the
+	// discrimination index emits (a superset of the true matchers,
+	// seq-sorted, so visit order equals registration order and delivery
+	// is bit-identical to the linear scan).
+	sc, _ := c.matchScratch.Get().(*rowScratch)
+	if sc == nil {
+		sc = &rowScratch{}
+	}
+	sc.probe.tab = p.table
+	sc.probe.row = row
+	cands := idx.Candidates(&sc.probe, sc.buf[:0])
+	for _, ci := range cands {
+		if cn := cns[ci]; cn.prog.Matches(row) {
+			deliver(cn)
 		}
 	}
+	if n := len(cands); n > 0 {
+		c.matchProgramEvals.Add(uint64(n))
+		c.matchIndexCandidates.Add(uint64(n))
+	}
+	if skipped := len(cns) - len(cands); skipped > 0 {
+		c.matchConsumersSkip.Add(uint64(skipped))
+	}
+	sc.probe.tab = nil
+	sc.probe.row = nil
+	sc.buf = cands[:0]
+	c.matchScratch.Put(sc)
 }
 
 // --- consumers ---
@@ -693,6 +803,7 @@ func (c *Core) addConsumer(id int64, query string, qtype rgma.QueryType, sink Si
 		query:     sel,
 		rawQuery:  query,
 		prog:      sel.Compiled(tab),
+		matchKey:  sqlmini.RequiredKey(sel.Where),
 		table:     tab,
 		tableName: sel.Table,
 		qtype:     qtype,
@@ -706,7 +817,7 @@ func (c *Core) addConsumer(id int64, query string, qtype rgma.QueryType, sink Si
 	if qtype == rgma.ContinuousQuery {
 		ts.mu.Lock()
 		ts.continuous[sel.Table] = append(ts.continuous[sel.Table], cn)
-		ts.refreshSnap(sel.Table)
+		c.refreshSnap(ts, sel.Table)
 		ts.mu.Unlock()
 	}
 	if journal && sink == nil {
@@ -802,7 +913,7 @@ func (c *Core) closeConsumer(id int64, journal bool) error {
 		ts := c.tableShardFor(cn.tableName)
 		ts.mu.Lock()
 		ts.continuous[cn.tableName] = removeHandle(ts.continuous[cn.tableName], cn)
-		ts.refreshSnap(cn.tableName)
+		c.refreshSnap(ts, cn.tableName)
 		ts.mu.Unlock()
 	}
 	if journal && cn.sink == nil {
@@ -829,6 +940,18 @@ type Stats struct {
 	// zero on the default snapshot path, one per insert and per
 	// latest/history pop in the LockedReadPath baseline.
 	ReadLockAcquisitions uint64
+	// MatchProgramEvals counts compiled WHERE evaluations on the insert
+	// stream path: one per continuous consumer visited. Indexed mode
+	// visits only index candidates, so this is the meter the matching
+	// index exists to shrink. MatchIndexCandidates counts candidates the
+	// index emitted (equal to MatchProgramEvals in indexed mode, zero
+	// otherwise); MatchConsumersSkipped counts consumers the index
+	// proved could not match and never visited. TuplesStreamed is
+	// mode-independent — the index only skips consumers whose predicate
+	// could not return TRUE.
+	MatchProgramEvals     uint64
+	MatchIndexCandidates  uint64
+	MatchConsumersSkipped uint64
 }
 
 // StatsSnapshot reads the counters; safe from any goroutine.
@@ -844,6 +967,10 @@ func (c *Core) StatsSnapshot() Stats {
 		TuplesDropped:  c.tuplesDropped.Load(),
 
 		ReadLockAcquisitions: c.readLockAcq.Load(),
+
+		MatchProgramEvals:     c.matchProgramEvals.Load(),
+		MatchIndexCandidates:  c.matchIndexCandidates.Load(),
+		MatchConsumersSkipped: c.matchConsumersSkip.Load(),
 	}
 }
 

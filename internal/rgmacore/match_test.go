@@ -1,0 +1,108 @@
+package rgmacore
+
+import (
+	"fmt"
+	"testing"
+
+	"gridmon/internal/rgma"
+	"gridmon/internal/sim"
+)
+
+// Tests for the content-based matching index on the insert stream path.
+
+// TestCoreMatchIndexLinearEquivalenceRandomized drives the randomized
+// operation storm through an indexed core and a LinearMatch core (both
+// on the snapshot read path): every pop result and the final stats —
+// TuplesStreamed above all — must be identical; only the Match* meters
+// (zeroed by clearReadLocks) may differ.
+func TestCoreMatchIndexLinearEquivalenceRandomized(t *testing.T) {
+	runCoreEquivalence(t, func(cfg *Config) {}, func(cfg *Config) {
+		cfg.LinearMatch = true
+	})
+}
+
+// TestCoreMatchIndexMeters pins the index's observable contract on a
+// hot table with many disjoint equality WHEREs: indexed mode evaluates
+// only the candidate consumers per insert (here exactly one), while
+// LinearMatch evaluates all of them; both stream identically.
+func TestCoreMatchIndexMeters(t *testing.T) {
+	const consumers = 64
+	run := func(linear bool) Stats {
+		c := New(Config{Shards: 2, LinearMatch: linear})
+		mustCreateTable(t, c, "CREATE TABLE hot (genid INTEGER PRIMARY KEY, site CHAR(20))")
+		p, err := c.CreateProducer("hot", sim.Second, sim.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < consumers; i++ {
+			q := fmt.Sprintf("SELECT * FROM hot WHERE site = 'c%d'", i)
+			if _, err := c.CreateConsumer(q, rgma.ContinuousQuery, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < consumers; i++ {
+			stmt := fmt.Sprintf("INSERT INTO hot (genid, site) VALUES (%d, 'c%d')", i, i)
+			if err := c.Insert(p.ID(), stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.StatsSnapshot()
+	}
+
+	idx, lin := run(false), run(true)
+	if idx.TuplesStreamed != consumers || lin.TuplesStreamed != consumers {
+		t.Fatalf("streamed: indexed %d, linear %d, want %d each", idx.TuplesStreamed, lin.TuplesStreamed, consumers)
+	}
+	if want := uint64(consumers * consumers); lin.MatchProgramEvals != want {
+		t.Fatalf("linear MatchProgramEvals = %d, want %d", lin.MatchProgramEvals, want)
+	}
+	if want := uint64(consumers); idx.MatchProgramEvals != want {
+		t.Fatalf("indexed MatchProgramEvals = %d, want %d (one candidate per insert)", idx.MatchProgramEvals, want)
+	}
+	if idx.MatchIndexCandidates != idx.MatchProgramEvals {
+		t.Fatalf("MatchIndexCandidates %d != MatchProgramEvals %d", idx.MatchIndexCandidates, idx.MatchProgramEvals)
+	}
+	if want := uint64(consumers * (consumers - 1)); idx.MatchConsumersSkipped != want {
+		t.Fatalf("MatchConsumersSkipped = %d, want %d", idx.MatchConsumersSkipped, want)
+	}
+	if lin.MatchIndexCandidates != 0 || lin.MatchConsumersSkipped != 0 {
+		t.Fatalf("linear mode moved index meters: %+v", lin)
+	}
+}
+
+// TestTableIdentityPinned pins the invariant streamInsert's dropped
+// table re-check relied on: a table's *Table value is never replaced
+// once created — re-declaring the identical schema is a no-op returning
+// the same pointer, and a conflicting declaration errors. Consumers and
+// producers registered under one table name therefore always share one
+// table identity.
+func TestTableIdentityPinned(t *testing.T) {
+	c := New(Config{Shards: 2})
+	const ddl = "CREATE TABLE pin (genid INTEGER PRIMARY KEY, seq INTEGER)"
+	t1, err := c.CreateTable(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.CreateTable(ddl)
+	if err != nil {
+		t.Fatalf("identical re-create: %v", err)
+	}
+	if t1 != t2 {
+		t.Fatal("identical re-create returned a different *Table — streamInsert's identity assumption broken")
+	}
+	if _, err := c.CreateTable("CREATE TABLE pin (genid INTEGER PRIMARY KEY, other CHAR(8))"); err == nil {
+		t.Fatal("conflicting re-create succeeded — streamInsert's identity assumption broken")
+	}
+
+	p, err := c.CreateProducer("pin", sim.Second, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := c.CreateConsumer("SELECT * FROM pin", rgma.ContinuousQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.table != cn.table {
+		t.Fatal("producer and consumer of one table hold different *Table values")
+	}
+}

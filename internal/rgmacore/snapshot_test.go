@@ -18,10 +18,16 @@ import (
 // operation sequence, survive concurrent index churn under -race, and
 // the ReadLockAcquisitions meter must prove which path ran.
 
-// clearReadLocks zeroes the one stats field that legitimately differs
-// across read-path modes.
+// clearReadLocks zeroes the stats fields that legitimately differ
+// across read-path and match modes — the lock meter and the matching-
+// index meters. Everything else, TuplesStreamed above all, must match
+// exactly: the index may only skip consumers whose predicate could not
+// have matched.
 func clearReadLocks(s Stats) Stats {
 	s.ReadLockAcquisitions = 0
+	s.MatchProgramEvals = 0
+	s.MatchIndexCandidates = 0
+	s.MatchConsumersSkipped = 0
 	return s
 }
 
@@ -33,6 +39,18 @@ func clearReadLocks(s Stats) Stats {
 // full stats at the end. Any index mutation missing its refreshSnap
 // shows up as a pop divergence.
 func TestCoreSnapshotLockedEquivalenceRandomized(t *testing.T) {
+	runCoreEquivalence(t, func(cfg *Config) {}, func(cfg *Config) {
+		cfg.LockedReadPath = true
+	})
+}
+
+// runCoreEquivalence drives the randomized operation storm through two
+// cores differing only by the given config mutations and requires
+// identical observable behaviour (pop results, errors, stats modulo
+// clearReadLocks). Shared by the snapshot-vs-locked and
+// indexed-vs-linear-match suites.
+func runCoreEquivalence(t *testing.T, mutA, mutB func(*Config)) {
+	t.Helper()
 	tables := []string{"ta", "tb", "tc"}
 	queries := []string{
 		"SELECT * FROM %s",
@@ -44,12 +62,14 @@ func TestCoreSnapshotLockedEquivalenceRandomized(t *testing.T) {
 
 	for seed := int64(1); seed <= 5; seed++ {
 		var now sim.Time
-		mk := func(locked bool) *Core {
-			c := New(Config{Shards: 4, LockedReadPath: locked})
+		mk := func(mutate func(*Config)) *Core {
+			cfg := Config{Shards: 4}
+			mutate(&cfg)
+			c := New(cfg)
 			c.clock = func() sim.Time { return now }
 			return c
 		}
-		cSnap, cLock := mk(false), mk(true)
+		cSnap, cLock := mk(mutA), mk(mutB)
 		both := func(fn func(c *Core) error) error {
 			errS, errL := fn(cSnap), fn(cLock)
 			if (errS == nil) != (errL == nil) {
@@ -143,10 +163,12 @@ func TestCoreSnapshotLockedEquivalenceRandomized(t *testing.T) {
 
 		ss, sl := clearReadLocks(cSnap.StatsSnapshot()), clearReadLocks(cLock.StatsSnapshot())
 		if ss != sl {
-			t.Fatalf("seed %d: snapshot stats %+v != locked %+v", seed, ss, sl)
+			t.Fatalf("seed %d: A stats %+v != B %+v", seed, ss, sl)
 		}
-		if got := cSnap.StatsSnapshot().ReadLockAcquisitions; got != 0 {
-			t.Fatalf("seed %d: snapshot core took %d read-path locks", seed, got)
+		if !cSnap.lockedRead {
+			if got := cSnap.StatsSnapshot().ReadLockAcquisitions; got != 0 {
+				t.Fatalf("seed %d: snapshot core took %d read-path locks", seed, got)
+			}
 		}
 	}
 }
@@ -219,8 +241,11 @@ func TestCoreSnapshotChurnEquivalence(t *testing.T) {
 		"SELECT * FROM %s WHERE seq >= 50",
 	}
 
-	run := func(locked bool) map[int][]PopTuple {
-		c := New(Config{Shards: 4, LockedReadPath: locked})
+	run := func(mutate func(*Config)) map[int][]PopTuple {
+		cfg := Config{Shards: 4}
+		mutate(&cfg)
+		locked := cfg.LockedReadPath
+		c := New(cfg)
 		c.clock = func() sim.Time { return 0 }
 		for _, tab := range tables {
 			mustCreateTable(t, c, fmt.Sprintf(
@@ -375,9 +400,17 @@ func TestCoreSnapshotChurnEquivalence(t *testing.T) {
 		return got
 	}
 
-	snap := run(false)
-	lock := run(true)
+	snap := run(func(cfg *Config) {})
+	lock := run(func(cfg *Config) { cfg.LockedReadPath = true })
 	if !reflect.DeepEqual(snap, lock) {
 		t.Fatalf("post-churn probe pops diverge:\nsnapshot: %v\nlocked:   %v", snap, lock)
+	}
+
+	// Same storm, matching index on vs off: the storm phase races
+	// concurrent per-table index rebuilds against indexed inserts under
+	// -race; the quiesced probes must pop identically.
+	linear := run(func(cfg *Config) { cfg.LinearMatch = true })
+	if !reflect.DeepEqual(snap, linear) {
+		t.Fatalf("post-churn probe pops diverge:\nindexed: %v\nlinear:  %v", snap, linear)
 	}
 }

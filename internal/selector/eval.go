@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"gridmon/internal/message"
+	"gridmon/internal/predindex"
 )
 
 // Tri is SQL three-valued logic. A selector accepts a message only when
@@ -547,6 +548,7 @@ type Selector struct {
 	src  string
 	root expr
 	prog *Program
+	key  predindex.Key // required-conjunct key for the matching index
 }
 
 // Parse compiles a selector expression. An empty (or all-whitespace)
@@ -574,7 +576,7 @@ func Parse(src string) (*Selector, error) {
 	if p.tok.kind != tokEOF {
 		return nil, &Error{Pos: p.tok.pos, Msg: fmt.Sprintf("unexpected trailing token %q", p.tok.text), Expr: src}
 	}
-	return &Selector{src: src, root: root, prog: compileProgram(root)}, nil
+	return &Selector{src: src, root: root, prog: compileProgram(root), key: extractKey(root)}, nil
 }
 
 // MustParse is Parse that panics on error, for tests and constants.

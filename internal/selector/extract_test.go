@@ -1,0 +1,224 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"gridmon/internal/message"
+	"gridmon/internal/predindex"
+)
+
+// testMsgProbe adapts a message to the index probe interface, as the
+// broker's publish path does.
+type testMsgProbe struct{ m *message.Message }
+
+func (p *testMsgProbe) ProbeAttr(attr string) (predindex.Value, bool) {
+	return ProbeValue(p.m, attr)
+}
+
+// randSelector generates a random selector source string over
+// properties a, b, c, s, bl: comparisons in both operand orders against
+// int, float, string, boolean and NULL literals, BETWEEN, IN, LIKE,
+// IS [NOT] NULL, bare boolean identifiers and arithmetic, nested under
+// AND/OR/NOT and parentheses.
+func randSelector(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		idents := []string{"a", "b", "c", "s", "bl"}
+		id := idents[rng.Intn(len(idents))]
+		switch rng.Intn(10) {
+		case 0:
+			return id + " IS NULL"
+		case 1:
+			return id + " IS NOT NULL"
+		case 2:
+			return fmt.Sprintf("%s BETWEEN %d AND %d", id, rng.Intn(11)-5, rng.Intn(11))
+		case 3:
+			return fmt.Sprintf("s IN ('v%d', 'v%d')", rng.Intn(4), rng.Intn(4))
+		case 4:
+			return fmt.Sprintf("s LIKE 'v%d%%'", rng.Intn(4))
+		case 5:
+			return "bl"
+		case 6:
+			return fmt.Sprintf("a + b > %d", rng.Intn(11)-5)
+		default:
+			ops := []string{"=", "<>", "<", "<=", ">", ">="}
+			op := ops[rng.Intn(len(ops))]
+			var lit string
+			switch rng.Intn(5) {
+			case 0:
+				lit = fmt.Sprintf("%d", rng.Intn(21)-10)
+			case 1:
+				lit = fmt.Sprintf("%.2f", rng.Float64()*20-10)
+			case 2:
+				lit = fmt.Sprintf("'v%d'", rng.Intn(4))
+			case 3:
+				lit = []string{"TRUE", "FALSE"}[rng.Intn(2)]
+			default:
+				lit = "NULL"
+			}
+			if rng.Intn(2) == 0 {
+				return id + " " + op + " " + lit
+			}
+			return lit + " " + op + " " + id
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return "NOT " + randSelector(rng, depth-1)
+	case 1:
+		return "(" + randSelector(rng, depth-1) + ")"
+	case 2:
+		return randSelector(rng, depth-1) + " AND " + randSelector(rng, depth-1)
+	default:
+		return randSelector(rng, depth-1) + " OR " + randSelector(rng, depth-1)
+	}
+}
+
+func randMessage(rng *rand.Rand) *message.Message {
+	m := message.NewText("x")
+	set := func(name string) {
+		switch rng.Intn(8) {
+		case 0:
+			m.SetProperty(name, message.Int(int32(rng.Intn(21)-10)))
+		case 1:
+			m.SetProperty(name, message.Long(int64(rng.Intn(21)-10)))
+		case 2:
+			m.SetProperty(name, message.Double(rng.Float64()*20-10))
+		case 3:
+			m.SetProperty(name, message.Float(float32(rng.Float64())))
+		case 4:
+			m.SetProperty(name, message.String(fmt.Sprintf("v%d", rng.Intn(4))))
+		case 5:
+			m.SetProperty(name, message.Bool(rng.Intn(2) == 0))
+		case 6:
+			m.SetProperty(name, message.Null())
+		default: // absent
+		}
+	}
+	for _, name := range []string{"a", "b", "c", "s", "bl"} {
+		set(name)
+	}
+	return m
+}
+
+// TestRequiredKeySupersetRandomized is the randomized superset-property
+// suite over selector extraction: 4000 generated selectors batched into
+// indexes and probed with random messages (typed values, NULLs, absent
+// properties). Every selector that matches a message MUST appear among
+// that message's index candidates — the index may over-include, never
+// under-include. This is the property that makes indexed routing
+// byte-identical to the linear scan.
+func TestRequiredKeySupersetRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	const batches, perBatch = 100, 40
+	never := 0
+	for b := 0; b < batches; b++ {
+		srcs := make([]string, perBatch)
+		sels := make([]*Selector, perBatch)
+		keys := make([]predindex.Key, perBatch)
+		for i := 0; i < perBatch; i++ {
+			srcs[i] = randSelector(rng, 3)
+			sels[i] = MustParse(srcs[i])
+			keys[i] = sels[i].RequiredKey()
+		}
+		ix := predindex.Build(keys)
+		never += ix.NumNever()
+		probe := &testMsgProbe{}
+		var buf []int32
+		for trial := 0; trial < 25; trial++ {
+			probe.m = randMessage(rng)
+			buf = ix.Candidates(probe, buf[:0])
+			for seq, sel := range sels {
+				if sel.Matches(probe.m) && !slices.Contains(buf, int32(seq)) {
+					t.Fatalf("batch %d: selector %q matches message but is not a candidate (key %+v, candidates %v)",
+						b, srcs[seq], keys[seq], buf)
+				}
+			}
+		}
+	}
+	if never == 0 {
+		t.Fatal("generator produced no Never keys — NULL/ordering coverage lost")
+	}
+}
+
+// TestRequiredKeyShapes pins the JMS extraction rules the index relies
+// on — including the deliberate divergences from sqlmini extraction
+// (string/boolean ordering comparisons are always UNKNOWN in JMS, so
+// they extract Never rather than Residual).
+func TestRequiredKeyShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind predindex.KeyKind
+	}{
+		{"a = 5", predindex.Eq},
+		{"5 = a", predindex.Eq},
+		{"s = 'x'", predindex.Eq},
+		{"bl = TRUE", predindex.Eq},
+		{"bl", predindex.Eq},
+		{"a < 5", predindex.Range},
+		{"5 < a", predindex.Range},
+		{"a BETWEEN 2 AND 8", predindex.Range},
+		{"a BETWEEN 8 AND 2", predindex.Never}, // empty interval
+		{"s IN ('x', 'y')", predindex.Eq},
+		{"s NOT IN ('x', 'y')", predindex.Residual},
+		{"a <> 5", predindex.Residual},
+		{"a = NULL", predindex.Never},
+		{"s < 'x'", predindex.Never},   // JMS string ordering is UNKNOWN
+		{"bl < TRUE", predindex.Never}, // JMS boolean ordering is UNKNOWN
+		{"a + b", predindex.Never},     // arithmetic in boolean position
+		{"a IS NULL", predindex.Residual},
+		{"s LIKE 'v%'", predindex.Residual},
+		{"a = 1 AND s LIKE 'v%'", predindex.Eq},
+		{"a = 1 OR a = 2", predindex.Eq},
+		{"a = 1 OR b = 2", predindex.Residual},
+		{"a < 5 OR a > 10", predindex.Range},
+		{"a = 1 OR a = NULL", predindex.Eq},
+		{"TRUE", predindex.Residual},
+		{"FALSE", predindex.Never},
+		{"1 = 2", predindex.Never},
+	}
+	for _, c := range cases {
+		sel, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		if k := sel.RequiredKey(); k.Kind != c.kind {
+			t.Errorf("RequiredKey(%q).Kind = %v, want %v", c.src, k.Kind, c.kind)
+		}
+	}
+}
+
+// TestProbeValueKinds pins probe canonicalization: every numeric type
+// probes as the same float64-keyed value, NULL and absent properties
+// probe as absent.
+func TestProbeValueKinds(t *testing.T) {
+	m := message.NewText("x")
+	m.SetProperty("i", message.Int(7))
+	m.SetProperty("l", message.Long(7))
+	m.SetProperty("d", message.Double(7))
+	m.SetProperty("f", message.Float(7))
+	m.SetProperty("s", message.String("v"))
+	m.SetProperty("b", message.Bool(true))
+	m.SetProperty("n", message.Null())
+
+	for _, name := range []string{"i", "l", "d", "f"} {
+		if v, ok := ProbeValue(m, name); !ok || v != predindex.Num(7) {
+			t.Errorf("ProbeValue(%s) = %v, %v — want canonical Num(7)", name, v, ok)
+		}
+	}
+	if v, ok := ProbeValue(m, "s"); !ok || v != predindex.Str("v") {
+		t.Errorf("ProbeValue(s) = %v, %v", v, ok)
+	}
+	if v, ok := ProbeValue(m, "b"); !ok || v != predindex.Boolean(true) {
+		t.Errorf("ProbeValue(b) = %v, %v", v, ok)
+	}
+	if _, ok := ProbeValue(m, "n"); ok {
+		t.Error("NULL property must probe as absent")
+	}
+	if _, ok := ProbeValue(m, "ghost"); ok {
+		t.Error("missing property must probe as absent")
+	}
+}

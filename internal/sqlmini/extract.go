@@ -1,0 +1,104 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+
+	"gridmon/internal/predindex"
+)
+
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)
+
+// This file extracts *required keys* from WHERE predicates for the
+// content-based matching index (internal/predindex), mirroring the Eval
+// semantics in sqlmini.go. Extraction only ever widens — an over-wide
+// key costs candidates (the compiled program rejects them), a narrow
+// one would lose tuples — so anything subtle falls to Residual:
+//
+//   - `col = literal`: Eq on the literal's canonical value. Numerics
+//     canonicalize through float64 because Eval compares every numeric
+//     pair via AsFloat (see predindex.KNum); strings compare exactly.
+//   - `col < n`, `<=`, `>`, `>=` with a *numeric* literal: a Range
+//     widened to the inclusive interval. With a *string* literal the
+//     comparison is real string ordering (strings.Compare), which the
+//     index does not model → Residual.
+//   - any comparison with a NULL literal: always UNKNOWN → Never.
+//   - AND combines via predindex.And, OR via predindex.Or.
+//   - NOT, `<>`, IS [NOT] NULL: Residual (IS NULL is TRUE exactly when
+//     the probe has no value to hash, so it can never be indexed).
+//   - Expr implementations from outside this package: Residual.
+//
+// Column names are case-folded to lower case (ColIndex is
+// case-insensitive), so `Host = 'x'` and `host = 'y'` share one
+// per-attribute plan.
+
+// RequiredKey returns the required-conjunct key of a WHERE predicate.
+// A nil predicate (no WHERE) matches every row and is Residual.
+func RequiredKey(e Expr) predindex.Key {
+	switch n := e.(type) {
+	case nil:
+		return predindex.ResidualKey()
+	case *cmpNode:
+		return cmpKey(n)
+	case *andNode:
+		return predindex.And(RequiredKey(n.l), RequiredKey(n.r))
+	case *orNode:
+		return predindex.Or(RequiredKey(n.l), RequiredKey(n.r))
+	}
+	// isNullNode, notNode, foreign Expr implementations.
+	return predindex.ResidualKey()
+}
+
+func cmpKey(n *cmpNode) predindex.Key {
+	if n.lit.IsNull() {
+		return predindex.NeverKey() // NULL literal: always UNKNOWN
+	}
+	attr := strings.ToLower(n.col)
+	switch n.op {
+	case "=":
+		switch n.lit.Kind {
+		case VInt:
+			return predindex.EqKey(attr, predindex.Num(float64(n.lit.Int)))
+		case VFloat:
+			return predindex.EqKey(attr, predindex.Num(n.lit.F))
+		case VString:
+			return predindex.EqKey(attr, predindex.Str(n.lit.Str))
+		}
+		return predindex.ResidualKey()
+	case "<", "<=", ">", ">=":
+		if n.lit.Kind == VString {
+			// SQL string ordering is real here; not modeled by the index.
+			return predindex.ResidualKey()
+		}
+		b := n.lit.AsFloat()
+		if n.op == "<" || n.op == "<=" {
+			return predindex.RangeKey(attr, negInf, b)
+		}
+		return predindex.RangeKey(attr, b, posInf)
+	}
+	// "<>" can be TRUE for almost any value.
+	return predindex.ResidualKey()
+}
+
+// ProbeValue resolves one column of a row into the canonical predindex
+// value domain, for probing a matching index built over WHERE keys.
+// ok=false means the column is absent, out of the row's range, or NULL
+// — no Eq/Range conjunct over it can be TRUE.
+func ProbeValue(t *Table, row Row, col string) (predindex.Value, bool) {
+	i := t.ColIndex(col)
+	if i < 0 || i >= len(row) {
+		return predindex.Value{}, false
+	}
+	switch v := row[i]; v.Kind {
+	case VInt:
+		return predindex.Num(float64(v.Int)), true
+	case VFloat:
+		return predindex.Num(v.F), true
+	case VString:
+		return predindex.Str(v.Str), true
+	}
+	return predindex.Value{}, false
+}
