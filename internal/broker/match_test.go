@@ -75,8 +75,11 @@ func TestMatchIndexMeters(t *testing.T) {
 	if want := uint64(groups * (groups - 1)); idx.MatchGroupsSkipped != want {
 		t.Fatalf("MatchGroupsSkipped = %d, want %d", idx.MatchGroupsSkipped, want)
 	}
-	if lin.MatchIndexCandidates != 0 || lin.MatchGroupsSkipped != 0 {
+	if lin.MatchIndexCandidates != 0 || lin.MatchGroupsSkipped != 0 || lin.MatchDurablesSkipped != 0 {
 		t.Fatalf("linear mode moved index meters: %+v", lin)
+	}
+	if idx.MatchDurablesSkipped != 0 {
+		t.Fatalf("MatchDurablesSkipped = %d, want 0 (no durables in play)", idx.MatchDurablesSkipped)
 	}
 }
 
@@ -110,8 +113,11 @@ func TestMatchIndexDurableCandidates(t *testing.T) {
 	if got := after.MatchProgramEvals - before.MatchProgramEvals; got != 1 {
 		t.Fatalf("evaluated %d durables, want 1 candidate", got)
 	}
-	if got := after.MatchGroupsSkipped - before.MatchGroupsSkipped; got != 7 {
-		t.Fatalf("skipped %d, want 7", got)
+	if got := after.MatchDurablesSkipped - before.MatchDurablesSkipped; got != 7 {
+		t.Fatalf("skipped %d durables, want 7", got)
+	}
+	if got := after.MatchGroupsSkipped - before.MatchGroupsSkipped; got != 0 {
+		t.Fatalf("MatchGroupsSkipped moved by %d, want 0 (durables are not groups)", got)
 	}
 	dumps := b.DumpDurables()
 	stored := 0

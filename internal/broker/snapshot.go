@@ -265,10 +265,12 @@ func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int6
 	sc.probe.m = m
 	cands := rt.idx.Candidates(&sc.probe, sc.buf[:0])
 	nG := len(rt.groups)
+	candGroups := 0
 	candGroupSubs := 0
 	for _, ci := range cands {
 		if int(ci) < nG {
 			g := &rt.groups[ci]
+			candGroups++
 			candGroupSubs += len(g.subs)
 			if g.prog.Matches(m) {
 				for _, sub := range g.subs {
@@ -287,8 +289,11 @@ func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int6
 		b.stats.matchProgramEvals.Add(uint64(n))
 		b.stats.matchIndexCandidates.Add(uint64(n))
 	}
-	if skipped := nG + len(rt.durables) - len(cands); skipped > 0 {
+	if skipped := nG - candGroups; skipped > 0 {
 		b.stats.matchGroupsSkipped.Add(uint64(skipped))
+	}
+	if skipped := len(rt.durables) - (len(cands) - candGroups); skipped > 0 {
+		b.stats.matchDurablesSkipped.Add(uint64(skipped))
 	}
 	if rejected := rt.groupSubs - candGroupSubs; rejected > 0 {
 		// Subscribers of skipped groups were rejected by their selector

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -28,6 +29,7 @@ func clearLockMeters(s Stats) Stats {
 	s.MatchProgramEvals = 0
 	s.MatchIndexCandidates = 0
 	s.MatchGroupsSkipped = 0
+	s.MatchDurablesSkipped = 0
 	return s
 }
 
@@ -56,6 +58,8 @@ func runRoutingEquivalence(t *testing.T, mutA, mutB func(*Config)) {
 		"id < 50", "id >= 50",
 		"name LIKE 'gen-%'", "id BETWEEN 20 AND 60",
 		"region IN ('us', 'eu') AND id < 80",
+		"id <> 50",      // residual key: the only ordered shape a NaN id matches
+		"id <= 0.0/0.0", // NaN constant: never TRUE, Never key
 	}
 	var topics, queues []message.Destination
 	for i := 0; i < 10; i++ {
@@ -225,6 +229,12 @@ func runRoutingEquivalence(t *testing.T, mutA, mutB func(*Config)) {
 					"id":     message.Int(int32(rng.Intn(100))),
 					"name":   message.String([]string{"gen-1", "probe-2"}[rng.Intn(2)]),
 					"region": message.String([]string{"us", "eu", "ap"}[rng.Intn(3)]),
+				}
+				if rng.Intn(8) == 0 {
+					// NaN ids must route identically across all modes:
+					// IEEE semantics match no Eq/Range selector, only
+					// "id <> 50".
+					props["id"] = message.Double(math.NaN())
 				}
 				both(func(b *Broker) { publishOn(b, pubConn, id, dest, props) })
 			}

@@ -44,15 +44,17 @@ type Stats struct {
 	// compiled predicate evaluations on the topic publish path (one per
 	// selector group or buffering durable actually evaluated);
 	// MatchIndexCandidates counts candidates the discrimination index
-	// emitted; MatchGroupsSkipped counts groups+durables the index
+	// emitted; MatchGroupsSkipped counts selector groups the index
 	// proved could not match (their subscribers still count into
-	// SelectorRejected, keeping that meter mode-independent). With
-	// Config.LinearMatch (or the locked/legacy baselines) the index is
-	// not consulted: candidates/skipped stay 0 and every group and
-	// buffering durable is evaluated.
+	// SelectorRejected, keeping that meter mode-independent) and
+	// MatchDurablesSkipped the buffering durables likewise proved
+	// non-matching. With Config.LinearMatch (or the locked/legacy
+	// baselines) the index is not consulted: candidates/skipped stay 0
+	// and every group and buffering durable is evaluated.
 	MatchProgramEvals    uint64
 	MatchIndexCandidates uint64
 	MatchGroupsSkipped   uint64
+	MatchDurablesSkipped uint64
 }
 
 // statCounters is the atomic backing store for Stats, plus the live
@@ -80,6 +82,7 @@ type statCounters struct {
 	matchProgramEvals    atomic.Uint64
 	matchIndexCandidates atomic.Uint64
 	matchGroupsSkipped   atomic.Uint64
+	matchDurablesSkipped atomic.Uint64
 }
 
 // Stats returns a snapshot of broker counters. Shard-safe: callable from
@@ -108,6 +111,7 @@ func (b *Broker) Stats() Stats {
 		MatchProgramEvals:    b.stats.matchProgramEvals.Load(),
 		MatchIndexCandidates: b.stats.matchIndexCandidates.Load(),
 		MatchGroupsSkipped:   b.stats.matchGroupsSkipped.Load(),
+		MatchDurablesSkipped: b.stats.matchDurablesSkipped.Load(),
 	}
 }
 

@@ -445,9 +445,10 @@ func cmpVals(code cmpCode, lv, rv val) Tri {
 	}
 	if lv.isNumeric() && rv.isNumeric() {
 		if lv.kind == vLong && rv.kind == vLong {
-			return cmpCoded(code, compareInt(lv.i, rv.i))
+			return cmpCoded(code, compareInt(lv.i, rv.i), true)
 		}
-		return cmpCoded(code, compareFloat(lv.asDouble(), rv.asDouble()))
+		c, ordered := compareFloat(lv.asDouble(), rv.asDouble())
+		return cmpCoded(code, c, ordered)
 	}
 	if lv.kind == vString && rv.kind == vString {
 		switch code {
@@ -470,20 +471,21 @@ func cmpVals(code cmpCode, lv, rv val) Tri {
 	return TriUnknown
 }
 
-func cmpCoded(code cmpCode, c int) Tri {
+func cmpCoded(code cmpCode, c int, ordered bool) Tri {
 	switch code {
 	case cmpEQ:
-		return boolTri(c == 0)
+		return boolTri(ordered && c == 0)
 	case cmpNE:
-		return boolTri(c != 0)
+		// IEEE/Java: NaN is unequal to everything, including itself.
+		return boolTri(!ordered || c != 0)
 	case cmpLT:
-		return boolTri(c < 0)
+		return boolTri(ordered && c < 0)
 	case cmpLE:
-		return boolTri(c <= 0)
+		return boolTri(ordered && c <= 0)
 	case cmpGT:
-		return boolTri(c > 0)
+		return boolTri(ordered && c > 0)
 	case cmpGE:
-		return boolTri(c >= 0)
+		return boolTri(ordered && c >= 0)
 	}
 	return TriUnknown
 }
@@ -528,7 +530,9 @@ func betweenVals(not bool, v, lo, hi val) Tri {
 	if !v.isNumeric() || !lo.isNumeric() || !hi.isNumeric() {
 		return TriUnknown
 	}
-	in := compareFloat(v.asDouble(), lo.asDouble()) >= 0 && compareFloat(v.asDouble(), hi.asDouble()) <= 0
+	cLo, loOrd := compareFloat(v.asDouble(), lo.asDouble())
+	cHi, hiOrd := compareFloat(v.asDouble(), hi.asDouble())
+	in := loOrd && hiOrd && cLo >= 0 && cHi <= 0 // a NaN operand is outside every interval
 	if v.kind == vLong && lo.kind == vLong && hi.kind == vLong {
 		in = v.i >= lo.i && v.i <= hi.i
 	}

@@ -2,6 +2,7 @@ package selector
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -34,6 +35,7 @@ func confMsg() *message.Message {
 	m.SetProperty("t", message.Bool(true))
 	m.SetProperty("fa", message.Bool(false))
 	m.SetProperty("nul", message.Null())
+	m.SetProperty("nan", message.Double(math.NaN()))
 	m.SetProperty("raw", message.Bytes([]byte{1, 2}))
 	return m
 }
@@ -82,6 +84,28 @@ func confCases() []confCase {
 		{"t = TRUE", TriTrue},
 		{"t <> fa", TriTrue},
 		{"t > fa", TriUnknown},
+
+		// IEEE NaN is unordered: '=' and every ordering comparison are
+		// FALSE (not UNKNOWN — the operands are present and numeric),
+		// '<>' is TRUE, and BETWEEN treats a NaN value or bound as
+		// outside every interval. This is the semantic the matching
+		// index assumes (a NaN value hits no Eq bucket or interval).
+		{"nan = 5", TriFalse},
+		{"nan <> 5", TriTrue},
+		{"nan < 5", TriFalse},
+		{"nan <= 5", TriFalse},
+		{"nan > 5", TriFalse},
+		{"nan >= 5", TriFalse},
+		{"nan = nan", TriFalse},
+		{"nan <> nan", TriTrue},
+		{"nan BETWEEN 1 AND 5", TriFalse},
+		{"nan NOT BETWEEN 1 AND 5", TriTrue},
+		{"i = 0.0/0.0", TriFalse}, // NaN constant folds out of the arithmetic
+		{"i <> 0.0/0.0", TriTrue},
+		{"i <= 0.0/0.0", TriFalse},
+		{"i BETWEEN 0.0/0.0 AND 100", TriFalse},
+		{"d < 0.0/0.0", TriFalse},
+		{"0.0/0.0 = 0.0/0.0", TriFalse}, // folds to constant FALSE
 
 		// Incompatible operand types.
 		{"i = 'ten'", TriUnknown},
@@ -243,9 +267,11 @@ func TestConformanceRandomizedEquivalence(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(42))
 	randVal := func() (message.Value, bool) {
-		switch rng.Intn(8) {
+		switch rng.Intn(9) {
 		case 0:
 			return message.Int(int32(rng.Intn(10) - 5)), true
+		case 7:
+			return message.Double(math.NaN()), true
 		case 1:
 			return message.Long(int64(rng.Intn(1000))), true
 		case 2:

@@ -229,9 +229,10 @@ func (e *cmpExpr) evalBool(src Source) Tri {
 	// Numeric comparison with promotion.
 	if lv.isNumeric() && rv.isNumeric() {
 		if lv.kind == vLong && rv.kind == vLong {
-			return cmpOrdered(e.op, compareInt(lv.i, rv.i))
+			return cmpOrdered(e.op, compareInt(lv.i, rv.i), true)
 		}
-		return cmpOrdered(e.op, compareFloat(lv.asDouble(), rv.asDouble()))
+		c, ordered := compareFloat(lv.asDouble(), rv.asDouble())
+		return cmpOrdered(e.op, c, ordered)
 	}
 	// String and boolean support only equality operators (JMS §3.8.1.2).
 	if lv.kind == vString && rv.kind == vString {
@@ -275,30 +276,37 @@ func compareInt(a, b int64) int {
 	return 0
 }
 
-func compareFloat(a, b float64) int {
+// compareFloat orders two doubles. ordered=false means a NaN operand:
+// IEEE-754 defines no ordering (and no equality) for NaN, and the
+// matching index agrees — a NaN value hits no Eq bucket and no
+// interval — so the evaluators must not invent one.
+func compareFloat(a, b float64) (c int, ordered bool) {
 	switch {
 	case a < b:
-		return -1
+		return -1, true
 	case a > b:
-		return 1
+		return 1, true
+	case a == b:
+		return 0, true
 	}
-	return 0
+	return 0, false
 }
 
-func cmpOrdered(op string, c int) Tri {
+func cmpOrdered(op string, c int, ordered bool) Tri {
 	switch op {
 	case "=":
-		return boolTri(c == 0)
+		return boolTri(ordered && c == 0)
 	case "<>":
-		return boolTri(c != 0)
+		// IEEE/Java: NaN is unequal to everything, including itself.
+		return boolTri(!ordered || c != 0)
 	case "<":
-		return boolTri(c < 0)
+		return boolTri(ordered && c < 0)
 	case "<=":
-		return boolTri(c <= 0)
+		return boolTri(ordered && c <= 0)
 	case ">":
-		return boolTri(c > 0)
+		return boolTri(ordered && c > 0)
 	case ">=":
-		return boolTri(c >= 0)
+		return boolTri(ordered && c >= 0)
 	}
 	return TriUnknown
 }
@@ -376,7 +384,9 @@ func (e *betweenExpr) evalBool(src Source) Tri {
 	if !v.isNumeric() || !lo.isNumeric() || !hi.isNumeric() {
 		return TriUnknown
 	}
-	in := compareFloat(v.asDouble(), lo.asDouble()) >= 0 && compareFloat(v.asDouble(), hi.asDouble()) <= 0
+	cLo, loOrd := compareFloat(v.asDouble(), lo.asDouble())
+	cHi, hiOrd := compareFloat(v.asDouble(), hi.asDouble())
+	in := loOrd && hiOrd && cLo >= 0 && cHi <= 0 // a NaN operand is outside every interval
 	if v.kind == vLong && lo.kind == vLong && hi.kind == vLong {
 		in = v.i >= lo.i && v.i <= hi.i
 	}

@@ -30,6 +30,10 @@ var (
 //   - ordering on a non-numeric constant: JMS strings and booleans
 //     support only equality, the comparison is always UNKNOWN → Never.
 //   - any comparison against a NULL constant: always UNKNOWN → Never.
+//   - `=` or an ordering against a NaN constant (`0.0/0.0` folds to
+//     one): IEEE says NaN compares false to everything, so the
+//     predicate is always FALSE → Never (RangeKey degrades NaN bounds
+//     itself). `<>` NaN stays Residual — it is TRUE for any numeric.
 //   - `attr BETWEEN lo AND hi` with constant numeric bounds: Range.
 //   - `attr IN (...)`: multi-valued string Eq.
 //   - bare boolean identifier: Eq on TRUE.
@@ -138,6 +142,12 @@ func extractCmp(v *cmpExpr) predindex.Key {
 		case vLong:
 			return predindex.EqKey(attr, predindex.Num(float64(c.i)))
 		case vDouble:
+			if c.f != c.f {
+				// `attr = NaN` is FALSE for every input (IEEE: NaN equals
+				// nothing, cmpOrdered agrees) — and a NaN bucket could
+				// never be probed anyway.
+				return predindex.NeverKey()
+			}
 			return predindex.EqKey(attr, predindex.Num(c.f))
 		case vString:
 			return predindex.EqKey(attr, predindex.Str(c.s))

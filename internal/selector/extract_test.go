@@ -2,6 +2,7 @@ package selector
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"testing"
@@ -46,7 +47,7 @@ func randSelector(rng *rand.Rand, depth int) string {
 			ops := []string{"=", "<>", "<", "<=", ">", ">="}
 			op := ops[rng.Intn(len(ops))]
 			var lit string
-			switch rng.Intn(5) {
+			switch rng.Intn(6) {
 			case 0:
 				lit = fmt.Sprintf("%d", rng.Intn(21)-10)
 			case 1:
@@ -55,6 +56,8 @@ func randSelector(rng *rand.Rand, depth int) string {
 				lit = fmt.Sprintf("'v%d'", rng.Intn(4))
 			case 3:
 				lit = []string{"TRUE", "FALSE"}[rng.Intn(2)]
+			case 4:
+				lit = "0.0/0.0" // const-folds to NaN
 			default:
 				lit = "NULL"
 			}
@@ -79,9 +82,11 @@ func randSelector(rng *rand.Rand, depth int) string {
 func randMessage(rng *rand.Rand) *message.Message {
 	m := message.NewText("x")
 	set := func(name string) {
-		switch rng.Intn(8) {
+		switch rng.Intn(9) {
 		case 0:
 			m.SetProperty(name, message.Int(int32(rng.Intn(21)-10)))
+		case 7:
+			m.SetProperty(name, message.Double(math.NaN()))
 		case 1:
 			m.SetProperty(name, message.Long(int64(rng.Intn(21)-10)))
 		case 2:
@@ -165,9 +170,13 @@ func TestRequiredKeyShapes(t *testing.T) {
 		{"s NOT IN ('x', 'y')", predindex.Residual},
 		{"a <> 5", predindex.Residual},
 		{"a = NULL", predindex.Never},
-		{"s < 'x'", predindex.Never},   // JMS string ordering is UNKNOWN
-		{"bl < TRUE", predindex.Never}, // JMS boolean ordering is UNKNOWN
-		{"a + b", predindex.Never},     // arithmetic in boolean position
+		{"a = 0.0/0.0", predindex.Never},  // = NaN is FALSE for every input
+		{"a <= 0.0/0.0", predindex.Never}, // NaN range bound degrades
+		{"a BETWEEN 0.0/0.0 AND 5", predindex.Never},
+		{"a <> 0.0/0.0", predindex.Residual}, // TRUE for any numeric a
+		{"s < 'x'", predindex.Never},         // JMS string ordering is UNKNOWN
+		{"bl < TRUE", predindex.Never},       // JMS boolean ordering is UNKNOWN
+		{"a + b", predindex.Never},           // arithmetic in boolean position
 		{"a IS NULL", predindex.Residual},
 		{"s LIKE 'v%'", predindex.Residual},
 		{"a = 1 AND s LIKE 'v%'", predindex.Eq},
@@ -220,5 +229,49 @@ func TestProbeValueKinds(t *testing.T) {
 	}
 	if _, ok := ProbeValue(m, "ghost"); ok {
 		t.Error("missing property must probe as absent")
+	}
+}
+
+// TestNaNFieldIndexedLinearAgreement pins the NaN alignment the review
+// of this index demanded: a message carrying a NaN double must route
+// identically through the index and the linear scan. Under IEEE
+// semantics NaN matches no '='/ordering/BETWEEN selector (those carry
+// Eq/Range keys the NaN probe never hits), while the selectors NaN
+// does match ('<>' and negations) extract Residual and so are always
+// candidates. Both evaluators must agree on every verdict.
+func TestNaNFieldIndexedLinearAgreement(t *testing.T) {
+	srcs := []string{
+		"a = 5", "a < 5", "a >= 5", "a BETWEEN 1 AND 5", // NaN never matches
+		"a <> 5", "a NOT BETWEEN 1 AND 5", "NOT (a = 5)", // NaN matches: stay candidates
+		"a = 0.0/0.0", "a <= 0.0/0.0", // NaN constants: never TRUE for any input
+		"a <> 0.0/0.0", // TRUE for any numeric a, NaN included
+	}
+	wantMatch := map[string]bool{
+		"a <> 5": true, "a NOT BETWEEN 1 AND 5": true, "NOT (a = 5)": true,
+		"a <> 0.0/0.0": true,
+	}
+	sels := make([]*Selector, len(srcs))
+	keys := make([]predindex.Key, len(srcs))
+	for i, src := range srcs {
+		sels[i] = MustParse(src)
+		keys[i] = sels[i].RequiredKey()
+	}
+	ix := predindex.Build(keys)
+
+	m := message.NewText("x")
+	m.SetProperty("a", message.Double(math.NaN()))
+	probe := &testMsgProbe{m: m}
+	cands := ix.Candidates(probe, nil)
+	for seq, sel := range sels {
+		if it, ct := sel.EvalInterpreted(m), sel.Eval(m); it != ct {
+			t.Errorf("%q: interpreted %v != compiled %v on NaN field", srcs[seq], it, ct)
+		}
+		matches := sel.Matches(m)
+		if matches != wantMatch[srcs[seq]] {
+			t.Errorf("%q: Matches(NaN field) = %v, want %v", srcs[seq], matches, wantMatch[srcs[seq]])
+		}
+		if matches && !slices.Contains(cands, int32(seq)) {
+			t.Errorf("%q matches the NaN message but is not an index candidate (%v)", srcs[seq], cands)
+		}
 	}
 }

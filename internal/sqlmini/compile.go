@@ -337,6 +337,14 @@ func (p *Program) evalIns(i *pIns, row Row) int {
 			return -1 // type mismatch
 		}
 		a, b := v.AsFloat(), i.litF
+		if a != a || b != b {
+			// IEEE unordered (NaN operand): only <> holds, exactly as
+			// cmpNode.Eval decides.
+			if i.cmp == pCmpNE {
+				return 1
+			}
+			return 0
+		}
 		c := 0
 		switch {
 		case a < b:

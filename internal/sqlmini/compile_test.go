@@ -2,6 +2,7 @@ package sqlmini
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -64,6 +65,7 @@ func confRows() []Row {
 		{StringV("oops"), IntV(1), StringV("bad"), FloatV(9), IntV(5), FloatV(1)}, // ill-typed
 		{IntV(100), IntV(100), FloatV(100), FloatV(100), StringV("100"), StringV("100")},
 		{IntV(7), IntV(3)}, // short row: x, y, s, u read as missing
+		{FloatV(math.NaN()), IntV(3), FloatV(math.NaN()), FloatV(2), StringV("n"), Null()}, // IEEE unordered
 		{},
 	}
 }
@@ -220,13 +222,15 @@ func randRow(rng *rand.Rand, width int) Row {
 	}
 	row := make(Row, width)
 	for i := range row {
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0:
 			row[i] = Null()
 		case 1:
 			row[i] = IntV(int64(rng.Intn(21) - 10))
 		case 2:
 			row[i] = FloatV(rng.Float64()*20 - 10)
+		case 3:
+			row[i] = FloatV(math.NaN()) // IEEE unordered: matches only <>
 		default:
 			row[i] = StringV(string('a' + rune(rng.Intn(4))))
 		}
@@ -374,6 +378,40 @@ func BenchmarkWhereInterpretedSimple(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !Matches(tab, s, r) {
 			b.Fatal("no match")
+		}
+	}
+}
+
+// TestCompiledNaNUnordered pins IEEE NaN comparison semantics on both
+// evaluators: '=' and every ordering against (or from) NaN are FALSE,
+// '<>' is TRUE — never UNKNOWN, the operands are present and numeric.
+// This is the semantic the matching index assumes: a NaN cell hits no
+// Eq bucket and no interval, and '<>' extracts Residual.
+func TestCompiledNaNUnordered(t *testing.T) {
+	tab := confTable()
+	nanRow := Row{FloatV(math.NaN()), IntV(1), FloatV(math.NaN()), FloatV(2), StringV("s"), Null()}
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"a = 5", 0},
+		{"a <> 5", 1},
+		{"a < 5", 0},
+		{"a <= 5", 0},
+		{"a > 5", 0},
+		{"a >= 5", 0},
+		{"x = 1.5", 0},
+		{"x <> 1.5", 1},
+		{"NOT a = 5", 1},
+		{"a < 5 OR a >= 5", 0}, // NaN escapes the apparent tautology
+	}
+	for _, c := range cases {
+		sel := mustSelect(t, c.where)
+		if got := sel.Where.Eval(tab, nanRow); got != c.want {
+			t.Errorf("interpreted WHERE %s on NaN row = %d, want %d", c.where, got, c.want)
+		}
+		if got := sel.Compiled(tab).Eval(nanRow); got != c.want {
+			t.Errorf("compiled WHERE %s on NaN row = %d, want %d", c.where, got, c.want)
 		}
 	}
 }

@@ -63,6 +63,11 @@ func cmpKey(n *cmpNode) predindex.Key {
 		case VInt:
 			return predindex.EqKey(attr, predindex.Num(float64(n.lit.Int)))
 		case VFloat:
+			if n.lit.F != n.lit.F {
+				// `= NaN` is FALSE for every row (IEEE, as Eval decides) —
+				// and a NaN bucket could never be probed anyway.
+				return predindex.NeverKey()
+			}
 			return predindex.EqKey(attr, predindex.Num(n.lit.F))
 		case VString:
 			return predindex.EqKey(attr, predindex.Str(n.lit.Str))

@@ -809,6 +809,15 @@ func (n *cmpNode) Eval(schema *Table, row Row) int {
 		c = strings.Compare(v.Str, n.lit.Str)
 	case v.Kind != VString && n.lit.Kind != VString:
 		a, b := v.AsFloat(), n.lit.AsFloat()
+		if a != a || b != b {
+			// IEEE unordered (NaN operand): only <> holds. The matching
+			// index agrees — a NaN value hits no Eq bucket and no
+			// interval, and <> extracts Residual.
+			if n.op == "<>" {
+				return 1
+			}
+			return 0
+		}
 		switch {
 		case a < b:
 			c = -1
