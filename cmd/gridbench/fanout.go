@@ -1,0 +1,261 @@
+// The fanout mode measures the parallel fan-out engine and its egress
+// coalescing on a live in-process broker: one publisher, N subscribers
+// spread over 8 connections, serial (broker.Config.SerialFanout) vs
+// parallel mode side by side across a GOMAXPROCS matrix. Run it as
+//
+//	gridbench fanout [-benchtime 2000x] [-subs 10,100,1000] [-cpu 1,4]
+//	                 [-out BENCH_fanout.json]
+//
+// Every (subs, GOMAXPROCS) pair self-checks before it is timed: both
+// modes publish the same fixed message sequence and the delivered
+// multiset — how many times each (connection, subscription) saw a
+// delivery — must be identical, or the run exits non-zero. The parallel
+// 1000-subscriber cell additionally must show egress coalescing
+// actually batching (more than one Deliver frame per flush); a cell
+// pinned at 1 frame/flush means the per-connection run grouping broke.
+// As with the other artifact modes, ns/op differences need real cores:
+// on a single-CPU host the chunk workers time-share the publisher's
+// core and the modes converge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"gridmon/internal/broker"
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// fanoutResult is one cell of BENCH_fanout.json.
+type fanoutResult struct {
+	Subscribers          int     `json:"subscribers"`
+	Mode                 string  `json:"mode"` // serial | parallel
+	CPUs                 int     `json:"gomaxprocs"`
+	Ops                  int64   `json:"ops"`
+	NsPerOp              float64 `json:"ns_per_publish"`
+	DeliveriesPerOp      float64 `json:"deliveries_per_publish"`
+	FanoutTasks          uint64  `json:"fanout_tasks"`
+	EgressFramesPerFlush float64 `json:"egress_frames_per_flush"`
+}
+
+// fanoutSubConns is how many connections the subscribers are spread
+// over: enough that the plan has real per-connection runs to chunk, few
+// enough that runs are long and coalescing is visible (1000 subscribers
+// → 8 runs of 125).
+const fanoutSubConns = 8
+
+func fanoutMain(args []string) {
+	fs := flag.NewFlagSet("gridbench fanout", flag.ExitOnError)
+	bt := fs.String("benchtime", "2000x", "publishes per cell (Nx) or minimum duration per cell")
+	subsList := fs.String("subs", "10,100,1000", "comma-separated subscriber counts")
+	cpus := fs.String("cpu", "", "comma-separated GOMAXPROCS values to matrix over (empty = current)")
+	out := fs.String("out", "", "write the JSON here (empty = stdout)")
+	_ = fs.Parse(args)
+
+	budget, err := parseBenchTime(*bt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench fanout: %v\n", err)
+		os.Exit(2)
+	}
+	subsAxis, err := parseIntList(*subsList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench fanout: bad -subs %q\n", *subsList)
+		os.Exit(2)
+	}
+	cpuList := []int{runtime.GOMAXPROCS(0)}
+	if *cpus != "" {
+		if cpuList, err = parseIntList(*cpus); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench fanout: bad -cpu %q\n", *cpus)
+			os.Exit(2)
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	var results []fanoutResult
+	var regressions []string
+	for _, nCPU := range cpuList {
+		runtime.GOMAXPROCS(nCPU)
+		for _, subs := range subsAxis {
+			// Equivalence self-check: same fixed publish sequence, both
+			// modes, identical delivered multisets required.
+			serialSeen := fanoutMultiset(subs, true)
+			parallelSeen := fanoutMultiset(subs, false)
+			if !multisetEqual(serialSeen, parallelSeen) {
+				regressions = append(regressions, fmt.Sprintf(
+					"subs=%d GOMAXPROCS=%d: delivered multisets differ between serial and parallel fan-out", subs, nCPU))
+			}
+			for _, serial := range []bool{true, false} {
+				r := fanoutCell(budget, nCPU, subs, serial)
+				results = append(results, r)
+				if !serial && subs >= 1000 && r.EgressFramesPerFlush <= 1 {
+					regressions = append(regressions, fmt.Sprintf(
+						"subs=%d GOMAXPROCS=%d: parallel egress coalescing stuck at %.2f frames/flush (want >1)",
+						subs, nCPU, r.EgressFramesPerFlush))
+				}
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	writeArtifact("gridbench fanout", *out,
+		"publish fan-out: parallel per-connection chunked engine + egress coalescing vs serial per-frame loop",
+		"One publisher, N subscribers spread over 8 connections on one topic; ns per publish incl. delivery "+
+			"and ack feedback. serial = broker.Config.SerialFanout (the per-frame loop); parallel chunks "+
+			"per-connection runs across the worker pool and emits one DeliverBatch per run. Each cell's "+
+			"delivered multiset is self-checked identical across modes before timing. Speedups need real "+
+			"cores; on a single-CPU host the chunk workers time-share and the modes converge.",
+		results)
+	failRegressions("gridbench fanout", regressions)
+}
+
+// fanEnv is the minimal thread-safe broker.Env for the fan-out cells:
+// deliveries — per-frame or batched — are recorded so the publisher can
+// feed acks back, and optionally counted into a (conn, sub) multiset
+// for the cross-mode self-check.
+type fanEnv struct {
+	mu    sync.Mutex
+	acks  []fanAck
+	seen  map[[2]int64]uint64 // (conn, sub) → deliveries; nil when not checking
+	total uint64
+}
+
+type fanAck struct {
+	conn broker.ConnID
+	ack  wire.Ack
+}
+
+func (e *fanEnv) record(c broker.ConnID, subID, tag int64) {
+	e.acks = append(e.acks, fanAck{conn: c, ack: wire.Ack{SubID: subID, Tags: []int64{tag}}})
+	e.total++
+	if e.seen != nil {
+		e.seen[[2]int64{int64(c), subID}]++
+	}
+}
+
+func (e *fanEnv) Now() int64 { return 0 }
+func (e *fanEnv) Send(c broker.ConnID, f wire.Frame) {
+	switch d := f.(type) {
+	case *wire.Deliver:
+		e.mu.Lock()
+		e.record(c, d.SubID, d.Tag)
+		e.mu.Unlock()
+		wire.PutDeliver(d)
+	case *wire.DeliverBatch:
+		e.mu.Lock()
+		for _, ent := range d.Entries {
+			e.record(c, ent.SubID, ent.Tag)
+		}
+		e.mu.Unlock()
+		wire.PutDeliverBatch(d)
+	}
+}
+func (e *fanEnv) CloseConn(broker.ConnID) {}
+func (e *fanEnv) AllocConn() error        { return nil }
+func (e *fanEnv) FreeConn()               {}
+func (e *fanEnv) Alloc(int64) error       { return nil }
+func (e *fanEnv) Free(int64)              {}
+
+// drainAcks feeds every recorded delivery back as an Ack from its
+// owning connection, as a live transport's clients would.
+func (e *fanEnv) drainAcks(b *broker.Broker, scratch []fanAck) []fanAck {
+	e.mu.Lock()
+	scratch = append(scratch[:0], e.acks...)
+	e.acks = e.acks[:0]
+	e.mu.Unlock()
+	for i := range scratch {
+		b.OnFrame(scratch[i].conn, &scratch[i].ack)
+	}
+	return scratch
+}
+
+// setupFanoutCell builds a broker with subs subscribers on one topic,
+// spread round-robin over fanoutSubConns connections, plus a publisher
+// connection 100.
+func setupFanoutCell(subs int, serial bool) (*broker.Broker, *fanEnv) {
+	env := &fanEnv{}
+	cfg := broker.DefaultConfig("fanout")
+	cfg.SerialFanout = serial
+	b := broker.New(env, cfg)
+	for c := 1; c <= fanoutSubConns; c++ {
+		if err := b.OnConnOpen(broker.ConnID(c)); err != nil {
+			panic(err)
+		}
+	}
+	if err := b.OnConnOpen(100); err != nil {
+		panic(err)
+	}
+	for s := 0; s < subs; s++ {
+		conn := broker.ConnID(s%fanoutSubConns + 1)
+		b.OnFrame(conn, wire.Subscribe{SubID: int64(s + 1), Dest: message.Topic("power")})
+	}
+	return b, env
+}
+
+func fanoutPublishCell(b *broker.Broker, i int64) {
+	m := message.NewText("reading")
+	m.ID = fmt.Sprintf("ID:fan/%d", i)
+	m.Dest = message.Topic("power")
+	m.SetProperty("seq", message.Int(int32(i%1000)))
+	b.OnFrame(100, wire.Publish{Seq: i, Msg: m})
+}
+
+// fanoutMultiset publishes a fixed 20-message sequence and returns the
+// delivered (conn, sub) multiset for the cross-mode self-check.
+func fanoutMultiset(subs int, serial bool) map[[2]int64]uint64 {
+	b, env := setupFanoutCell(subs, serial)
+	env.seen = make(map[[2]int64]uint64)
+	var scratch []fanAck
+	for i := int64(0); i < 20; i++ {
+		fanoutPublishCell(b, i)
+		scratch = env.drainAcks(b, scratch)
+	}
+	return env.seen
+}
+
+func multisetEqual(a, b map[[2]int64]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fanoutCell times one (subs, mode, GOMAXPROCS) cell: a single
+// publishing goroutine (the engine supplies the parallelism being
+// measured), ack feedback after every publish.
+func fanoutCell(budget benchTime, nCPU, subs int, serial bool) fanoutResult {
+	b, env := setupFanoutCell(subs, serial)
+	var scratch []fanAck
+	before := b.Stats()
+	ops, elapsed := runCells(budget, 1, func(_ int, i int64) {
+		fanoutPublishCell(b, i)
+		scratch = env.drainAcks(b, scratch)
+	})
+	after := b.Stats()
+
+	mode := "parallel"
+	if serial {
+		mode = "serial"
+	}
+	r := fanoutResult{
+		Subscribers:     subs,
+		Mode:            mode,
+		CPUs:            nCPU,
+		Ops:             ops,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(ops),
+		DeliveriesPerOp: float64(after.Delivered-before.Delivered) / float64(ops),
+		FanoutTasks:     after.FanoutTasks - before.FanoutTasks,
+	}
+	if fl := after.EgressFlushes - before.EgressFlushes; fl > 0 {
+		r.EgressFramesPerFlush = float64(after.EgressFrames-before.EgressFrames) / float64(fl)
+	}
+	return r
+}

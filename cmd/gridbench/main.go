@@ -8,6 +8,7 @@
 //	          warmup|oom|ablations]
 //	gridbench contention [-benchtime 100000x] [-workers 0] [-out FILE]
 //	gridbench match [-benchtime 2000x] [-selectors 1,10,100,1000] [-out FILE]
+//	gridbench fanout [-benchtime 2000x] [-subs 10,100,1000] [-cpu 1,4] [-out FILE]
 //
 // -scale full reproduces the paper's 30-minute runs (slower); quick keeps
 // the same connection counts and rates with a shorter measurement window.
@@ -15,7 +16,9 @@
 // LockedReadPath baseline on live cores (see contention.go); it feeds
 // BENCH_contention.json. The match subcommand measures the content-based
 // matching index against the LinearMatch baseline (see match.go); it
-// feeds BENCH_match.json.
+// feeds BENCH_match.json. The fanout subcommand measures the parallel
+// fan-out engine and its egress coalescing against the SerialFanout
+// baseline (see fanout.go); it feeds BENCH_fanout.json.
 package main
 
 import (
@@ -41,6 +44,9 @@ func main() {
 			return
 		case "match":
 			matchMain(os.Args[2:])
+			return
+		case "fanout":
+			fanoutMain(os.Args[2:])
 			return
 		}
 	}

@@ -195,8 +195,14 @@ func serveStats(addr string, srv *jms.Server, pers *brokerwal.Persister, pprofOn
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		out := struct {
 			broker.Stats
-			WAL *wal.Stats `json:"wal,omitempty"`
-		}{Stats: srv.Stats()}
+			// EgressFramesPerFlush is the broker-level average coalescing
+			// run length (Deliver frames per batched emission);
+			// TransportEgress counts the socket-level writer batching.
+			EgressFramesPerFlush float64         `json:"egress_frames_per_flush"`
+			TransportEgress      jms.EgressStats `json:"transport_egress"`
+			WAL                  *wal.Stats      `json:"wal,omitempty"`
+		}{Stats: srv.Stats(), TransportEgress: srv.EgressStats()}
+		out.EgressFramesPerFlush = out.Stats.EgressFramesPerFlush()
 		if pers != nil {
 			ws := pers.Stats()
 			out.WAL = &ws

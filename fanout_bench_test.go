@@ -1,9 +1,7 @@
 package gridmon
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"testing"
 
 	"gridmon/internal/broker"
@@ -20,9 +18,10 @@ import (
 // the paper's selector workload models. Each iteration publishes one
 // message and feeds back the acknowledgements its deliveries produced.
 //
-// `go test -bench=PublishFanout` runs the matrix; `go test
-// -run=TestWriteFanoutBench -fanout-json` additionally times every cell
-// in both modes and writes BENCH_fanout.json with the speedups.
+// `go test -bench=PublishFanout` runs the matrix. BENCH_fanout.json is
+// produced elsewhere, by `gridbench fanout` (cmd/gridbench/fanout.go),
+// which measures the parallel fan-out engine these benchmarks
+// deliberately disable (see setupFanout).
 
 // fanoutEnv is a minimal broker.Env: unlimited memory, frames recorded
 // only to the extent needed to acknowledge deliveries. Like a real
@@ -82,6 +81,10 @@ func setupFanout(subs int, class string, legacy, clone bool) (*broker.Broker, *f
 	cfg := broker.DefaultConfig("bench")
 	cfg.LegacyLinearScan = legacy
 	cfg.CloneDeliveries = clone
+	// fanoutEnv is single-threaded and records only per-frame Delivers;
+	// keep the serial fan-out so every cell measures the matching path
+	// apples-to-apples. `gridbench fanout` measures the parallel engine.
+	cfg.SerialFanout = true
 	b := broker.New(env, cfg)
 	if err := b.OnConnOpen(1); err != nil {
 		panic(err)
@@ -146,59 +149,7 @@ func BenchmarkPublishFanout(b *testing.B) {
 	}
 }
 
-// fanoutResult is one cell of BENCH_fanout.json.
-type fanoutResult struct {
-	Subscribers   int     `json:"subscribers"`
-	Selector      string  `json:"selector"`
-	IndexedNsOp   float64 `json:"indexed_ns_per_publish"`
-	LegacyNsOp    float64 `json:"legacy_ns_per_publish"`
-	IndexedPubSec float64 `json:"indexed_publishes_per_sec"`
-	LegacyPubSec  float64 `json:"legacy_publishes_per_sec"`
-	Speedup       float64 `json:"speedup"`
-}
-
-// TestWriteFanoutBench times the full matrix in both modes and writes
-// BENCH_fanout.json. Gated behind an env var so the regular test run
-// stays fast: BENCH_FANOUT_OUT=BENCH_fanout.json go test -run
-// TestWriteFanoutBench .
-func TestWriteFanoutBench(t *testing.T) {
-	out := os.Getenv("BENCH_FANOUT_OUT")
-	if out == "" {
-		t.Skip("set BENCH_FANOUT_OUT to write the fan-out benchmark file")
-	}
-	var results []fanoutResult
-	for _, subs := range []int{10, 100, 1000} {
-		for _, class := range []string{"none", "simple", "complex"} {
-			cell := fanoutResult{Subscribers: subs, Selector: class}
-			for _, legacy := range []bool{false, true} {
-				subs, class, legacy := subs, class, legacy
-				r := testing.Benchmark(func(b *testing.B) {
-					benchmarkFanout(b, subs, class, legacy)
-				})
-				ns := float64(r.T.Nanoseconds()) / float64(r.N)
-				if legacy {
-					cell.LegacyNsOp = ns
-					cell.LegacyPubSec = 1e9 / ns
-				} else {
-					cell.IndexedNsOp = ns
-					cell.IndexedPubSec = 1e9 / ns
-				}
-			}
-			cell.Speedup = cell.LegacyNsOp / cell.IndexedNsOp
-			results = append(results, cell)
-			t.Logf("subs=%d sel=%s: indexed %.0f ns/publish, legacy %.0f ns/publish, speedup %.2fx",
-				subs, class, cell.IndexedNsOp, cell.LegacyNsOp, cell.Speedup)
-		}
-	}
-	buf, err := json.MarshalIndent(map[string]any{
-		"benchmark":   "publish fan-out: indexed subscription index vs pre-index linear scan",
-		"description": "one topic, N subscribers split across 10 selector interest bands; ns per publish incl. delivery + ack processing",
-		"results":     results,
-	}, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-}
+// BENCH_fanout.json is regenerated by `gridbench fanout` (see
+// cmd/gridbench/fanout.go): it measures the parallel fan-out engine
+// against the serial baseline across GOMAXPROCS, which this in-process
+// benchmark (single-threaded env, serial fan-out forced) cannot.

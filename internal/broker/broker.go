@@ -28,7 +28,9 @@
 //     destination-name hash; each shard owns the subscription indexes
 //     and backlogs of its destinations, so publishes to destinations on
 //     different shards execute concurrently on different cores.
-//   - The egress layer (stats.go) emits Deliver frames and keeps all
+//   - The egress layer (stats.go, fanplan.go) emits Deliver frames —
+//     or, when the parallel fan-out engine groups a wide fan-out into
+//     per-connection runs, DeliverBatch carriers — and keeps all
 //     counters in atomics, so Stats() and PendingCount() are safe to
 //     call from any goroutine at any time.
 //
@@ -66,9 +68,10 @@
 // arises when multiple callers actually overlap.
 //
 // Shard-safe API (callable from any goroutine in sharded use): OnFrame,
-// OnConnOpen, OnConnClose, InjectForwarded, CountForwardOut, Stats,
-// PendingCount, Topics, TopicSubscribers, TopicSelectorGroups, ShardOf,
-// SetForwarder, SetInterestFunc. The forwarding seam is shard-safe:
+// OnConnOpen, OnConnClose, InjectForwarded, CountForwardOut,
+// CountForwardOutN, Stats, PendingCount, Topics, TopicSubscribers,
+// TopicSelectorGroups, ShardOf, SetForwarder, SetInterestFunc,
+// FanoutPool. The forwarding seam is shard-safe:
 // registration is atomic, and both callbacks fire under the destination
 // shard's lock (lock order durableMu → shard.mu), so an observer that
 // guards its own state with a lock *below* the shard locks — acquired
@@ -108,6 +111,24 @@
 // Clone is reserved for paths that genuinely need a private mutable
 // copy. Config.CloneDeliveries restores the per-delivery deep copy as a
 // baseline for the zero-copy benchmarks.
+//
+// # Parallel fan-out
+//
+// On the snapshot read path, a topic publish that matches at least
+// Config.ParallelFanoutThreshold subscriptions (default 64) executes
+// its delivery stage on a bounded worker pool (package fanout): the
+// matched set is grouped into per-connection runs, runs are chunked —
+// never split — across workers, and each run is emitted as one pooled
+// wire.DeliverBatch carrier instead of N Deliver frames. Per-connection
+// delivery order is preserved by construction (one run, one worker, in
+// matched order); no cross-connection order is promised, and the
+// publish blocks until every chunk completes, so per-publisher ordering
+// across consecutive publishes is unchanged. Smaller fan-outs, and all
+// fan-outs under Config.SerialFanout or any serial/locked baseline
+// mode, take the original inline per-frame loop, which keeps
+// single-caller execution — and the simulator's figures — byte-
+// identical. See fanplan.go for the exact ordering argument and
+// stats.go for the fan-out and egress meters.
 package broker
 
 import (
@@ -116,6 +137,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gridmon/internal/fanout"
 	"gridmon/internal/message"
 	"gridmon/internal/wire"
 )
@@ -214,6 +236,27 @@ type Config struct {
 	// Stats and the per-publish evaluation count differ. The locked and
 	// legacy baselines never use the index regardless of this flag.
 	LinearMatch bool
+	// ParallelFanoutThreshold is the matched-target count at or above
+	// which a topic publish hands its fan-out to the parallel engine
+	// (fanplan.go): targets are grouped into per-connection runs, runs
+	// are chunked across a bounded worker pool (internal/fanout), and
+	// each multi-delivery run is emitted as one wire.DeliverBatch
+	// instead of per-subscriber Deliver frames. Fan-outs below the
+	// threshold execute the serial per-frame loop unchanged, so
+	// single-subscriber latency is untouched. 0 means the default (64);
+	// the engine is active only on the snapshot read path with a
+	// thread-safe Env — SerialFanout, SerialCore, LockedReadPath,
+	// LegacyLinearScan and CloneDeliveries all disable it.
+	ParallelFanoutThreshold int
+	// SerialFanout keeps today's serial per-frame fan-out loop as the
+	// measured A/B baseline (same pattern as LinearMatch /
+	// LockedReadPath): no worker pool, no egress batching. Behaviour is
+	// identical per connection — only the Fanout*/Egress* meters in
+	// Stats and the frame envelopes handed to Env.Send differ (batched
+	// runs arrive as one *wire.DeliverBatch; the stream bytes a client
+	// sees are the same either way). Bindings whose Env is not safe for
+	// concurrent use (the simulator) force this on.
+	SerialFanout bool
 }
 
 // DefaultConfig returns the configuration used in the paper reproduction.
@@ -282,6 +325,14 @@ type Broker struct {
 	// candidate buffers and probe adapters, recycled across publishes.
 	matchScratch sync.Pool
 
+	// Parallel fan-out engine (fanplan.go): worker pool, engage
+	// threshold and pooled per-publish plans. fanPool is nil when the
+	// engine is disabled (SerialFanout or any serial/locked baseline) —
+	// the publish path checks that one pointer.
+	fanPool      *fanout.Pool
+	fanThreshold int
+	fanPlans     sync.Pool
+
 	// Persistence seam (journal.go): mutation observer for durable and
 	// queue state, registered atomically like the forwarder. Nil (the
 	// default) costs one atomic load per mutation and changes nothing.
@@ -303,8 +354,26 @@ func New(env Env, cfg Config) *Broker {
 	for i := range b.shards {
 		b.shards[i] = newShard()
 	}
+	// The parallel fan-out engine rides the snapshot read path only: the
+	// serial and locked baselines keep the historical loop, and
+	// CloneDeliveries is per-frame by definition (each delivery owns a
+	// private copy; a batch shares one message).
+	if !cfg.SerialFanout && !cfg.SerialCore && !cfg.LockedReadPath &&
+		!cfg.LegacyLinearScan && !cfg.CloneDeliveries {
+		b.fanPool = fanout.New(0)
+		b.fanThreshold = cfg.ParallelFanoutThreshold
+		if b.fanThreshold <= 0 {
+			b.fanThreshold = defaultParallelFanoutThreshold
+		}
+	}
 	return b
 }
+
+// FanoutPool exposes the broker's parallel fan-out pool (nil when the
+// engine is disabled), so bindings can share it for their own egress
+// fan-outs — brokernet peer forwarding chunks its peer set over the
+// same pool.
+func (b *Broker) FanoutPool() *fanout.Pool { return b.fanPool }
 
 // ID returns the broker's identifier.
 func (b *Broker) ID() string { return b.cfg.ID }
@@ -459,3 +528,7 @@ func (b *Broker) InjectForwarded(m *message.Message) {
 // CountForwardOut records that the network layer forwarded a message to a
 // peer (for stats parity between routing modes). Shard-safe.
 func (b *Broker) CountForwardOut() { b.stats.forwardedOut.Add(1) }
+
+// CountForwardOutN is CountForwardOut for a whole peer fan-out counted
+// at once (the network layer's parallel forward path). Shard-safe.
+func (b *Broker) CountForwardOutN(n int) { b.stats.forwardedOut.Add(uint64(n)) }

@@ -1,0 +1,253 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gridmon/internal/message"
+	"gridmon/internal/wire"
+)
+
+// Serial-vs-parallel fan-out equivalence: the engine promises that for
+// any single caller, per-connection delivery transcripts and every
+// mode-independent counter are identical whether a fan-out runs as the
+// serial per-frame loop or as per-connection runs across the worker
+// pool. The storm drives randomized subscribe/publish/ack/unsubscribe/
+// connection-churn traffic through one broker per mode — same seed,
+// same ops — and compares transcripts, stats, pending and heap.
+
+// fanoutStormSelectors gives the storm a mix of fast-set and selector
+// subscriptions, so plans mix fast members with group members.
+var fanoutStormSelectors = []string{"", "", "id < 500", "id >= 300", "region = 'eu'"}
+
+// runFanoutStorm drives the deterministic storm against one broker and
+// returns its env. Conns 1..nConns are subscribers; conn 100 publishes.
+func runFanoutStorm(t *testing.T, seed int64, mut func(*Config)) (*Broker, *raceEnv) {
+	t.Helper()
+	env := newRaceEnv()
+	cfg := DefaultConfig("fanstorm")
+	cfg.Shards = 4
+	mut(&cfg)
+	b := New(env, cfg)
+
+	const nConns = 6
+	rng := rand.New(rand.NewSource(seed))
+	topics := []string{"t0", "t1", "t2"}
+	open := make(map[ConnID]bool)
+	for c := ConnID(1); c <= nConns; c++ {
+		if err := b.OnConnOpen(c); err != nil {
+			t.Fatal(err)
+		}
+		open[c] = true
+	}
+	if err := b.OnConnOpen(100); err != nil {
+		t.Fatal(err)
+	}
+	type subRef struct {
+		conn ConnID
+		id   int64
+	}
+	var subs []subRef
+	nextSub := int64(0)
+
+	for op := 0; op < 900; op++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // subscribe
+			c := ConnID(rng.Intn(nConns) + 1)
+			if !open[c] {
+				continue
+			}
+			nextSub++
+			b.OnFrame(c, wire.Subscribe{
+				SubID:    nextSub,
+				Dest:     message.Topic(topics[rng.Intn(len(topics))]),
+				Selector: fanoutStormSelectors[rng.Intn(len(fanoutStormSelectors))],
+			})
+			subs = append(subs, subRef{conn: c, id: nextSub})
+		case k < 8: // publish + ack feedback
+			m := message.NewText("payload")
+			m.ID = fmt.Sprintf("ID:storm/%d", op)
+			m.Dest = message.Topic(topics[rng.Intn(len(topics))])
+			m.SetProperty("id", message.Int(int32(rng.Intn(1000))))
+			if rng.Intn(2) == 0 {
+				m.SetProperty("region", message.String("eu"))
+			} else {
+				m.SetProperty("region", message.String("us"))
+			}
+			b.OnFrame(100, wire.Publish{Seq: int64(op), Msg: m})
+			if rng.Intn(3) == 0 {
+				for c := ConnID(1); c <= nConns; c++ {
+					if open[c] {
+						env.drainAcks(b, c)
+					}
+				}
+			}
+		case k < 9: // unsubscribe a random live subscription
+			if len(subs) == 0 {
+				continue
+			}
+			i := rng.Intn(len(subs))
+			s := subs[i]
+			subs = append(subs[:i], subs[i+1:]...)
+			if open[s.conn] {
+				b.OnFrame(s.conn, wire.Unsubscribe{SubID: s.id})
+			}
+		default: // bounce a connection (subs drop, deliveries stop)
+			c := ConnID(rng.Intn(nConns) + 1)
+			if open[c] {
+				env.drainAcks(b, c)
+				b.OnConnClose(c)
+				// Acks recorded but not yet fed back die with the conn.
+				r := env.rec(c)
+				r.mu.Lock()
+				r.tags = nil
+				r.mu.Unlock()
+				open[c] = false
+				kept := subs[:0]
+				for _, s := range subs {
+					if s.conn != c {
+						kept = append(kept, s)
+					}
+				}
+				subs = kept
+			} else {
+				if err := b.OnConnOpen(c); err != nil {
+					t.Fatal(err)
+				}
+				open[c] = true
+			}
+		}
+	}
+	// Quiesce: feed every outstanding ack back.
+	for c := ConnID(1); c <= nConns; c++ {
+		if open[c] {
+			env.drainAcks(b, c)
+		}
+	}
+	return b, env
+}
+
+// runFanoutEquivalence compares two storm runs configured by mutA/mutB.
+func runFanoutEquivalence(t *testing.T, mutA, mutB func(*Config)) {
+	t.Helper()
+	for seed := int64(1); seed <= 5; seed++ {
+		bA, envA := runFanoutStorm(t, seed, mutA)
+		bB, envB := runFanoutStorm(t, seed, mutB)
+		for c := ConnID(1); c <= 6; c++ {
+			rA, rB := envA.rec(c), envB.rec(c)
+			if len(rA.ids) != len(rB.ids) {
+				t.Fatalf("seed %d conn %d: %d vs %d deliveries", seed, c, len(rA.ids), len(rB.ids))
+			}
+			for i := range rA.ids {
+				if rA.ids[i] != rB.ids[i] {
+					t.Fatalf("seed %d conn %d delivery %d: %q vs %q", seed, c, i, rA.ids[i], rB.ids[i])
+				}
+			}
+		}
+		if sA, sB := clearLockMeters(bA.Stats()), clearLockMeters(bB.Stats()); sA != sB {
+			t.Fatalf("seed %d: stats diverge\nA: %+v\nB: %+v", seed, sA, sB)
+		}
+		if pA, pB := bA.PendingCount(), bB.PendingCount(); pA != pB {
+			t.Fatalf("seed %d: pending %d vs %d", seed, pA, pB)
+		}
+		if uA, uB := envA.heap.Used(), envB.heap.Used(); uA != uB {
+			t.Fatalf("seed %d: heap %d vs %d", seed, uA, uB)
+		}
+	}
+}
+
+// TestFanoutSerialParallelEquivalenceRandomized pins the headline
+// contract: SerialFanout vs the parallel engine forced through the pool
+// for every fan-out (threshold 1) agree on all of it.
+func TestFanoutSerialParallelEquivalenceRandomized(t *testing.T) {
+	runFanoutEquivalence(t,
+		func(c *Config) { c.SerialFanout = true },
+		func(c *Config) { c.ParallelFanoutThreshold = 1 })
+}
+
+// TestFanoutThresholdEquivalenceRandomized: the default threshold
+// (mixed inline/pooled execution) agrees with always-pooled.
+func TestFanoutThresholdEquivalenceRandomized(t *testing.T) {
+	runFanoutEquivalence(t,
+		func(c *Config) {},
+		func(c *Config) { c.ParallelFanoutThreshold = 1 })
+}
+
+// TestFanoutParallelChurnStress hammers the parallel engine from 8
+// publisher goroutines while another goroutine bounces subscriber
+// connections mid-fan-out — the detached-subscription skip path and the
+// batch-released-by-the-broker path (a run whose every delivery died)
+// run constantly. Every delivery allocation must balance: SharedHeap
+// panics on unbalanced frees, the counting DeliverBatch pool panics on
+// a double release, and -race (CI) checks the locking.
+func TestFanoutParallelChurnStress(t *testing.T) {
+	env := newRaceEnv()
+	cfg := DefaultConfig("fanchurn")
+	cfg.Shards = 4
+	cfg.ParallelFanoutThreshold = 8 // engage the pool on small fan-outs too
+	b := New(env, cfg)
+
+	const subConns = 4
+	const subsPerConn = 12 // 48 matched targets per publish when all live
+	for c := ConnID(1); c <= subConns; c++ {
+		if err := b.OnConnOpen(c); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < subsPerConn; s++ {
+			b.OnFrame(c, wire.Subscribe{SubID: int64(int(c)*1000 + s), Dest: message.Topic("churn")})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		pubConn := ConnID(100 + g)
+		if err := b.OnConnOpen(pubConn); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, pubConn ConnID) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				m := message.NewText("payload")
+				m.ID = fmt.Sprintf("ID:churn/%d/%d", g, i)
+				m.Dest = message.Topic("churn")
+				b.OnFrame(pubConn, wire.Publish{Seq: int64(i), Msg: m})
+			}
+		}(g, pubConn)
+	}
+	wg.Add(1)
+	go func() { // churner: bounce subscriber conns mid-fan-out
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			c := ConnID(rng.Intn(subConns) + 1)
+			b.OnConnClose(c)
+			if err := b.OnConnOpen(c); err != nil {
+				t.Error(err)
+				return
+			}
+			for s := 0; s < subsPerConn; s++ {
+				b.OnFrame(c, wire.Subscribe{SubID: int64(1_000_000 + i*100 + s), Dest: message.Topic("churn")})
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Sweep: ack everything delivered, then drop every connection; the
+	// heap must balance to zero.
+	for c := ConnID(1); c <= subConns; c++ {
+		env.drainAcks(b, c)
+		b.OnConnClose(c)
+	}
+	for g := 0; g < 8; g++ {
+		b.OnConnClose(ConnID(100 + g))
+	}
+	if used := env.heap.Used(); used != 0 {
+		t.Fatalf("heap unbalanced after sweep: %d bytes", used)
+	}
+	if p := b.PendingCount(); p != 0 {
+		t.Fatalf("pending not drained: %d", p)
+	}
+}

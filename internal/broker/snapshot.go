@@ -192,6 +192,14 @@ func (b *Broker) refreshTopicRoute(sh *shard, name string) {
 // to routeTopic, driven by the shard's published snapshot instead of
 // the locked indexes. No shard lock is taken; deliveries synchronize on
 // the per-subscription lock and durable stores on the per-durable lock.
+//
+// With the parallel fan-out engine enabled (fanplan.go), matching runs
+// here on the publishing goroutine exactly as below, but matched
+// subscriptions are collected into a pooled plan and delivered by
+// execFanPlan — per-frame in matched order below the threshold, as
+// per-connection batched runs across the worker pool above it. Durable
+// stores always happen inline: they are leaf-locked, rare, and keeping
+// them on the publisher keeps backlog order identical across modes.
 func (b *Broker) routeTopicSnapshot(sh *shard, m *message.Message) {
 	snap := sh.snap.Load()
 	if snap == nil {
@@ -206,32 +214,48 @@ func (b *Broker) routeTopicSnapshot(sh *shard, m *message.Message) {
 		return
 	}
 	cost := int64(m.EncodedSize()) + b.cfg.MemPerPendingOverhead
+	var plan *fanPlan
+	if b.fanPool != nil {
+		plan = b.getFanPlan()
+	}
 	for _, sub := range rt.fast {
-		b.deliverCost(sub, m, cost)
+		if plan != nil {
+			plan.add(sub)
+		} else {
+			b.deliverCost(sub, m, cost)
+		}
 	}
 	if rt.idx != nil {
-		b.routeMatchIndexed(rt, m, cost)
-		return
-	}
-	if n := len(rt.groups) + len(rt.durables); n > 0 {
-		b.stats.matchProgramEvals.Add(uint64(n))
-	}
-	for _, g := range rt.groups {
-		if g.prog.Matches(m) {
-			for _, sub := range g.subs {
-				b.deliverCost(sub, m, cost)
+		b.routeMatchIndexed(rt, m, cost, plan)
+	} else {
+		if n := len(rt.groups) + len(rt.durables); n > 0 {
+			b.stats.matchProgramEvals.Add(uint64(n))
+		}
+		for _, g := range rt.groups {
+			if g.prog.Matches(m) {
+				for _, sub := range g.subs {
+					if plan != nil {
+						plan.add(sub)
+					} else {
+						b.deliverCost(sub, m, cost)
+					}
+				}
+			} else {
+				b.stats.selectorRejected.Add(uint64(len(g.subs)))
 			}
-		} else {
-			b.stats.selectorRejected.Add(uint64(len(g.subs)))
+		}
+		for _, rd := range rt.durables {
+			if rd.sel.Matches(m) {
+				// storeDurable re-checks "still buffering" under the durable's
+				// lock: a consumer that attached after this route was built
+				// owns delivery now, so the store is skipped.
+				b.storeDurable(rd.d, m, cost)
+			}
 		}
 	}
-	for _, rd := range rt.durables {
-		if rd.sel.Matches(m) {
-			// storeDurable re-checks "still buffering" under the durable's
-			// lock: a consumer that attached after this route was built
-			// owns delivery now, so the store is skipped.
-			b.storeDurable(rd.d, m, cost)
-		}
+	if plan != nil {
+		b.execFanPlan(plan, m, cost)
+		b.putFanPlan(plan)
 	}
 }
 
@@ -256,8 +280,10 @@ func (p *msgProbe) ProbeAttr(attr string) (predindex.Value, bool) {
 // seq-sorted), so delivery order — and any single-caller run — is
 // bit-identical to the linear path. Groups the index skipped still
 // account their subscribers into SelectorRejected, keeping Stats
-// comparable across modes.
-func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int64) {
+// comparable across modes. With plan non-nil, matched subscriptions
+// are collected for the parallel fan-out engine instead of delivered
+// inline (durable stores stay inline in both cases).
+func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int64, plan *fanPlan) {
 	sc, _ := b.matchScratch.Get().(*matchScratch)
 	if sc == nil {
 		sc = &matchScratch{}
@@ -274,7 +300,11 @@ func (b *Broker) routeMatchIndexed(rt *topicRoute, m *message.Message, cost int6
 			candGroupSubs += len(g.subs)
 			if g.prog.Matches(m) {
 				for _, sub := range g.subs {
-					b.deliverCost(sub, m, cost)
+					if plan != nil {
+						plan.add(sub)
+					} else {
+						b.deliverCost(sub, m, cost)
+					}
 				}
 			} else {
 				b.stats.selectorRejected.Add(uint64(len(g.subs)))

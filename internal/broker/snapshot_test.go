@@ -30,6 +30,11 @@ func clearLockMeters(s Stats) Stats {
 	s.MatchIndexCandidates = 0
 	s.MatchGroupsSkipped = 0
 	s.MatchDurablesSkipped = 0
+	s.FanoutTasks = 0
+	s.FanoutChunks = 0
+	s.FanoutInlineRuns = 0
+	s.EgressFlushes = 0
+	s.EgressFrames = 0
 	return s
 }
 

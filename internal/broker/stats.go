@@ -55,6 +55,33 @@ type Stats struct {
 	MatchIndexCandidates uint64
 	MatchGroupsSkipped   uint64
 	MatchDurablesSkipped uint64
+
+	// Parallel fan-out / egress-batching meters (fanplan.go).
+	// FanoutTasks counts publishes whose fan-out engaged the worker
+	// pool (matched targets >= Config.ParallelFanoutThreshold) and
+	// FanoutChunks the chunks those tasks were split into;
+	// FanoutInlineRuns counts fan-outs the engine executed inline on
+	// the publishing goroutine because they stayed below the threshold.
+	// EgressFlushes counts batched per-connection emissions (one
+	// wire.DeliverBatch handed to Env.Send) and EgressFrames the
+	// Deliver frames carried inside them — EgressFrames/EgressFlushes
+	// is the average coalescing run length, surfaced as
+	// EgressFramesPerFlush on the daemons' /stats. All five are zero in
+	// SerialFanout mode and in every serial/locked baseline.
+	FanoutTasks      uint64
+	FanoutChunks     uint64
+	FanoutInlineRuns uint64
+	EgressFlushes    uint64
+	EgressFrames     uint64
+}
+
+// EgressFramesPerFlush reports the average number of Deliver frames per
+// batched emission (0 when no batch has been emitted).
+func (s Stats) EgressFramesPerFlush() float64 {
+	if s.EgressFlushes == 0 {
+		return 0
+	}
+	return float64(s.EgressFrames) / float64(s.EgressFlushes)
 }
 
 // statCounters is the atomic backing store for Stats, plus the live
@@ -83,6 +110,12 @@ type statCounters struct {
 	matchIndexCandidates atomic.Uint64
 	matchGroupsSkipped   atomic.Uint64
 	matchDurablesSkipped atomic.Uint64
+
+	fanoutTasks      atomic.Uint64
+	fanoutChunks     atomic.Uint64
+	fanoutInlineRuns atomic.Uint64
+	egressFlushes    atomic.Uint64
+	egressFrames     atomic.Uint64
 }
 
 // Stats returns a snapshot of broker counters. Shard-safe: callable from
@@ -112,6 +145,12 @@ func (b *Broker) Stats() Stats {
 		MatchIndexCandidates: b.stats.matchIndexCandidates.Load(),
 		MatchGroupsSkipped:   b.stats.matchGroupsSkipped.Load(),
 		MatchDurablesSkipped: b.stats.matchDurablesSkipped.Load(),
+
+		FanoutTasks:      b.stats.fanoutTasks.Load(),
+		FanoutChunks:     b.stats.fanoutChunks.Load(),
+		FanoutInlineRuns: b.stats.fanoutInlineRuns.Load(),
+		EgressFlushes:    b.stats.egressFlushes.Load(),
+		EgressFrames:     b.stats.egressFrames.Load(),
 	}
 }
 

@@ -1,0 +1,128 @@
+package fanout
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunExactlyOnce: every chunk index executes exactly once, for
+// chunk counts below, at, and far above the worker bound.
+func TestRunExactlyOnce(t *testing.T) {
+	p := New(4)
+	for _, chunks := range []int{0, 1, 2, 4, 7, 64, 1000} {
+		var counts sync.Map
+		p.Run(chunks, func(c int) {
+			v, _ := counts.LoadOrStore(c, new(atomic.Int32))
+			v.(*atomic.Int32).Add(1)
+		})
+		seen := 0
+		counts.Range(func(k, v any) bool {
+			seen++
+			if n := v.(*atomic.Int32).Load(); n != 1 {
+				t.Fatalf("chunks=%d: chunk %v ran %d times", chunks, k, n)
+			}
+			return true
+		})
+		if seen != chunks {
+			t.Fatalf("chunks=%d: %d distinct chunks ran", chunks, seen)
+		}
+	}
+}
+
+// TestRunBlocksUntilComplete: Run must not return while any chunk is
+// still executing (the broker's PubAck-after-fan-out contract).
+func TestRunBlocksUntilComplete(t *testing.T) {
+	p := New(4)
+	var running atomic.Int32
+	for i := 0; i < 50; i++ {
+		p.Run(8, func(int) {
+			running.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			running.Add(-1)
+		})
+		if n := running.Load(); n != 0 {
+			t.Fatalf("Run returned with %d chunks still running", n)
+		}
+	}
+}
+
+// TestRunParallelism: with real cores, chunks that block each other
+// complete — proof that more than one goroutine executes a task. Two
+// chunks rendezvous: each waits for the other to start, which can only
+// resolve if they run concurrently. A timeout means the pool executed
+// serially; only assert when we actually have 2 CPUs.
+func TestRunParallelism(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	p := New(2)
+	started := make(chan int, 2)
+	done := make(chan struct{})
+	go func() {
+		p.Run(2, func(c int) {
+			started <- c
+			// Wait until both chunks have started (or give up).
+			deadline := time.After(2 * time.Second)
+			for {
+				if len(started) == 2 {
+					return
+				}
+				select {
+				case <-deadline:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run wedged")
+	}
+	if len(started) != 2 {
+		t.Fatalf("%d chunks started", len(started))
+	}
+}
+
+// TestWorkerIdleExit: pool workers exit after the idle timeout, so an
+// idle broker costs no goroutines.
+func TestWorkerIdleExit(t *testing.T) {
+	p := New(4)
+	p.Run(16, func(int) {})
+	deadline := time.Now().Add(2 * time.Second)
+	for p.live.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers still live after idle period", p.live.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentRunStress drives many submitters through one pool under
+// the race detector: chunk accounting must stay exact with tasks
+// overlapping and workers churning through idle exits.
+func TestConcurrentRunStress(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	const submitters, rounds, chunks = 8, 200, 5
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p.Run(chunks, func(int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(submitters * rounds * chunks); total.Load() != want {
+		t.Fatalf("executed %d chunks, want %d", total.Load(), want)
+	}
+}

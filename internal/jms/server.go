@@ -21,6 +21,25 @@
 // architecture — every frame funnelled through one event-loop goroutine
 // — as the measured baseline for the parallel-publish benchmarks.
 //
+// Wide fan-outs arrive at the writers batched: at or above
+// broker.Config.ParallelFanoutThreshold matched subscriptions the core
+// runs its parallel fan-out engine and hands each per-connection run to
+// Env.Send as one wire.DeliverBatch, and the connection's writer
+// splices the frozen message's cached encoding once per entry into a
+// single buffered flush — one syscall where the serial path made N —
+// switching to vectored writev (net.Buffers) for large payloads so the
+// encodings are never copied at all. The batch's stream form is exactly
+// the N MESSAGE frames it stands for, so clients are untouched.
+// broker.Config.SerialFanout restores per-frame emission as the A/B
+// baseline; EgressStats reports writer flushes, frames and writev use.
+//
+// The writer owns every pooled frame it dequeues and releases it
+// exactly once, including on the slow-consumer and shutdown paths: a
+// writer that dies drains its queue under a writer-side quiescence lock
+// (connWriter.quit), and senders that lose the enqueue race release the
+// frame themselves (trySend). A DeliverBatch dropped this way releases
+// the whole batch once — never per-entry.
+//
 // Servers also peer with each other over the same listener, forming the
 // paper's Distributed Broker Network on real TCP: JoinNetwork attaches
 // the broker to a brokernet.Member, DialPeer opens an inter-broker link
@@ -36,6 +55,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridmon/internal/broker"
@@ -91,12 +111,99 @@ type Server struct {
 
 	native *simproc.SharedHeap
 	heap   *simproc.SharedHeap
+
+	egress egressMeters
 }
 
 type connWriter struct {
 	conn net.Conn
 	out  chan wire.Frame
 	done chan struct{}
+	eg   *egressMeters
+
+	// quit guards the enqueue/shutdown race for pooled frames: senders
+	// enqueue under the read lock, the exiting writer goroutine sets dead
+	// under the write lock and then drains the channel. Any frame
+	// enqueued before the writer observed dead is therefore drained (and
+	// released) by the writer; any sender arriving after sees dead and
+	// releases the frame itself — every pooled frame is released exactly
+	// once no matter when the connection dies.
+	quit sync.RWMutex
+	dead bool
+}
+
+// sendResult reports what trySend did with the frame.
+type sendResult int
+
+const (
+	sendOK   sendResult = iota
+	sendFull            // queue full: frame released, connection should drop
+	sendDead            // writer exited: frame released
+)
+
+// trySend enqueues f for the writer goroutine without blocking. The
+// frame's ownership transfers to the writer only on sendOK; on sendFull
+// and sendDead it has already been released here.
+func (w *connWriter) trySend(f wire.Frame) sendResult {
+	w.quit.RLock()
+	if w.dead {
+		w.quit.RUnlock()
+		release(f)
+		return sendDead
+	}
+	select {
+	case w.out <- f:
+		w.quit.RUnlock()
+		return sendOK
+	default:
+		w.quit.RUnlock()
+		release(f)
+		return sendFull
+	}
+}
+
+// shutdown marks the writer dead and releases every frame still queued.
+// Called exactly once, from the writer goroutine's exit path.
+func (w *connWriter) shutdown() {
+	w.quit.Lock()
+	w.dead = true
+	w.quit.Unlock()
+	for {
+		select {
+		case f := <-w.out:
+			release(f)
+		default:
+			return
+		}
+	}
+}
+
+// egressMeters counts transport-level egress batching on a server: how
+// many socket flushes the per-connection writers performed, how many
+// frames those flushes carried (a DeliverBatch counts each spliced
+// Deliver), and how many flushes went out as vectored writes.
+type egressMeters struct {
+	flushes atomic.Uint64
+	frames  atomic.Uint64
+	writevs atomic.Uint64
+}
+
+// EgressStats is the naradad /stats view of the transport egress layer.
+type EgressStats struct {
+	WriterFlushes  uint64  `json:"writer_flushes"`
+	WriterFrames   uint64  `json:"writer_frames"`
+	WriterWritevs  uint64  `json:"writer_writevs"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+}
+
+// EgressStats reports the server's transport egress counters.
+func (s *Server) EgressStats() EgressStats {
+	fl, fr := s.egress.flushes.Load(), s.egress.frames.Load()
+	es := EgressStats{WriterFlushes: fl, WriterFrames: fr, WriterWritevs: s.egress.writevs.Load()}
+	if fl > 0 {
+		es.FramesPerFlush = float64(fr) / float64(fl)
+	}
+	return es
 }
 
 // NewServer starts a broker server on the given listener. Close releases
@@ -230,7 +337,7 @@ func (s *Server) accept() {
 		}
 		s.nextID++
 		id := s.nextID
-		w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.WriteBuffer), done: make(chan struct{})}
+		w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.WriteBuffer), done: make(chan struct{}), eg: &s.egress}
 		s.writers[id] = w
 		s.mu.Unlock()
 
@@ -262,21 +369,38 @@ var writeBufPool = sync.Pool{
 
 // release returns a consumed frame to its pool. The writer owns each
 // frame it dequeues once encoding is done; broker fan-out Deliver frames
-// are pooled, everything else is left to the GC.
+// and DeliverBatch envelopes are pooled, everything else is left to the
+// GC.
 func release(f wire.Frame) {
-	if d, ok := f.(*wire.Deliver); ok {
+	switch d := f.(type) {
+	case *wire.Deliver:
 		wire.PutDeliver(d)
+	case *wire.DeliverBatch:
+		wire.PutDeliverBatch(d)
 	}
 }
+
+// vecPayloadMin is the smallest cached encoding for which a multi-entry
+// DeliverBatch goes out as a vectored write (one writev referencing the
+// shared payload N times) instead of being spliced into the coalescing
+// buffer N times. Below it, copying into one buffer is cheaper than the
+// per-iovec syscall bookkeeping.
+const vecPayloadMin = 4 << 10
 
 func (w *connWriter) run() {
 	// One reusable encode buffer per connection (pooled across
 	// connections): frames already queued when the writer wakes
-	// (same-tick deliveries of a fan-out) are coalesced into a single
-	// Write call.
+	// (same-tick deliveries of a fan-out, or one broker-batched
+	// DeliverBatch, which AppendFrame splices as N MESSAGE frames
+	// sharing one cached payload encoding) are coalesced into a single
+	// Write call. On every exit path shutdown drains and releases the
+	// frames still queued, so pooled Delivers/DeliverBatches are
+	// returned exactly once even when the connection dies mid-stream.
 	bp := writeBufPool.Get().(*[]byte)
 	buf := *bp
+	var vec [][]byte // writev scratch, reused across flushes
 	defer func() {
+		w.shutdown()
 		if cap(buf) <= maxWriteBatch {
 			*bp = buf[:0]
 			writeBufPool.Put(bp)
@@ -285,6 +409,33 @@ func (w *connWriter) run() {
 	for {
 		select {
 		case f := <-w.out:
+			// Large-payload batches skip the copy entirely: one writev
+			// whose iovecs alternate per-entry headers (sliced from buf)
+			// with the single shared payload encoding.
+			if b, ok := f.(*wire.DeliverBatch); ok && len(b.Entries) >= 2 && b.Msg.EncodedSize() >= vecPayloadMin {
+				frames := len(b.Entries)
+				v, hdr, err := wire.AppendDeliverBatchVec(vec[:0], buf[:0], b)
+				release(f)
+				if err != nil {
+					_ = w.conn.Close()
+					return
+				}
+				vec, buf = v, hdr
+				bufs := net.Buffers(vec)
+				_, err = bufs.WriteTo(w.conn)
+				if err != nil {
+					_ = w.conn.Close()
+					return
+				}
+				w.eg.flushes.Add(1)
+				w.eg.frames.Add(uint64(frames))
+				w.eg.writevs.Add(1)
+				if cap(buf) > maxWriteBatch {
+					buf = make([]byte, 0, 4096)
+				}
+				continue
+			}
+			frames := wire.FrameCount(f)
 			var err error
 			buf, err = wire.AppendFrame(buf[:0], f)
 			release(f)
@@ -296,6 +447,7 @@ func (w *connWriter) run() {
 			for len(buf) < maxWriteBatch {
 				select {
 				case f2 := <-w.out:
+					frames += wire.FrameCount(f2)
 					buf, err = wire.AppendFrame(buf, f2)
 					release(f2)
 					if err != nil {
@@ -313,6 +465,8 @@ func (w *connWriter) run() {
 				_ = w.conn.Close()
 				return
 			}
+			w.eg.flushes.Add(1)
+			w.eg.frames.Add(uint64(frames))
 			// An occasional oversized frame must not pin its buffer for
 			// the connection's lifetime.
 			if cap(buf) > maxWriteBatch {
@@ -376,6 +530,9 @@ func (s *Server) JoinNetwork(mode brokernet.RoutingMode) (*brokernet.Member, err
 		return nil, ErrAlreadyJoined
 	}
 	s.member = brokernet.NewMember(s.b, mode)
+	// Peer fan-out shares the broker's worker pool (nil when the core
+	// runs a serial baseline — forwarding then stays serial too).
+	s.member.SetFanoutPool(s.b.FanoutPool())
 	s.routing = mode
 	return s.member, nil
 }
@@ -394,7 +551,7 @@ func (s *Server) Member() *brokernet.Member {
 // empty by construction: a connection whose first frame was the peer
 // handshake was never sent anything).
 func (s *Server) newPeerWriter(id broker.ConnID, old *connWriter, conn net.Conn) (broker.ConnID, *connWriter, error) {
-	w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.PeerWriteBuffer), done: make(chan struct{})}
+	w := &connWriter{conn: conn, out: make(chan wire.Frame, s.cfg.PeerWriteBuffer), done: make(chan struct{}), eg: &s.egress}
 	s.mu.Lock()
 	if s.closed || (old != nil && s.writers[id] != old) {
 		s.mu.Unlock()
@@ -422,9 +579,7 @@ func (s *Server) newPeerWriter(id broker.ConnID, old *connWriter, conn net.Conn)
 // drop-the-slow-consumer policy clients get, with a much deeper queue.
 func (s *Server) peerSender(w *connWriter) brokernet.LinkSender {
 	return func(f wire.Frame) {
-		select {
-		case w.out <- f:
-		default:
+		if w.trySend(f) == sendFull {
 			_ = w.conn.Close()
 		}
 	}
@@ -580,11 +735,12 @@ func (e *serverEnv) Send(id broker.ConnID, f wire.Frame) {
 	if !ok {
 		return
 	}
-	select {
-	case w.out <- f:
-	default:
+	switch w.trySend(f) {
+	case sendOK, sendDead:
+	case sendFull:
 		// Slow consumer: drop the connection rather than block the
-		// broker (NaradaBrokering-era brokers did the same).
+		// broker (NaradaBrokering-era brokers did the same). trySend
+		// already released the frame.
 		s.dropConn(id, w, true)
 	}
 }

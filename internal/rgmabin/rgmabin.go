@@ -83,6 +83,41 @@ type Server struct {
 
 	slowDrops atomic.Uint64
 	walStats  atomic.Pointer[func() wal.Stats]
+
+	egress egressMeters
+}
+
+// egressMeters counts writer-side egress batching: socket flushes, the
+// frames they carried (counted before merging), and pushes folded into
+// the preceding same-consumer push frame instead of being encoded as
+// their own frame.
+type egressMeters struct {
+	flushes      atomic.Uint64
+	frames       atomic.Uint64
+	mergedPushes atomic.Uint64
+}
+
+// EgressStats is the /stats view of the binary transport's egress
+// batching (see Server.EgressStats).
+type EgressStats struct {
+	WriterFlushes  uint64  `json:"writer_flushes"`
+	WriterFrames   uint64  `json:"writer_frames"`
+	MergedPushes   uint64  `json:"merged_pushes"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+}
+
+// EgressStats reports the server's transport egress counters: how many
+// TCP writes the per-connection writers performed, how many reply/push
+// frames rode in them, and how many continuous-query pushes were merged
+// into a neighbouring push for the same consumer (one RGMATuples frame
+// carrying N tuples instead of N frames).
+func (s *Server) EgressStats() EgressStats {
+	fl, fr := s.egress.flushes.Load(), s.egress.frames.Load()
+	es := EgressStats{WriterFlushes: fl, WriterFrames: fr, MergedPushes: s.egress.mergedPushes.Load()}
+	if fl > 0 {
+		es.FramesPerFlush = float64(fr) / float64(fl)
+	}
+	return es
 }
 
 // NewServer wraps a core (possibly shared with an rgmahttp.Server) in
@@ -245,21 +280,69 @@ var writeBufPool = sync.Pool{
 	},
 }
 
+// runWriter drains the connection's outbound queue into coalesced TCP
+// writes. Adjacent continuous-query pushes for the same consumer (Seq 0
+// RGMATuples — an insert batch fans each matching statement out as its
+// own push) are merged into one RGMATuples frame whose Enc splices all
+// their shared encodings, so a subscribed connection sees one frame per
+// insert batch instead of one per statement. Merging is strictly
+// order-preserving: only queue-adjacent pushes fold together, and any
+// other frame (or a push for a different consumer) flushes the pending
+// run first.
 func (c *serverConn) runWriter() {
 	bp := writeBufPool.Get().(*[]byte)
 	buf := *bp
+	var pend wire.RGMATuples // pending push run (pendRun > 0 when active)
+	pendRun := 0
+	encScratch := make([][]byte, 0, 16) // backing for pend.Enc, reused
 	defer func() {
 		if cap(buf) <= maxWriteBatch {
 			*bp = buf[:0]
 			writeBufPool.Put(bp)
 		}
 	}()
+	// flushPend encodes the pending push run, if any, into buf.
+	flushPend := func() error {
+		if pendRun == 0 {
+			return nil
+		}
+		var err error
+		buf, err = wire.AppendFrame(buf, pend)
+		encScratch = pend.Enc[:0]
+		pend = wire.RGMATuples{}
+		pendRun = 0
+		return err
+	}
+	// add stages one dequeued frame: pushes start or extend the pending
+	// run, everything else flushes the run and encodes directly.
+	add := func(f wire.Frame) error {
+		if t, ok := f.(wire.RGMATuples); ok && t.Seq == 0 {
+			if pendRun > 0 && pend.Consumer == t.Consumer {
+				pend.Enc = append(pend.Enc, t.Enc...)
+				pendRun++
+				c.s.egress.mergedPushes.Add(1)
+				return nil
+			}
+			if err := flushPend(); err != nil {
+				return err
+			}
+			pend = wire.RGMATuples{Consumer: t.Consumer, Enc: append(encScratch[:0], t.Enc...)}
+			pendRun = 1
+			return nil
+		}
+		if err := flushPend(); err != nil {
+			return err
+		}
+		var err error
+		buf, err = wire.AppendFrame(buf, f)
+		return err
+	}
 	for {
 		select {
 		case f := <-c.out:
-			var err error
-			buf, err = wire.AppendFrame(buf[:0], f)
-			if err != nil {
+			frames := 1
+			buf = buf[:0]
+			if err := add(f); err != nil {
 				_ = c.nc.Close()
 				return
 			}
@@ -267,8 +350,8 @@ func (c *serverConn) runWriter() {
 			for len(buf) < maxWriteBatch {
 				select {
 				case f2 := <-c.out:
-					buf, err = wire.AppendFrame(buf, f2)
-					if err != nil {
+					frames++
+					if err := add(f2); err != nil {
 						// Flush the frames that did encode before
 						// dropping the connection.
 						_, _ = c.nc.Write(buf)
@@ -279,10 +362,16 @@ func (c *serverConn) runWriter() {
 					break coalesce
 				}
 			}
+			if err := flushPend(); err != nil {
+				_ = c.nc.Close()
+				return
+			}
 			if _, err := c.nc.Write(buf); err != nil {
 				_ = c.nc.Close()
 				return
 			}
+			c.s.egress.flushes.Add(1)
+			c.s.egress.frames.Add(uint64(frames))
 			// An occasional oversized frame must not pin its buffer for
 			// the connection's lifetime.
 			if cap(buf) > maxWriteBatch {

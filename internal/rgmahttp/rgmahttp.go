@@ -84,7 +84,8 @@ type Server struct {
 	http *http.Server
 	ln   net.Listener
 
-	walStats atomic.Pointer[func() wal.Stats]
+	walStats  atomic.Pointer[func() wal.Stats]
+	binEgress atomic.Pointer[func() BinEgressStats]
 }
 
 // NewServer constructs an unstarted server with the default sharded
@@ -344,6 +345,31 @@ type Stats struct {
 	// WAL is present only when the server persists to a write-ahead
 	// log (cmd/rgmad -data-dir).
 	WAL *wal.Stats `json:"wal,omitempty"`
+
+	// BinEgress is present only when a binary push transport shares the
+	// core (cmd/rgmad -listen-bin): its writer-side egress batching.
+	BinEgress *BinEgressStats `json:"bin_egress,omitempty"`
+}
+
+// BinEgressStats mirrors the binary transport's egress counters into
+// /stats without coupling this package to internal/rgmabin: socket
+// flushes, frames carried, and continuous-query pushes merged into a
+// neighbouring same-consumer frame.
+type BinEgressStats struct {
+	WriterFlushes  uint64  `json:"writer_flushes"`
+	WriterFrames   uint64  `json:"writer_frames"`
+	MergedPushes   uint64  `json:"merged_pushes"`
+	FramesPerFlush float64 `json:"frames_per_flush"`
+}
+
+// SetBinEgress installs the binary transport's egress counter source
+// reported under "bin_egress" in /stats. Pass nil to detach.
+func (s *Server) SetBinEgress(f func() BinEgressStats) {
+	if f == nil {
+		s.binEgress.Store(nil)
+		return
+	}
+	s.binEgress.Store(&f)
 }
 
 // SetWALStats installs the write-ahead-log counter source reported
@@ -373,6 +399,10 @@ func (s *Server) StatsSnapshot() Stats {
 	if f := s.walStats.Load(); f != nil {
 		ws := (*f)()
 		st.WAL = &ws
+	}
+	if f := s.binEgress.Load(); f != nil {
+		be := (*f)()
+		st.BinEgress = &be
 	}
 	return st
 }

@@ -47,8 +47,15 @@ type hostLink struct {
 // ownership rule of the wire frame pool cannot hold here. The host
 // therefore opts the broker out of the pool: sim deliveries are
 // GC-managed, and wire.PutDeliver is never called on them.
+//
+// The host also forces the serial fan-out: its Env runs inside the
+// single-threaded simulation kernel (Send schedules events, Alloc
+// charges a non-atomic heap), so the parallel engine's concurrent
+// chunk workers may not call it — and the figures' event order must
+// stay deterministic regardless of GOMAXPROCS.
 func NewHost(net *simnet.Network, node *simnet.Node, cfg broker.Config, costs Costs) *Host {
 	cfg.DisableDeliverPool = true
+	cfg.SerialFanout = true
 	h := &Host{
 		net:    net,
 		k:      net.Kernel(),

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"gridmon/internal/message"
+)
+
+func batchTestMsg() *message.Message {
+	m := message.NewText("batched payload")
+	m.ID = "ID:batch/1"
+	m.Dest = message.Topic("t")
+	m.SetProperty("id", message.Int(7))
+	return m.Freeze()
+}
+
+// TestDeliverBatchStreamEquivalence: the batch's stream form must be
+// byte-identical to appending the equivalent per-subscriber Deliver
+// frames — the client cannot tell batched emission happened.
+func TestDeliverBatchStreamEquivalence(t *testing.T) {
+	m := batchTestMsg()
+	b := &DeliverBatch{Msg: m, Entries: []DeliverEntry{
+		{SubID: 1, Tag: 10}, {SubID: 2, Tag: 20}, {SubID: 9, Tag: 1},
+	}}
+
+	got, err := AppendFrame(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, e := range b.Entries {
+		want, err = AppendFrame(want, &Deliver{SubID: e.SubID, Tag: e.Tag, Msg: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch stream form differs from per-frame emission:\n%x\n%x", got, want)
+	}
+
+	// The vectored form flattens to the same bytes.
+	vec, _, err := AppendDeliverBatchVec(nil, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []byte
+	for _, s := range vec {
+		flat = append(flat, s...)
+	}
+	if !bytes.Equal(flat, want) {
+		t.Fatalf("vectored form differs from per-frame emission")
+	}
+	if len(vec) != 2*len(b.Entries) {
+		t.Fatalf("vec has %d slices, want %d (header+payload per entry)", len(vec), 2*len(b.Entries))
+	}
+	// Payload slices share one backing array: zero copies of the
+	// message encoding.
+	if &vec[1][0] != &vec[3][0] {
+		t.Fatal("payload slices are copies, want shared cached encoding")
+	}
+}
+
+// TestDeliverBatchDecodes: a FrameReader at the far end of a batched
+// write sees ordinary Deliver frames, in entry order.
+func TestDeliverBatchDecodes(t *testing.T) {
+	m := batchTestMsg()
+	b := &DeliverBatch{Msg: m, Entries: []DeliverEntry{{SubID: 3, Tag: 1}, {SubID: 4, Tag: 2}}}
+	buf, err := AppendFrame(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, e := range b.Entries {
+		f, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d, ok := f.(Deliver)
+		if !ok {
+			t.Fatalf("frame %d decoded as %T", i, f)
+		}
+		if d.SubID != e.SubID || d.Tag != e.Tag || d.Msg.ID != m.ID {
+			t.Fatalf("frame %d = %+v, want entry %+v", i, d, e)
+		}
+	}
+}
+
+// TestDeliverBatchSize: Size parity with the per-frame form, so the
+// simulator's wire-time charge is mode-independent.
+func TestDeliverBatchSize(t *testing.T) {
+	m := batchTestMsg()
+	b := &DeliverBatch{Msg: m, Entries: []DeliverEntry{{1, 1}, {2, 2}, {3, 3}}}
+	want := 3 * Size(&Deliver{SubID: 1, Tag: 1, Msg: m})
+	if got := Size(b); got != want {
+		t.Fatalf("Size(batch) = %d, want %d", got, want)
+	}
+	if got := FrameCount(b); got != 3 {
+		t.Fatalf("FrameCount(batch) = %d, want 3", got)
+	}
+	if got := FrameCount(PubAck{}); got != 1 {
+		t.Fatalf("FrameCount(PubAck) = %d, want 1", got)
+	}
+}
+
+// TestDeliverBatchVecWritev: the vector form drives net.Buffers without
+// the payload being invalidated by header growth.
+func TestDeliverBatchVecWritev(t *testing.T) {
+	m := batchTestMsg()
+	entries := make([]DeliverEntry, 64)
+	for i := range entries {
+		entries[i] = DeliverEntry{SubID: int64(i + 1), Tag: int64(i + 100)}
+	}
+	b := &DeliverBatch{Msg: m, Entries: entries}
+	vec, _, err := AppendDeliverBatchVec(nil, make([]byte, 0, 8), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	nb := net.Buffers(vec)
+	if _, err := nb.WriteTo(&sink); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := AppendDeliverBatch(nil, b)
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatal("writev bytes differ from flat encoding")
+	}
+}
+
+// TestDeliverBatchPoolExactlyOnce: the counting pool balances on the
+// happy path and panics on a double release.
+func TestDeliverBatchPoolExactlyOnce(t *testing.T) {
+	g0, p0 := DeliverBatchPoolCounters()
+	b := GetDeliverBatch()
+	b.Msg = batchTestMsg()
+	b.Entries = append(b.Entries, DeliverEntry{1, 1})
+	PutDeliverBatch(b)
+	g1, p1 := DeliverBatchPoolCounters()
+	if g1-g0 != 1 || p1-p0 != 1 {
+		t.Fatalf("counters moved by get=%d put=%d, want 1/1", g1-g0, p1-p0)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PutDeliverBatch did not panic")
+		}
+	}()
+	PutDeliverBatch(b)
+}

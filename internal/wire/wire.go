@@ -778,6 +778,10 @@ func Size(f Frame) int {
 		n += 16 + v.Msg.EncodedSize()
 	case *Deliver:
 		n += 16 + v.Msg.EncodedSize()
+	case *DeliverBatch:
+		// The batch's stream form is len(Entries) MESSAGE frames; Size
+		// excludes length prefixes, like every other case.
+		n = len(v.Entries) * (1 + 16 + v.Msg.EncodedSize())
 	case Ack:
 		n += 8 + 4 + 8*len(v.Tags)
 	case Close:
@@ -828,9 +832,14 @@ func Size(f Frame) int {
 
 // AppendFrame appends the length-prefixed stream form of f to dst — the
 // 4-byte header is reserved up front and patched after encoding, so one
-// buffer (and one Write) carries any number of frames. On error dst is
+// buffer (and one Write) carries any number of frames. A *DeliverBatch
+// expands to one MESSAGE frame per entry (its stream form — see
+// batch.go); every other frame appends exactly once. On error dst is
 // returned truncated to its original length.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if b, ok := f.(*DeliverBatch); ok {
+		return AppendDeliverBatch(dst, b)
+	}
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
 	dst = MarshalAppend(dst, f)
